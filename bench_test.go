@@ -1,0 +1,202 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section VI), plus ablation benches for the design choices
+// called out in DESIGN.md (MQO sharing, dependency-store capacity,
+// replication cap). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment drivers live in internal/experiments and are shared
+// with cmd/experiments, which prints the full tables.
+package dcer_test
+
+import (
+	"strconv"
+	"testing"
+
+	"dcer"
+	"dcer/internal/chase"
+	"dcer/internal/datagen"
+	"dcer/internal/dmatch"
+	"dcer/internal/experiments"
+	"dcer/internal/hypart"
+	"dcer/internal/mlpred"
+)
+
+// benchCfg keeps every driver at bench scale.
+var benchCfg = experiments.Config{Scale: 0.1, Workers: 8, Seed: 1}
+
+func BenchmarkTableV_Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.TableV(benchCfg)
+	}
+}
+
+func BenchmarkTableVI_VaryDup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.TableVI(benchCfg)
+	}
+}
+
+func BenchmarkFig6ab_Ablations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6AB(benchCfg)
+	}
+}
+
+func BenchmarkFig6cd_VaryDup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6CD(benchCfg)
+	}
+}
+
+func BenchmarkFig6ef_VaryPredicates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6EF(benchCfg)
+	}
+}
+
+func BenchmarkFig6gh_VaryRules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6GH(benchCfg)
+	}
+}
+
+func BenchmarkFig6ij_VaryWorkers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6IJ(benchCfg)
+	}
+}
+
+func BenchmarkFig6kl_VaryScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6KL(experiments.Config{Scale: 0.05, Workers: 8, Seed: 1})
+	}
+}
+
+func BenchmarkExp2_Partitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Partitioning(benchCfg)
+	}
+}
+
+// --- Component benchmarks -------------------------------------------------
+
+func tpchFixture(b *testing.B, scale float64) (*datagen.Generated, []*dcer.Rule) {
+	b.Helper()
+	g := datagen.TPCH(datagen.TPCHOptions{Scale: scale, Dup: 0.3, Seed: 1})
+	rules, err := g.Rules()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, rules
+}
+
+// BenchmarkSequentialMatch measures the sequential Match engine on TPCH.
+func BenchmarkSequentialMatch(b *testing.B) {
+	g, rules := tpchFixture(b, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := chase.New(g.D, rules, mlpred.DefaultRegistry(), chase.Options{ShareIndexes: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkParallelDMatch measures the BSP engine at several worker counts
+// (the Theorem 7 parallel-scalability claim in benchmark form).
+func BenchmarkParallelDMatch(b *testing.B) {
+	g, rules := tpchFixture(b, 0.2)
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dmatch.Run(g.D, rules, mlpred.DefaultRegistry(),
+					dmatch.Options{Workers: n}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHyPart measures partitioning alone.
+func BenchmarkHyPart(b *testing.B) {
+	g, rules := tpchFixture(b, 0.2)
+	for _, share := range []bool{true, false} {
+		name := "mqo"
+		if !share {
+			name = "noMQO"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hypart.Partition(g.D, rules, 16, hypart.Options{Share: share}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDepStore sweeps the dependency-store capacity K: K=0
+// forces the update-driven re-scan path everywhere.
+func BenchmarkAblationDepStore(b *testing.B) {
+	g, rules := tpchFixture(b, 0.1)
+	for _, k := range []int{-1, 1, 1024, 1 << 20} {
+		b.Run(itoa(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := chase.New(g.D, rules, mlpred.DefaultRegistry(),
+					chase.Options{ShareIndexes: true, MaxDeps: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Run()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReplicationCap sweeps HyPart's replication cap: higher
+// caps spread wide rules over more blocks at the price of more copies.
+func BenchmarkAblationReplicationCap(b *testing.B) {
+	g, rules := tpchFixture(b, 0.1)
+	for _, rc := range []int{1, 2, 4, 8} {
+		b.Run(itoa(rc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dmatch.Run(g.D, rules, mlpred.DefaultRegistry(),
+					dmatch.Options{Workers: 8, ReplicationCap: rc}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMLPredicates measures the classifier battery on product
+// descriptions (the dominant per-valuation cost).
+func BenchmarkMLPredicates(b *testing.B) {
+	a := "ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD"
+	c := "ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM - 512 GB SSD"
+	b.Run("jaccard", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mlpred.Jaccard(a, c)
+		}
+	})
+	b.Run("jaro", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mlpred.JaroWinkler(a, c)
+		}
+	})
+	b.Run("levenshtein", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mlpred.Levenshtein(a, c)
+		}
+	})
+	b.Run("embedding", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mlpred.EmbeddingSim(a, c, mlpred.EmbeddingDim)
+		}
+	})
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

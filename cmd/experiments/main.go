@@ -1,0 +1,53 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section VI) on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	experiments [-exp all|tableV|tableVI|fig6ab|fig6cd|fig6ef|fig6gh|fig6ij|fig6kl|partitioning|casestudy|denorm]
+//	            [-scale 0.2] [-workers 8] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcer/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	scale := flag.Float64("scale", 0.2, "dataset scale factor (1.0 ≈ 25k TPC-H tuples)")
+	workers := flag.Int("workers", 8, "default number of workers n")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Workers: *workers, Seed: *seed}
+	drivers := map[string]func(experiments.Config) *experiments.Table{
+		"tableV":       experiments.TableV,
+		"tableVI":      experiments.TableVI,
+		"fig6ab":       experiments.Fig6AB,
+		"fig6cd":       experiments.Fig6CD,
+		"fig6ef":       experiments.Fig6EF,
+		"fig6gh":       experiments.Fig6GH,
+		"fig6ij":       experiments.Fig6IJ,
+		"fig6kl":       experiments.Fig6KL,
+		"partitioning": experiments.Partitioning,
+		"casestudy":    experiments.CaseStudy,
+		"denorm":       experiments.Denorm,
+	}
+	order := []string{"tableV", "tableVI", "fig6ab", "fig6cd", "fig6ef", "fig6gh", "fig6ij", "fig6kl", "partitioning", "casestudy", "denorm"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			drivers[name](cfg).Fprint(os.Stdout)
+		}
+		return
+	}
+	driver, ok := drivers[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; one of all %v\n", *exp, order)
+		os.Exit(2)
+	}
+	driver(cfg).Fprint(os.Stdout)
+}

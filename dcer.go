@@ -1,0 +1,221 @@
+// Package dcer is a Go implementation of deep and collective entity
+// resolution ("Deep and Collective Entity Resolution in Parallel",
+// ICDE 2022): a fixpoint (chase) engine over MRLs — matching rules that
+// may embed ML classifiers as predicates and correlate any number of
+// relations — together with the HyPart hypercube partitioner and the
+// parallelly scalable BSP engine DMatch.
+//
+// # Quick start
+//
+//	db := dcer.MustDatabase(
+//	    dcer.MustSchema("Customers", "cno",
+//	        dcer.Attr("cno", dcer.TypeString),
+//	        dcer.Attr("name", dcer.TypeString),
+//	        dcer.Attr("phone", dcer.TypeString)))
+//	d := dcer.NewDataset(db)
+//	d.MustAppend("Customers", dcer.S("c1"), dcer.S("Ford Smith"), dcer.S("555"))
+//	d.MustAppend("Customers", dcer.S("c2"), dcer.S("F. Smith"), dcer.S("555"))
+//
+//	rules, _ := dcer.ParseRules(`
+//	    r1: Customers(a) ^ Customers(b) ^ a.phone = b.phone ^
+//	        nameabbrev(a.name, b.name) -> a.id = b.id`, db)
+//	result, _ := dcer.Match(d, rules, dcer.DefaultClassifiers())
+//	for _, class := range result.Classes() { ... }
+//
+// Use MatchParallel to run the same fixpoint with HyPart partitioning and
+// n BSP workers. See examples/ for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the reproduced evaluation.
+package dcer
+
+import (
+	"dcer/internal/chase"
+	"dcer/internal/discovery"
+	"dcer/internal/dmatch"
+	"dcer/internal/eval"
+	"dcer/internal/mlpred"
+	"dcer/internal/relation"
+	"dcer/internal/rule"
+	"dcer/internal/soft"
+)
+
+// Core relational types.
+type (
+	// Schema is a relation schema with a designated id attribute.
+	Schema = relation.Schema
+	// Database is a database schema R = (R_1, ..., R_m).
+	Database = relation.Database
+	// Dataset is an instance D of a database schema.
+	Dataset = relation.Dataset
+	// Tuple is one row; its GID is the dataset-wide tuple id.
+	Tuple = relation.Tuple
+	// TID is a global tuple id.
+	TID = relation.TID
+	// Value is a typed attribute value.
+	Value = relation.Value
+	// Attribute is a named, typed column.
+	Attribute = relation.Attribute
+	// Type is an attribute domain.
+	Type = relation.Type
+)
+
+// Attribute domains.
+const (
+	TypeString = relation.TypeString
+	TypeInt    = relation.TypeInt
+	TypeFloat  = relation.TypeFloat
+)
+
+// Value constructors.
+var (
+	// S makes a string value.
+	S = relation.S
+	// I makes an integer value.
+	I = relation.I
+	// F makes a float value.
+	F = relation.F
+)
+
+// Attr builds an attribute.
+func Attr(name string, t Type) Attribute { return Attribute{Name: name, Type: t} }
+
+// Schema and dataset constructors.
+var (
+	// NewSchema builds a relation schema; idAttr names the designated id.
+	NewSchema = relation.NewSchema
+	// MustSchema is NewSchema that panics on error.
+	MustSchema = relation.MustSchema
+	// NewDatabase assembles a database schema.
+	NewDatabase = relation.NewDatabase
+	// MustDatabase is NewDatabase that panics on error.
+	MustDatabase = relation.MustDatabase
+	// NewDataset creates an empty dataset over a database schema.
+	NewDataset = relation.NewDataset
+	// LoadDir loads every *.csv in a directory as one relation each.
+	LoadDir = relation.LoadDir
+	// SaveDir writes each relation of a dataset as CSV.
+	SaveDir = relation.SaveDir
+)
+
+// Rule types.
+type (
+	// Rule is an MRL φ = X → l.
+	Rule = rule.Rule
+)
+
+// ParseRules parses MRLs in the rule DSL and resolves them against db.
+// See the rule package documentation for the grammar.
+func ParseRules(text string, db *Database) ([]*Rule, error) {
+	return rule.ParseResolved(text, db)
+}
+
+// IsAcyclic tests hypergraph acyclicity of a rule's precondition
+// (the tractable case of Theorem 3).
+var IsAcyclic = rule.IsAcyclic
+
+// Classifier machinery (embedded ML predicates).
+type (
+	// Classifier is an embedded ML predicate M(t[Ā], s[B̄]).
+	Classifier = mlpred.Classifier
+	// ClassifierRegistry resolves classifier names used in rules.
+	ClassifierRegistry = mlpred.Registry
+	// SimClassifier thresholds a string-similarity metric.
+	SimClassifier = mlpred.SimClassifier
+	// LogisticModel is a trainable logistic-regression pair classifier.
+	LogisticModel = mlpred.LogisticModel
+)
+
+// DefaultClassifiers returns the stock classifier registry (jaccard05,
+// jaro085, lev075/080, embed080/090, cosine07, nameabbrev, surnames06).
+func DefaultClassifiers() *ClassifierRegistry { return mlpred.DefaultRegistry() }
+
+// NewClassifierRegistry returns an empty registry.
+func NewClassifierRegistry() *ClassifierRegistry { return mlpred.NewRegistry() }
+
+// Engine types.
+type (
+	// Engine is the sequential Match engine (Deduce + IncDeduce).
+	Engine = chase.Engine
+	// EngineOptions configures the sequential engine.
+	EngineOptions = chase.Options
+	// Fact is one element of Γ: a match or a validated ML prediction.
+	Fact = chase.Fact
+	// Gamma is the deduced set Γ.
+	Gamma = chase.Gamma
+	// ParallelOptions configures the parallel DMatch run.
+	ParallelOptions = dmatch.Options
+	// ParallelResult is the outcome of a DMatch run.
+	ParallelResult = dmatch.Result
+)
+
+// NewEngine prepares a sequential chase engine.
+func NewEngine(d *Dataset, rules []*Rule, reg *ClassifierRegistry, opts EngineOptions) (*Engine, error) {
+	return chase.New(d, rules, reg, opts)
+}
+
+// Match runs the sequential deep-and-collective ER fixpoint (algorithm
+// Match of the paper) and returns the engine holding Γ.
+func Match(d *Dataset, rules []*Rule, reg *ClassifierRegistry) (*Engine, error) {
+	eng, err := chase.New(d, rules, reg, chase.Options{ShareIndexes: true})
+	if err != nil {
+		return nil, err
+	}
+	eng.Run()
+	return eng, nil
+}
+
+// MatchParallel partitions d with HyPart and runs the parallel BSP engine
+// DMatch (Section V-B of the paper).
+func MatchParallel(d *Dataset, rules []*Rule, reg *ClassifierRegistry, opts ParallelOptions) (*ParallelResult, error) {
+	return dmatch.Run(d, rules, reg, opts)
+}
+
+// Rule discovery (the paper's experimental setup, Section VI): mine MRLs
+// from labeled pairs by adapting denial-constraint discovery.
+type (
+	// MinedRule is one discovered rule with its support and confidence.
+	MinedRule = discovery.Mined
+	// MineOptions tunes the rule miner.
+	MineOptions = discovery.Options
+	// MinerPair is a labeled example for the miner.
+	MinerPair = discovery.LabeledPair
+)
+
+// MineRules discovers single-relation MRLs from labeled pairs.
+func MineRules(d *Dataset, pairs []MinerPair, reg *ClassifierRegistry, opts MineOptions) ([]MinedRule, error) {
+	return discovery.Mine(d, pairs, reg, opts)
+}
+
+// Soft-rule extension (the paper's future-work item): MRLs with
+// confidences, chased under max-product semantics to match probabilities.
+type (
+	// SoftRule is an MRL with a confidence in (0, 1].
+	SoftRule = soft.Rule
+	// SoftResult holds the soft fixpoint scores.
+	SoftResult = soft.Result
+	// SoftScore is one scored match pair.
+	SoftScore = soft.Score
+)
+
+// MatchSoft runs the probabilistic (soft-rule) chase; see the soft package
+// for the semantics. epsilon 0 means the default convergence bound.
+func MatchSoft(d *Dataset, rules []SoftRule, reg *ClassifierRegistry, epsilon float64) (*SoftResult, error) {
+	return soft.Chase(d, rules, reg, epsilon)
+}
+
+// Evaluation helpers.
+type (
+	// Metrics holds precision / recall / F-measure.
+	Metrics = eval.Metrics
+	// Truth is a set of ground-truth duplicate pairs.
+	Truth = eval.Truth
+)
+
+// Evaluation constructors.
+var (
+	// NewTruth builds a truth set from (original, duplicate) pairs.
+	NewTruth = eval.NewTruth
+	// EvaluateClasses scores equivalence classes against a truth set.
+	EvaluateClasses = eval.EvaluateClasses
+	// EvaluatePairs scores explicit predicted pairs against a truth set.
+	EvaluatePairs = eval.EvaluatePairs
+)

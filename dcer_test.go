@@ -1,0 +1,98 @@
+package dcer_test
+
+import (
+	"testing"
+
+	"dcer"
+)
+
+// TestPublicAPIQuickstart exercises the README quick-start end to end
+// through the public facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	db := dcer.MustDatabase(
+		dcer.MustSchema("Customers", "cno",
+			dcer.Attr("cno", dcer.TypeString),
+			dcer.Attr("name", dcer.TypeString),
+			dcer.Attr("phone", dcer.TypeString)))
+	d := dcer.NewDataset(db)
+	t1 := d.MustAppend("Customers", dcer.S("c1"), dcer.S("Ford Smith"), dcer.S("555"))
+	t2 := d.MustAppend("Customers", dcer.S("c2"), dcer.S("F. Smith"), dcer.S("555"))
+	t3 := d.MustAppend("Customers", dcer.S("c3"), dcer.S("Jane Doe"), dcer.S("777"))
+
+	rules, err := dcer.ParseRules(`
+	    r1: Customers(a) ^ Customers(b) ^ a.phone = b.phone ^
+	        nameabbrev(a.name, b.name) -> a.id = b.id`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := dcer.Match(d, rules, dcer.DefaultClassifiers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Same(t1.GID, t2.GID) {
+		t.Error("c1 and c2 should match")
+	}
+	if eng.Same(t1.GID, t3.GID) {
+		t.Error("c1 and c3 should not match")
+	}
+	classes := eng.Classes()
+	if len(classes) != 1 || len(classes[0]) != 2 {
+		t.Errorf("Classes = %v", classes)
+	}
+}
+
+// TestPublicAPIParallel exercises MatchParallel and the evaluation
+// helpers through the facade.
+func TestPublicAPIParallel(t *testing.T) {
+	db := dcer.MustDatabase(
+		dcer.MustSchema("R", "k",
+			dcer.Attr("k", dcer.TypeString),
+			dcer.Attr("v", dcer.TypeString)))
+	d := dcer.NewDataset(db)
+	var truthPairs [][2]dcer.TID
+	for i := 0; i < 30; i++ {
+		a := d.MustAppend("R", dcer.S(k(i, "a")), dcer.S(k(i, "val")))
+		b := d.MustAppend("R", dcer.S(k(i, "b")), dcer.S(k(i, "val")))
+		truthPairs = append(truthPairs, [2]dcer.TID{a.GID, b.GID})
+	}
+	rules, err := dcer.ParseRules(`r: R(a) ^ R(b) ^ a.v = b.v -> a.id = b.id`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dcer.MatchParallel(d, rules, dcer.DefaultClassifiers(),
+		dcer.ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dcer.EvaluateClasses(res.Classes(), dcer.NewTruth(truthPairs))
+	if m.F1 != 1 {
+		t.Errorf("parallel facade run: %s", m)
+	}
+}
+
+// TestPublicAPISoft exercises the soft extension through the facade.
+func TestPublicAPISoft(t *testing.T) {
+	db := dcer.MustDatabase(
+		dcer.MustSchema("R", "k",
+			dcer.Attr("k", dcer.TypeString),
+			dcer.Attr("v", dcer.TypeString)))
+	d := dcer.NewDataset(db)
+	a := d.MustAppend("R", dcer.S("k1"), dcer.S("x"))
+	b := d.MustAppend("R", dcer.S("k2"), dcer.S("x"))
+	rules, err := dcer.ParseRules(`r: R(a) ^ R(b) ^ a.v = b.v -> a.id = b.id`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dcer.MatchSoft(d, []dcer.SoftRule{{Rule: rules[0], Confidence: 0.7}},
+		dcer.DefaultClassifiers(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.P(a.GID, b.GID); p != 0.7 {
+		t.Errorf("soft score = %v, want 0.7", p)
+	}
+}
+
+func k(i int, suffix string) string {
+	return suffix + string(rune('A'+i%26)) + string(rune('a'+i/26))
+}

@@ -1,0 +1,163 @@
+// Fraudring: a larger synthetic version of the paper's motivating
+// scenario. An e-commerce marketplace hosts accounts, shops and orders;
+// fraud rings register duplicate accounts (noisy copies of one identity),
+// open shops under them, and boost sales by cross-buying their own
+// products. Plain per-table matching cannot expose the rings — the
+// duplicate accounts only become visible once shops and orders are
+// correlated collectively and recursively. Run with:
+//
+//	go run ./examples/fraudring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dcer"
+)
+
+const rules = `
+# Accounts: same bank account and device fingerprint, abbreviated names.
+acc: Account(a) ^ Account(b) ^ a.bank = b.bank ^ a.device = b.device ^
+     nameabbrev(a.name, b.name) -> a.id = b.id
+
+# Shops (collective): same contact email, ML-similar shop names, owners
+# sharing a registration IP.
+shp: Account(a) ^ Account(b) ^ Shop(x) ^ Shop(y) ^ x.owner = a.ano ^ y.owner = b.ano ^
+     x.email = y.email ^ jaccard05(x.sname, y.sname) ^ a.regip = b.regip -> x.id = y.id
+
+# Accounts again (deep): both bought the same product from the same shop
+# entity within one session IP, with similar names and one address.
+dac: Account(a) ^ Account(b) ^ Order(o) ^ Order(u) ^ Shop(x) ^ Shop(y) ^
+     a.ano = o.buyer ^ b.ano = u.buyer ^ o.seller = x.sno ^ u.seller = y.sno ^
+     x.id = y.id ^ o.item = u.item ^ o.ip = u.ip ^ a.addr = b.addr ^
+     nameabbrev(a.name, b.name) -> a.id = b.id
+`
+
+type gen struct{ r *rand.Rand }
+
+func (g gen) name() string {
+	first := []string{"Alice", "Bruno", "Carla", "Deven", "Elena", "Felix", "Greta", "Hamid", "Irene", "Jonas"}
+	last := []string{"Keller", "Larsen", "Moreno", "Novak", "Okafor", "Petrov", "Quinn", "Rossi", "Santos", "Tanaka"}
+	return first[g.r.Intn(len(first))] + " " + last[g.r.Intn(len(last))]
+}
+
+func main() {
+	db := dcer.MustDatabase(
+		dcer.MustSchema("Account", "ano",
+			dcer.Attr("ano", dcer.TypeString), dcer.Attr("name", dcer.TypeString),
+			dcer.Attr("addr", dcer.TypeString), dcer.Attr("bank", dcer.TypeString),
+			dcer.Attr("device", dcer.TypeString), dcer.Attr("regip", dcer.TypeString)),
+		dcer.MustSchema("Shop", "sno",
+			dcer.Attr("sno", dcer.TypeString), dcer.Attr("sname", dcer.TypeString),
+			dcer.Attr("owner", dcer.TypeString), dcer.Attr("email", dcer.TypeString)),
+		dcer.MustSchema("Order", "ono",
+			dcer.Attr("ono", dcer.TypeString), dcer.Attr("buyer", dcer.TypeString),
+			dcer.Attr("seller", dcer.TypeString), dcer.Attr("item", dcer.TypeString),
+			dcer.Attr("ip", dcer.TypeString)),
+	)
+	d := dcer.NewDataset(db)
+	s := dcer.S
+	g := gen{rand.New(rand.NewSource(7))}
+
+	// 300 honest accounts with a shop each and some organic orders.
+	const nAcc = 300
+	for i := 0; i < nAcc; i++ {
+		d.MustAppend("Account",
+			s(fmt.Sprintf("A%d", i)), s(fmt.Sprintf("%s %d", g.name(), i)),
+			s(fmt.Sprintf("%d Elm St", i)), s(fmt.Sprintf("DE%08d", i)),
+			s(fmt.Sprintf("dev-%05d", i)), s(fmt.Sprintf("10.0.%d.%d", i/250, i%250)))
+		d.MustAppend("Shop",
+			s(fmt.Sprintf("S%d", i)), s(fmt.Sprintf("Shop %s %d", g.name(), i)),
+			s(fmt.Sprintf("A%d", i)), s(fmt.Sprintf("shop%d@mail.com", i)))
+	}
+	ono := 0
+	for i := 0; i < 900; i++ {
+		buyer := g.r.Intn(nAcc)
+		seller := g.r.Intn(nAcc)
+		d.MustAppend("Order",
+			s(fmt.Sprintf("O%d", ono)), s(fmt.Sprintf("A%d", buyer)),
+			s(fmt.Sprintf("S%d", seller)), s(fmt.Sprintf("P%d", g.r.Intn(500))),
+			s(fmt.Sprintf("93.8.%d.%d", g.r.Intn(200), g.r.Intn(200))))
+		ono++
+	}
+
+	// 12 fraud rings. Each ring is ONE person with two accounts: the base
+	// account A<i> and a forged alias AF<i> with an abbreviated name. The
+	// alias opens a clone shop, and the two shops cross-buy one product.
+	var ringBase []int
+	for r := 0; r < 12; r++ {
+		i := g.r.Intn(nAcc)
+		ringBase = append(ringBase, i)
+		base := d.Relation("Account").Tuples[i]
+		alias := fmt.Sprintf("AF%d", i)
+		// Abbreviate "Alice Keller 42" -> "A. Keller 42".
+		nm := base.Values[1].Str
+		abbrev := nm[:1] + "." + nm[ixSpace(nm):]
+		d.MustAppend("Account",
+			s(alias), s(abbrev), s(base.Values[2].Str),
+			s(base.Values[3].Str), s(base.Values[4].Str), s(base.Values[5].Str))
+		cloneShop := fmt.Sprintf("SF%d", i)
+		d.MustAppend("Shop",
+			s(cloneShop), s("Shop "+abbrev), s(alias), s(fmt.Sprintf("shop%d@mail.com", i)))
+		// Cross-buy: alias buys product PX<i> from the base shop; the base
+		// account buys the same product from the clone shop, same IP.
+		ip := fmt.Sprintf("171.5.%d.9", i%200)
+		d.MustAppend("Order", s(fmt.Sprintf("O%d", ono)), s(alias),
+			s(fmt.Sprintf("S%d", i)), s(fmt.Sprintf("PX%d", i)), s(ip))
+		ono++
+		d.MustAppend("Order", s(fmt.Sprintf("O%d", ono)), s(fmt.Sprintf("A%d", i)),
+			s(cloneShop), s(fmt.Sprintf("PX%d", i)), s(ip))
+		ono++
+	}
+
+	rs, err := dcer.ParseRules(rules, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dcer.MatchParallel(d, rs, dcer.DefaultClassifiers(), dcer.ParallelOptions{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A ring is exposed when an account entity both owns a shop and buys
+	// its own product from another of its shops.
+	fmt.Printf("dataset: %d tuples; resolved %d multi-record entities\n",
+		d.Size(), len(res.Classes()))
+	ownerGID := map[string]dcer.TID{}
+	for _, sh := range d.Relation("Shop").Tuples {
+		for _, a := range d.Relation("Account").Tuples {
+			if a.Values[0].Str == sh.Values[2].Str {
+				ownerGID[sh.Values[0].Str] = a.GID
+			}
+		}
+	}
+	buyerGID := map[string]dcer.TID{}
+	for _, a := range d.Relation("Account").Tuples {
+		buyerGID[a.Values[0].Str] = a.GID
+	}
+	exposed := map[string]bool{}
+	for _, o := range d.Relation("Order").Tuples {
+		buyer, okB := buyerGID[o.Values[1].Str]
+		owner, okO := ownerGID[o.Values[2].Str]
+		if okB && okO && buyer != owner && res.Same(buyer, owner) {
+			exposed[o.Values[2].Str] = true
+		}
+	}
+	fmt.Printf("self-dealing shops exposed: %d\n", len(exposed))
+	expectedRings := map[int]bool{}
+	for _, i := range ringBase {
+		expectedRings[i] = true
+	}
+	fmt.Printf("planted rings: %d (each contributes its base and clone shop)\n", len(expectedRings))
+}
+
+func ixSpace(s string) int {
+	for i := range s {
+		if s[i] == ' ' {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,156 @@
+// Quickstart: the paper's running example (Tables I-IV, Example 1).
+//
+// Four e-commerce relations — Customers, Shops, Products, Orders — hide an
+// account-abuse fraud: shops s2 and s4 buy the same product from each
+// other. Detecting it needs deep and collective ER: products are matched
+// with an ML similarity predicate, shops collectively through their
+// owners' phone numbers, and customers recursively using both previous
+// match sets. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcer"
+)
+
+const rules = `
+# φ1: same name, phone and address -> same customer.
+phi1: Customers(t) ^ Customers(s) ^ t.name = s.name ^ t.phone = s.phone ^ t.addr = s.addr -> t.id = s.id
+
+# φ2: same product name, ML-similar descriptions -> same product.
+phi2: Products(p) ^ Products(q) ^ p.pname = q.pname ^ jaccard05(p.desc, q.desc) -> p.id = q.id
+
+# φ3 (collective): same email, ML-similar shop names, owners share a phone.
+phi3: Customers(c) ^ Customers(d) ^ Shops(x) ^ Shops(y) ^ jaccard05(x.sname, y.sname) ^
+      x.email = y.email ^ x.owner = c.cno ^ y.owner = d.cno ^ c.phone = d.phone -> x.id = y.id
+
+# φ4 (deep + collective): same address, ML-similar names, and both bought
+# the same product (entity!) in the same shop (entity!) from one IP.
+phi4: Customers(c) ^ Customers(d) ^ Orders(o) ^ Orders(u) ^ Products(p) ^ Products(q) ^
+      Shops(x) ^ Shops(y) ^ c.cno = o.buyer ^ d.cno = u.buyer ^ o.item = p.pno ^
+      u.item = q.pno ^ o.seller = x.sno ^ u.seller = y.sno ^ nameabbrev(c.name, d.name) ^
+      c.addr = d.addr ^ o.IP = u.IP ^ p.id = q.id ^ x.id = y.id -> c.id = d.id
+`
+
+func main() {
+	db := dcer.MustDatabase(
+		dcer.MustSchema("Customers", "cno",
+			dcer.Attr("cno", dcer.TypeString), dcer.Attr("name", dcer.TypeString),
+			dcer.Attr("phone", dcer.TypeString), dcer.Attr("addr", dcer.TypeString),
+			dcer.Attr("pref", dcer.TypeString)),
+		dcer.MustSchema("Shops", "sno",
+			dcer.Attr("sno", dcer.TypeString), dcer.Attr("sname", dcer.TypeString),
+			dcer.Attr("owner", dcer.TypeString), dcer.Attr("email", dcer.TypeString),
+			dcer.Attr("loc", dcer.TypeString)),
+		dcer.MustSchema("Products", "pno",
+			dcer.Attr("pno", dcer.TypeString), dcer.Attr("pname", dcer.TypeString),
+			dcer.Attr("price", dcer.TypeString), dcer.Attr("desc", dcer.TypeString)),
+		dcer.MustSchema("Orders", "ono",
+			dcer.Attr("ono", dcer.TypeString), dcer.Attr("buyer", dcer.TypeString),
+			dcer.Attr("seller", dcer.TypeString), dcer.Attr("item", dcer.TypeString),
+			dcer.Attr("IP", dcer.TypeString)),
+	)
+	d := dcer.NewDataset(db)
+	s := dcer.S
+	// Tables I-IV of the paper.
+	d.MustAppend("Customers", s("c1"), s("Ford Smith"), s("(213) 243-9856"), s("1st Ave, LA"), s("clothing, makeup"))
+	d.MustAppend("Customers", s("c2"), s("F. Smith"), s("(213) 333-0001"), s("1st Ave, LA"), s("clothing"))
+	d.MustAppend("Customers", s("c3"), s("F. Smith"), s("(213) 333-0001"), s("1st Ave, LA"), s("dress"))
+	d.MustAppend("Customers", s("c4"), s("Tony Brown"), s("(347) 981-3452"), s("9 Ave, NY"), s("sports"))
+	d.MustAppend("Customers", s("c5"), s("T. Brown"), s("(347) 981-3452"), s("-"), s("sports"))
+	d.MustAppend("Shops", s("s1"), s("Comp. World"), s("c1"), s("FSm@g.com"), s("1st Ave, LA"))
+	d.MustAppend("Shops", s("s2"), s("Smith's Tech shop"), s("c2"), s("F_Sm@g.com"), s("1st Ave, LA"))
+	d.MustAppend("Shops", s("s3"), s("Lap. store"), s("c3"), s("jp@youp.com"), s("1st Ave, LA"))
+	d.MustAppend("Shops", s("s4"), s("T's Store"), s("c4"), s("T.Brown@ga.com"), s("9 Ave, NY"))
+	d.MustAppend("Shops", s("s5"), s("Tony's Store"), s("c5"), s("T.Brown@ga.com"), s("-"))
+	d.MustAppend("Products", s("p1"), s("Apple MacBook"), s("$1000"), s("Apple MacBook Air (13-inch, 8GB RAM, 256GB SSD)"))
+	d.MustAppend("Products", s("p2"), s("ThinkPad"), s("$2000"), s("ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD"))
+	d.MustAppend("Products", s("p3"), s("ThinkPad"), s("$1800"), s("ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM - 512 GB SSD"))
+	d.MustAppend("Products", s("p4"), s("Acer Laptop"), s("$500"), s("Acer Aspire 5 Slim Laptop, 15.6 inches, 4GB DDR4, 128GB SSD, Backlit Keyboard"))
+	d.MustAppend("Orders", s("o1"), s("c4"), s("s2"), s("p2"), s("156.33.14.7"))
+	d.MustAppend("Orders", s("o2"), s("c3"), s("s4"), s("p2"), s("113.55.126.9"))
+	d.MustAppend("Orders", s("o3"), s("c1"), s("s5"), s("p3"), s("113.55.126.9"))
+	d.MustAppend("Orders", s("o4"), s("c1"), s("s4"), s("p2"), s("143.32.11.2"))
+
+	rs, err := dcer.ParseRules(rules, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := dcer.Match(d, rs, dcer.DefaultClassifiers())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Resolved entities:")
+	for _, class := range eng.Classes() {
+		fmt.Print("  ")
+		for k, gid := range class {
+			t := d.Tuple(gid)
+			sc := d.SchemaOf(t)
+			if k > 0 {
+				fmt.Print(" == ")
+			}
+			fmt.Printf("%s(%s)", sc.Name, t.ID(sc))
+		}
+		fmt.Println()
+	}
+
+	// The fraud check of Example 1: does some customer own a shop that
+	// buys its own product from another of the customer's shops?
+	fmt.Println("\nFraud check (account abuse):")
+	customers := d.Relation("Customers")
+	orders := d.Relation("Orders")
+	shops := d.Relation("Shops")
+	ownerOf := func(shopNo string) *dcer.Tuple {
+		for _, sh := range shops.Tuples {
+			if sh.Values[0].Str == shopNo {
+				for _, c := range customers.Tuples {
+					if c.Values[0].Str == sh.Values[2].Str {
+						return c
+					}
+				}
+			}
+		}
+		return nil
+	}
+	reported := map[string]bool{}
+	for _, o1 := range orders.Tuples {
+		for _, o2 := range orders.Tuples {
+			if o1 == o2 || o1.Values[3].Str != o2.Values[3].Str {
+				continue // different products
+			}
+			// o1: buyer B1 buys from seller S1; o2: buyer B2 from S2.
+			// Fraud when B1 owns S2 and B2 owns S1 (as entities).
+			var b1, b2 *dcer.Tuple
+			for _, c := range customers.Tuples {
+				if c.Values[0].Str == o1.Values[1].Str {
+					b1 = c
+				}
+				if c.Values[0].Str == o2.Values[1].Str {
+					b2 = c
+				}
+			}
+			s1o, s2o := ownerOf(o1.Values[2].Str), ownerOf(o2.Values[2].Str)
+			if b1 == nil || b2 == nil || s1o == nil || s2o == nil {
+				continue
+			}
+			if eng.Same(b1.GID, s2o.GID) && eng.Same(b2.GID, s1o.GID) {
+				sa, sb := o1.Values[2].Str, o2.Values[2].Str
+				if sb < sa {
+					sa, sb = sb, sa
+				}
+				key := sa + "|" + sb + "|" + o1.Values[3].Str
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				fmt.Printf("  shops %s and %s buy product %s from each other (owners %s / %s)\n",
+					sa, sb, o1.Values[3].Str, s1o.Values[0].Str, s2o.Values[0].Str)
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package dcer_test
+
+import (
+	"strings"
+	"testing"
+
+	"dcer"
+	"dcer/internal/datagen"
+)
+
+// TestExplainDeepMatch renders the proof of the paper's deep match
+// (t1, t3): it must mention the prerequisite product and shop rules before
+// concluding the customer match.
+func TestExplainDeepMatch(t *testing.T) {
+	d, l := datagen.PaperExample()
+	rules, err := datagen.PaperRules(d.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := dcer.Explain(d, rules, dcer.DefaultClassifiers(), l["t1"].GID, l["t3"].GID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex == nil {
+		t.Fatal("no explanation for a true match")
+	}
+	text := ex.Render(d)
+	for _, want := range []string{"phi2", "phi3", "phi4", "Customers(c1) = Customers(c3)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explanation missing %q:\n%s", want, text)
+		}
+	}
+	// The non-match (t1, t4) must yield no explanation.
+	none, err := dcer.Explain(d, rules, dcer.DefaultClassifiers(), l["t1"].GID, l["t4"].GID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none != nil {
+		t.Error("explanation produced for a non-match")
+	}
+}

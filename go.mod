@@ -1,0 +1,3 @@
+module dcer
+
+go 1.22

@@ -1,0 +1,122 @@
+package chase
+
+import (
+	"strconv"
+	"strings"
+
+	"dcer/internal/relation"
+)
+
+// Literal is one id or ML literal appearing in a dependency of H.
+type Literal struct {
+	Kind  FactKind
+	A, B  relation.TID
+	Model string
+}
+
+func (l Literal) key() string {
+	var b strings.Builder
+	if l.Kind == FactMatch {
+		b.WriteString("m:")
+	} else {
+		b.WriteString("v:")
+		b.WriteString(l.Model)
+		b.WriteByte(':')
+	}
+	b.WriteString(strconv.Itoa(int(l.A)))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(int(l.B)))
+	return b.String()
+}
+
+// Dep is one dependency l1 ∧ ... ∧ ln → l of the store H (Section V-A,
+// data structure (2)): whenever every body literal is valid, the head must
+// be enforced.
+type Dep struct {
+	Body []Literal
+	Head Literal
+}
+
+func (d *Dep) key() string {
+	parts := make([]string, 0, len(d.Body)+1)
+	for _, l := range d.Body {
+		parts = append(parts, l.key())
+	}
+	// Body literal order is normalized by the caller (recordDep sorts).
+	parts = append(parts, "->", d.Head.key())
+	return strings.Join(parts, ";")
+}
+
+// DepStore is the bounded dependency set H. Capacity K bounds memory;
+// when full, new dependencies are dropped and correctness falls back to
+// the update-driven re-evaluation path of IncDeduce. Whenever a head
+// becomes validated, every dependency with that head is discarded
+// (it "will no longer be checked later on").
+type DepStore struct {
+	cap     int
+	deps    map[string]*Dep
+	byHead  map[string][]string // head key -> dep keys
+	dropped int
+}
+
+// NewDepStore creates a store with capacity k (k ≤ 0 means unbounded).
+func NewDepStore(k int) *DepStore {
+	return &DepStore{cap: k, deps: make(map[string]*Dep), byHead: make(map[string][]string)}
+}
+
+// Len returns the number of stored dependencies.
+func (s *DepStore) Len() int { return len(s.deps) }
+
+// Dropped returns how many dependencies were rejected for capacity.
+func (s *DepStore) Dropped() int { return s.dropped }
+
+// Add inserts a dependency unless it is a duplicate or the store is full.
+// It reports whether the dependency is stored (true also for duplicates).
+func (s *DepStore) Add(d *Dep) bool {
+	k := d.key()
+	if _, dup := s.deps[k]; dup {
+		return true
+	}
+	if s.cap > 0 && len(s.deps) >= s.cap {
+		s.dropped++
+		return false
+	}
+	s.deps[k] = d
+	hk := d.Head.key()
+	s.byHead[hk] = append(s.byHead[hk], k)
+	return true
+}
+
+// RemoveHead discards every dependency whose head is l.
+func (s *DepStore) RemoveHead(l Literal) {
+	hk := l.key()
+	for _, dk := range s.byHead[hk] {
+		delete(s.deps, dk)
+	}
+	delete(s.byHead, hk)
+}
+
+// Fire scans the store and returns the heads of all dependencies whose
+// bodies are fully satisfied according to sat; fired dependencies are
+// removed (along with every other dependency sharing the same head).
+// The full scan mirrors lines 2-3 of IncDeduce in the paper; H is bounded
+// so the scan is cheap.
+func (s *DepStore) Fire(sat func(Literal) bool) []Literal {
+	var heads []Literal
+	for _, d := range s.deps {
+		ok := true
+		for _, l := range d.Body {
+			if !sat(l) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			heads = append(heads, d.Head)
+		}
+	}
+	for _, h := range heads {
+		s.RemoveHead(h)
+	}
+	return heads
+}

@@ -1,0 +1,98 @@
+package chase
+
+import (
+	"testing"
+
+	"dcer/internal/relation"
+)
+
+func lit(a, b relation.TID) Literal { return Literal{Kind: FactMatch, A: a, B: b} }
+
+func TestDepStoreAddAndDedup(t *testing.T) {
+	s := NewDepStore(10)
+	d := &Dep{Body: []Literal{lit(1, 2)}, Head: lit(3, 4)}
+	if !s.Add(d) || s.Len() != 1 {
+		t.Fatal("first add failed")
+	}
+	if !s.Add(d) || s.Len() != 1 {
+		t.Error("duplicate changed the store")
+	}
+	if s.Dropped() != 0 {
+		t.Error("dedup counted as drop")
+	}
+}
+
+func TestDepStoreCapacity(t *testing.T) {
+	s := NewDepStore(2)
+	for i := relation.TID(0); i < 5; i++ {
+		s.Add(&Dep{Body: []Literal{lit(i, i+1)}, Head: lit(i+10, i+11)})
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if s.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", s.Dropped())
+	}
+	// Unbounded store.
+	u := NewDepStore(-1)
+	for i := relation.TID(0); i < 100; i++ {
+		u.Add(&Dep{Body: []Literal{lit(i, i+1)}, Head: lit(i+200, i+201)})
+	}
+	if u.Len() != 100 || u.Dropped() != 0 {
+		t.Errorf("unbounded store: Len=%d Dropped=%d", u.Len(), u.Dropped())
+	}
+}
+
+func TestDepStoreFire(t *testing.T) {
+	s := NewDepStore(10)
+	s.Add(&Dep{Body: []Literal{lit(1, 2), lit(3, 4)}, Head: lit(5, 6)})
+	s.Add(&Dep{Body: []Literal{lit(7, 8)}, Head: lit(5, 6)}) // same head, other body
+	s.Add(&Dep{Body: []Literal{lit(9, 10)}, Head: lit(11, 12)})
+
+	sat := map[Literal]bool{lit(1, 2): true}
+	heads := s.Fire(func(l Literal) bool { return sat[l] })
+	if len(heads) != 0 {
+		t.Fatalf("fired with unsatisfied body: %v", heads)
+	}
+	sat[lit(3, 4)] = true
+	heads = s.Fire(func(l Literal) bool { return sat[l] })
+	if len(heads) != 1 || heads[0] != lit(5, 6) {
+		t.Fatalf("heads = %v", heads)
+	}
+	// Both deps with head (5,6) must be gone; the third dep remains.
+	if s.Len() != 1 {
+		t.Errorf("Len after fire = %d, want 1", s.Len())
+	}
+}
+
+func TestDepStoreRemoveHead(t *testing.T) {
+	s := NewDepStore(10)
+	s.Add(&Dep{Body: []Literal{lit(1, 2)}, Head: lit(5, 6)})
+	s.Add(&Dep{Body: []Literal{lit(3, 4)}, Head: lit(5, 6)})
+	s.RemoveHead(lit(5, 6))
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after RemoveHead", s.Len())
+	}
+}
+
+func TestLiteralKeysDistinct(t *testing.T) {
+	a := Literal{Kind: FactMatch, A: 1, B: 2}
+	b := Literal{Kind: FactML, Model: "m", A: 1, B: 2}
+	c := Literal{Kind: FactML, Model: "n", A: 1, B: 2}
+	if a.key() == b.key() || b.key() == c.key() {
+		t.Error("literal keys collide across kinds/models")
+	}
+}
+
+func TestFactString(t *testing.T) {
+	if MatchFact(2, 1).String() != "(1.id = 2.id)" {
+		t.Errorf("MatchFact string: %s", MatchFact(2, 1))
+	}
+	if MLFact("m", 1, 2).String() != "m(1, 2)" {
+		t.Errorf("MLFact string: %s", MLFact("m", 1, 2))
+	}
+	g := &Gamma{Matches: []Fact{MatchFact(1, 2)}, Validated: []Fact{MLFact("m", 1, 2)}}
+	if g.Size() != 2 {
+		t.Errorf("Gamma.Size = %d", g.Size())
+	}
+}

@@ -1,0 +1,518 @@
+package chase
+
+import (
+	"fmt"
+
+	"dcer/internal/mlpred"
+	"dcer/internal/relation"
+	"dcer/internal/rule"
+	"dcer/internal/unionfind"
+)
+
+// Options configures the engine.
+type Options struct {
+	// MaxDeps is the capacity K of the dependency store H (Section V-A);
+	// 0 means DefaultMaxDeps, negative means unbounded. When H is full,
+	// new dependencies are dropped and the update-driven re-evaluation
+	// path of IncDeduce preserves correctness.
+	MaxDeps int
+	// ShareIndexes enables MQO-style sharing of inverted indexes and the
+	// ML answer cache across rules. Disabling it reproduces the
+	// DMatch_noMQO ablation: every rule rebuilds its own indexes and ML
+	// cache, so no intermediate results are shared.
+	ShareIndexes bool
+	// IDSpace overrides the size of the global tuple-id space; fragments
+	// of a larger dataset must pass the parent's size so the
+	// id-equivalence relation can host remote ids. 0 means the dataset's
+	// own size.
+	IDSpace int
+}
+
+// DefaultMaxDeps is the default capacity of the dependency store.
+const DefaultMaxDeps = 1 << 20
+
+// Stats counts the engine's work, for the efficiency experiments.
+type Stats struct {
+	Valuations   int64 // complete valuations inspected (emit calls)
+	Extensions   int64 // partial-binding extension steps
+	MatchesFound int64 // non-trivial id matches deduced
+	MLValidated  int64 // ML predictions validated by rule heads
+	DepsRecorded int64
+	DepsFired    int64
+	DepsDropped  int64
+	Rounds       int64 // internal incremental rounds
+	IndexBuilds  int   // inverted indexes materialized
+	MLCacheHits  int64
+	MLCacheMiss  int64
+}
+
+// boundMLPred is an ML body predicate resolved to its classifier.
+type boundMLPred struct {
+	pred    *rule.Pred
+	cl      mlpred.Classifier
+	dynamic bool // the model appears in some rule head, so validation can flip it
+}
+
+// boundRule is a rule prepared for enumeration.
+type boundRule struct {
+	r *rule.Rule
+
+	consts [][]*rule.Pred // per-var constant predicates
+	intra  [][]*rule.Pred // per-var equality predicates with both sides on the var
+	eqs    []*rule.Pred   // cross-variable equality predicates
+	ids    []*rule.Pred   // id predicates in the body
+	mls    []boundMLPred  // ML predicates in the body
+
+	headCl mlpred.Classifier // classifier of an ML head, if any
+
+	// scope is the sub-dataset this rule enumerates over. In the
+	// sequential engine it is the whole dataset; in the parallel engine
+	// it is the union of the worker's virtual blocks generated for this
+	// rule (hypercube semantics evaluate each rule within its blocks).
+	scope *relation.Dataset
+	// ix indexes the rule's scope. With MQO sharing, rules with the same
+	// scope share one index set; without, every rule gets its own.
+	ix *relation.IndexSet
+	// cache is the rule-private ML cache used when MQO sharing is off.
+	cache *mlpred.Cache
+}
+
+// Engine is the sequential Match engine of Section V-A. It owns the
+// deduced set Γ (an id-equivalence relation plus validated ML
+// predictions), the bounded dependency store H, and the inverted indexes,
+// and exposes Deduce / IncDeduce so the parallel engine can drive it as
+// the partial-evaluation and incremental algorithms A and A_Δ.
+type Engine struct {
+	d     *relation.Dataset
+	rules []*boundRule
+	reg   *mlpred.Registry
+	opts  Options
+
+	uf        *unionfind.UnionFind
+	members   map[int][]relation.TID // root -> hosted members of the class
+	validated map[mlKey]bool
+	H         *DepStore
+	ixSets    map[*relation.Dataset]*relation.IndexSet // shared per scope
+	cache     *mlpred.Cache
+
+	dynamicModels map[string]bool
+
+	gamma Gamma
+	stats Stats
+
+	// queue of unprocessed events driving the update-driven path.
+	queue []event
+
+	// delta accumulates the facts deduced during the current Deduce or
+	// IncDeduce call.
+	delta []Fact
+}
+
+// event is one unprocessed state change: either a batch of tuple pairs
+// newly made id-equal by a union, or one newly validated ML prediction.
+type event struct {
+	kind  FactKind
+	pairs [][2]relation.TID // FactMatch: the new cross pairs of the merged classes
+	model string            // FactML
+	a, b  relation.TID      // FactML
+}
+
+// New prepares an engine over dataset d with resolved rules and the
+// classifier registry. Every rule enumerates over the whole dataset; the
+// parallel engine uses NewScoped instead.
+func New(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Options) (*Engine, error) {
+	return NewScoped(d, rules, nil, reg, opts)
+}
+
+// NewScoped prepares an engine whose rule i enumerates only over
+// scopes[i] (nil entries and a nil slice mean the whole dataset). The
+// parallel engine passes each worker's per-rule block unions, so rules do
+// not re-scan tuples that other rules' blocks brought to the worker.
+func NewScoped(d *relation.Dataset, rules []*rule.Rule, scopes []*relation.Dataset, reg *mlpred.Registry, opts Options) (*Engine, error) {
+	if opts.MaxDeps == 0 {
+		opts.MaxDeps = DefaultMaxDeps
+	}
+	idSpace := opts.IDSpace
+	if idSpace == 0 {
+		for _, t := range d.Tuples() {
+			if int(t.GID)+1 > idSpace {
+				idSpace = int(t.GID) + 1
+			}
+		}
+	}
+	e := &Engine{
+		d:             d,
+		reg:           reg,
+		opts:          opts,
+		uf:            unionfind.New(idSpace),
+		members:       make(map[int][]relation.TID, d.Size()),
+		validated:     make(map[mlKey]bool),
+		H:             NewDepStore(opts.MaxDeps),
+		ixSets:        make(map[*relation.Dataset]*relation.IndexSet),
+		cache:         mlpred.NewCache(),
+		dynamicModels: make(map[string]bool),
+	}
+	for _, t := range d.Tuples() {
+		e.members[int(t.GID)] = []relation.TID{t.GID}
+	}
+	for _, r := range rules {
+		if r.Head.Kind == rule.PredML {
+			e.dynamicModels[r.Head.Model] = true
+		}
+	}
+	for i, r := range rules {
+		scope := d
+		if scopes != nil && i < len(scopes) && scopes[i] != nil {
+			scope = scopes[i]
+		}
+		br, err := e.bindRule(r, scope)
+		if err != nil {
+			return nil, err
+		}
+		e.rules = append(e.rules, br)
+	}
+	// Tuples sharing a literal id value within a relation denote the same
+	// entity by definition; pre-merge them (these trivial matches are not
+	// reported in Γ).
+	for _, rel := range d.Relations {
+		byID := make(map[string]relation.TID)
+		for _, t := range rel.Tuples {
+			k := t.Values[rel.Schema.IDAttr].Key()
+			if first, ok := byID[k]; ok {
+				e.unionInternal(first, t.GID)
+			} else {
+				byID[k] = t.GID
+			}
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) bindRule(r *rule.Rule, scope *relation.Dataset) (*boundRule, error) {
+	if !r.Resolved() {
+		return nil, fmt.Errorf("chase: rule %s is not resolved", r.Name)
+	}
+	br := &boundRule{
+		r:      r,
+		scope:  scope,
+		consts: make([][]*rule.Pred, len(r.Vars)),
+		intra:  make([][]*rule.Pred, len(r.Vars)),
+	}
+	for i := range r.Body {
+		p := &r.Body[i]
+		switch p.Kind {
+		case rule.PredConst:
+			br.consts[p.V1] = append(br.consts[p.V1], p)
+		case rule.PredEq:
+			if p.V1 == p.V2 {
+				br.intra[p.V1] = append(br.intra[p.V1], p)
+			} else {
+				br.eqs = append(br.eqs, p)
+			}
+		case rule.PredID:
+			br.ids = append(br.ids, p)
+		case rule.PredML:
+			cl, err := e.reg.Get(p.Model)
+			if err != nil {
+				return nil, fmt.Errorf("chase: rule %s: %w", r.Name, err)
+			}
+			br.mls = append(br.mls, boundMLPred{pred: p, cl: cl, dynamic: e.dynamicModels[p.Model]})
+		}
+	}
+	if r.Head.Kind == rule.PredML {
+		cl, err := e.reg.Get(r.Head.Model)
+		if err != nil {
+			return nil, fmt.Errorf("chase: rule %s head: %w", r.Name, err)
+		}
+		br.headCl = cl
+	}
+	if e.opts.ShareIndexes {
+		ix, ok := e.ixSets[scope]
+		if !ok {
+			ix = relation.NewIndexSet(scope)
+			e.ixSets[scope] = ix
+		}
+		br.ix = ix
+	} else {
+		br.ix = relation.NewIndexSet(scope)
+		br.cache = mlpred.NewCache()
+	}
+	return br, nil
+}
+
+// indexFor returns the rule's (scope-local) index.
+func (e *Engine) indexFor(br *boundRule, rel, attr int) *relation.Index {
+	return br.ix.For(rel, attr)
+}
+
+// mlPredict answers an ML predicate through the (possibly rule-private)
+// memoizing cache.
+func (e *Engine) mlPredict(br *boundRule, cl mlpred.Classifier, left, right []relation.Value) bool {
+	c := e.cache
+	if br != nil && br.cache != nil {
+		c = br.cache
+	}
+	return c.Predict(cl, left, right)
+}
+
+// Same reports whether two tuples are currently matched (t.id = s.id ∈ Γ).
+func (e *Engine) Same(a, b relation.TID) bool {
+	return a == b || e.uf.Same(int(a), int(b))
+}
+
+// Validated reports whether the ML prediction (model, a, b) is in Γ.
+func (e *Engine) Validated(model string, a, b relation.TID) bool {
+	return e.validated[mlKey{model, a, b}]
+}
+
+// unionInternal merges two classes without reporting a fact; used for
+// literal id-value duplicates at setup.
+func (e *Engine) unionInternal(a, b relation.TID) {
+	ra, rb := e.uf.Find(int(a)), e.uf.Find(int(b))
+	if ra == rb {
+		return
+	}
+	ma, mb := e.members[ra], e.members[rb]
+	e.uf.Union(ra, rb)
+	root := e.uf.Find(ra)
+	merged := append(append(make([]relation.TID, 0, len(ma)+len(mb)), ma...), mb...)
+	delete(e.members, ra)
+	delete(e.members, rb)
+	if len(merged) > 0 {
+		e.members[root] = merged
+	}
+}
+
+// applyFact integrates a fact into Γ. If the fact is new, it is appended
+// to the current delta and an event is queued for the update-driven path.
+// It reports whether the fact was new.
+func (e *Engine) applyFact(f Fact) bool {
+	switch f.Kind {
+	case FactMatch:
+		ra, rb := e.uf.Find(int(f.A)), e.uf.Find(int(f.B))
+		if ra == rb {
+			return false
+		}
+		ma, mb := e.members[ra], e.members[rb]
+		var pairs [][2]relation.TID
+		for _, x := range ma {
+			for _, y := range mb {
+				pairs = append(pairs, [2]relation.TID{x, y})
+			}
+		}
+		e.uf.Union(ra, rb)
+		root := e.uf.Find(ra)
+		merged := append(append(make([]relation.TID, 0, len(ma)+len(mb)), ma...), mb...)
+		delete(e.members, ra)
+		delete(e.members, rb)
+		if len(merged) > 0 {
+			e.members[root] = merged
+		}
+		e.gamma.Matches = append(e.gamma.Matches, f)
+		e.delta = append(e.delta, f)
+		e.stats.MatchesFound++
+		if len(pairs) > 0 {
+			e.queue = append(e.queue, event{kind: FactMatch, pairs: pairs})
+		}
+		return true
+	default:
+		k := mlKey{f.Model, f.A, f.B}
+		if e.validated[k] {
+			return false
+		}
+		e.validated[k] = true
+		e.gamma.Validated = append(e.gamma.Validated, f)
+		e.delta = append(e.delta, f)
+		e.stats.MLValidated++
+		e.queue = append(e.queue, event{kind: FactML, model: f.Model, a: f.A, b: f.B})
+		return true
+	}
+}
+
+// Deduce runs the first full chase pass over all rules (procedure Deduce
+// of Section V-A) and then drains the internal update-driven fixpoint.
+// It returns the facts deduced during the call.
+func (e *Engine) Deduce() []Fact {
+	e.delta = e.delta[:0]
+	for _, br := range e.rules {
+		e.enumerateRule(br, nil)
+	}
+	e.drain()
+	return append([]Fact(nil), e.delta...)
+}
+
+// IncDeduce applies externally supplied updates ΔΓ (matches and validated
+// predictions deduced elsewhere, e.g. on other workers) and incrementally
+// deduces their consequences (procedure IncDeduce / algorithm A_Δ). It
+// returns the facts newly deduced here, excluding the external inputs.
+func (e *Engine) IncDeduce(external []Fact) []Fact {
+	e.delta = e.delta[:0]
+	for _, f := range external {
+		e.applyFact(f)
+	}
+	// External facts are not "newly deduced here": they are removed from
+	// the reported delta but still drive the update path via the queue.
+	skip := len(e.delta)
+	e.drain()
+	return append([]Fact(nil), e.delta[skip:]...)
+}
+
+// drain alternates dependency firing and update-driven re-evaluation until
+// no new facts appear (the while-loop of algorithm Match).
+func (e *Engine) drain() {
+	for {
+		progressed := false
+		// Lines 2-3 of IncDeduce: fire satisfied dependencies.
+		heads := e.H.Fire(e.satisfied)
+		for _, h := range heads {
+			e.stats.DepsFired++
+			if e.applyFact(literalFact(h)) {
+				progressed = true
+			}
+		}
+		// Lines 4-7: update-driven re-evaluation of valuations that
+		// involve a new match or validated prediction.
+		if len(e.queue) > 0 {
+			progressed = true
+			q := e.queue
+			e.queue = nil
+			for _, ev := range q {
+				e.processEvent(ev)
+			}
+		}
+		if !progressed {
+			return
+		}
+		e.stats.Rounds++
+	}
+}
+
+func literalFact(l Literal) Fact {
+	if l.Kind == FactMatch {
+		return MatchFact(l.A, l.B)
+	}
+	return MLFact(l.Model, l.A, l.B)
+}
+
+// satisfied reports whether a dependency literal currently holds in Γ.
+func (e *Engine) satisfied(l Literal) bool {
+	if l.Kind == FactMatch {
+		return e.Same(l.A, l.B)
+	}
+	return e.validated[mlKey{l.Model, l.A, l.B}]
+}
+
+// processEvent re-inspects only valuations involving the new facts.
+func (e *Engine) processEvent(ev event) {
+	switch ev.kind {
+	case FactMatch:
+		for _, br := range e.rules {
+			for _, p := range br.ids {
+				for _, pair := range ev.pairs {
+					e.seedIDPair(br, p, pair[0], pair[1])
+					e.seedIDPair(br, p, pair[1], pair[0])
+				}
+			}
+		}
+	case FactML:
+		for _, br := range e.rules {
+			for i := range br.mls {
+				m := &br.mls[i]
+				if !m.dynamic || m.pred.Model != ev.model {
+					continue
+				}
+				e.seedMLPair(br, m.pred, ev.a, ev.b)
+			}
+		}
+	}
+}
+
+// seedIDPair starts a restricted enumeration of br with the id predicate
+// p's variables bound to tuples x and y (both must be in the rule's scope).
+func (e *Engine) seedIDPair(br *boundRule, p *rule.Pred, x, y relation.TID) {
+	tx, ty := br.scope.Tuple(x), br.scope.Tuple(y)
+	if tx == nil || ty == nil {
+		return
+	}
+	if tx.Rel != br.r.Vars[p.V1].RelIdx || ty.Rel != br.r.Vars[p.V2].RelIdx {
+		return
+	}
+	seed := make([]*relation.Tuple, len(br.r.Vars))
+	seed[p.V1] = tx
+	if p.V1 != p.V2 {
+		seed[p.V2] = ty
+	} else if x != y {
+		return
+	}
+	e.enumerateRule(br, seed)
+}
+
+// seedMLPair starts a restricted enumeration of br with the ML predicate
+// p's variables bound to tuples a and b.
+func (e *Engine) seedMLPair(br *boundRule, p *rule.Pred, a, b relation.TID) {
+	ta, tb := br.scope.Tuple(a), br.scope.Tuple(b)
+	if ta == nil || tb == nil {
+		return
+	}
+	if ta.Rel != br.r.Vars[p.V1].RelIdx || tb.Rel != br.r.Vars[p.V2].RelIdx {
+		return
+	}
+	seed := make([]*relation.Tuple, len(br.r.Vars))
+	seed[p.V1] = ta
+	if p.V1 != p.V2 {
+		seed[p.V2] = tb
+	} else if a != b {
+		return
+	}
+	e.enumerateRule(br, seed)
+}
+
+// Run executes the full sequential algorithm Match and returns Γ.
+func (e *Engine) Run() *Gamma {
+	e.Deduce()
+	return e.Gamma()
+}
+
+// Gamma returns the deduced set Γ so far.
+func (e *Engine) Gamma() *Gamma {
+	g := &Gamma{
+		Matches:   append([]Fact(nil), e.gamma.Matches...),
+		Validated: append([]Fact(nil), e.gamma.Validated...),
+	}
+	return g
+}
+
+// Classes returns the non-singleton id-equivalence classes of hosted
+// tuples, i.e. the resolved entities.
+func (e *Engine) Classes() [][]relation.TID {
+	var out [][]relation.TID
+	for _, ms := range e.members {
+		if len(ms) > 1 {
+			out = append(out, append([]relation.TID(nil), ms...))
+		}
+	}
+	return out
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.DepsDropped = int64(e.H.Dropped())
+	counted := make(map[*relation.IndexSet]bool)
+	for _, br := range e.rules {
+		if !counted[br.ix] {
+			counted[br.ix] = true
+			s.IndexBuilds += br.ix.Built()
+		}
+	}
+	h, m := e.cache.Stats()
+	for _, br := range e.rules {
+		if br.cache != nil {
+			bh, bm := br.cache.Stats()
+			h += bh
+			m += bm
+		}
+	}
+	s.MLCacheHits, s.MLCacheMiss = h, m
+	return s
+}

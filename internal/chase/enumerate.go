@@ -1,0 +1,255 @@
+package chase
+
+import (
+	"dcer/internal/relation"
+	"dcer/internal/rule"
+)
+
+// enumerateRule enumerates the valuations of br over the dataset, starting
+// from an optional partial binding seed (nil-padded, indexed by variable
+// position). For every complete valuation that satisfies all static
+// predicates it calls emit, which derives the head or records a
+// dependency in H.
+func (e *Engine) enumerateRule(br *boundRule, seed []*relation.Tuple) {
+	binding := make([]*relation.Tuple, len(br.r.Vars))
+	nbound := 0
+	if seed != nil {
+		for v, t := range seed {
+			if t == nil {
+				continue
+			}
+			if !e.checkNewBinding(br, binding, v, t) {
+				return
+			}
+			binding[v] = t
+			nbound++
+		}
+	}
+	e.extend(br, binding, nbound)
+}
+
+// extend recursively binds the remaining variables, greedily choosing the
+// unbound variable with the fewest index-backed candidates (the per-rule
+// "query plan" of Section V-A built on the shared inverted indexes).
+func (e *Engine) extend(br *boundRule, binding []*relation.Tuple, nbound int) {
+	if nbound == len(binding) {
+		e.emit(br, binding)
+		return
+	}
+	bestVar := -1
+	var bestCands []*relation.Tuple
+	for v := range binding {
+		if binding[v] != nil {
+			continue
+		}
+		cands := e.candidatesFor(br, binding, v)
+		if bestVar < 0 || len(cands) < len(bestCands) {
+			bestVar, bestCands = v, cands
+		}
+		if len(bestCands) == 0 {
+			return
+		}
+	}
+	for _, t := range bestCands {
+		e.stats.Extensions++
+		if !e.checkNewBinding(br, binding, bestVar, t) {
+			continue
+		}
+		binding[bestVar] = t
+		e.extend(br, binding, nbound+1)
+		binding[bestVar] = nil
+	}
+}
+
+// candidatesFor returns the smallest available candidate list for binding
+// variable v: the tightest inverted-index posting list reachable through
+// an equality predicate to an already-bound variable, else a constant
+// predicate's posting list, else a full scan of v's relation.
+func (e *Engine) candidatesFor(br *boundRule, binding []*relation.Tuple, v int) []*relation.Tuple {
+	relIdx := br.r.Vars[v].RelIdx
+	var best []*relation.Tuple
+	found := false
+	consider := func(lst []*relation.Tuple) {
+		if !found || len(lst) < len(best) {
+			best, found = lst, true
+		}
+	}
+	for _, p := range br.eqs {
+		if p.V1 == v && binding[p.V2] != nil {
+			ix := e.indexFor(br, relIdx, p.A1)
+			consider(ix.Lookup(binding[p.V2].Values[p.A2]))
+		} else if p.V2 == v && binding[p.V1] != nil {
+			ix := e.indexFor(br, relIdx, p.A2)
+			consider(ix.Lookup(binding[p.V1].Values[p.A1]))
+		}
+	}
+	for _, p := range br.consts[v] {
+		ix := e.indexFor(br, relIdx, p.A1)
+		consider(ix.Lookup(p.Const))
+	}
+	if found {
+		return best
+	}
+	return br.scope.Relations[relIdx].Tuples
+}
+
+// checkNewBinding verifies every static predicate that becomes fully bound
+// when variable v is set to tuple t, and prunes valuations whose head is
+// already known. Dynamic predicates (id, and ML predicates whose model can
+// be validated by some rule head) are deferred to emit.
+func (e *Engine) checkNewBinding(br *boundRule, binding []*relation.Tuple, v int, t *relation.Tuple) bool {
+	for _, p := range br.consts[v] {
+		if !t.Values[p.A1].Equal(p.Const) {
+			return false
+		}
+	}
+	for _, p := range br.intra[v] {
+		if !t.Values[p.A1].Equal(t.Values[p.A2]) {
+			return false
+		}
+	}
+	for _, p := range br.eqs {
+		if p.V1 == v && binding[p.V2] != nil {
+			if !t.Values[p.A1].Equal(binding[p.V2].Values[p.A2]) {
+				return false
+			}
+		} else if p.V2 == v && binding[p.V1] != nil {
+			if !t.Values[p.A2].Equal(binding[p.V1].Values[p.A1]) {
+				return false
+			}
+		}
+	}
+	for i := range br.mls {
+		m := &br.mls[i]
+		if m.dynamic {
+			continue
+		}
+		p := m.pred
+		var ta, tb *relation.Tuple
+		switch {
+		case p.V1 == v && p.V2 == v:
+			ta, tb = t, t
+		case p.V1 == v && binding[p.V2] != nil:
+			ta, tb = t, binding[p.V2]
+		case p.V2 == v && binding[p.V1] != nil:
+			ta, tb = binding[p.V1], t
+		default:
+			continue
+		}
+		if !e.mlPredict(br, m.cl, gather(ta, p.A1Vec), gather(tb, p.A2Vec)) {
+			return false
+		}
+	}
+	// Prune subtrees whose head is already enforced.
+	h := &br.r.Head
+	switch h.Kind {
+	case rule.PredID:
+		var ta, tb *relation.Tuple
+		switch {
+		case h.V1 == v && h.V2 == v:
+			ta, tb = t, t
+		case h.V1 == v && binding[h.V2] != nil:
+			ta, tb = t, binding[h.V2]
+		case h.V2 == v && binding[h.V1] != nil:
+			ta, tb = binding[h.V1], t
+		}
+		if ta != nil && (ta == tb || e.Same(ta.GID, tb.GID)) {
+			return false
+		}
+	case rule.PredML:
+		var ta, tb *relation.Tuple
+		switch {
+		case h.V1 == v && h.V2 == v:
+			ta, tb = t, t
+		case h.V1 == v && binding[h.V2] != nil:
+			ta, tb = t, binding[h.V2]
+		case h.V2 == v && binding[h.V1] != nil:
+			ta, tb = binding[h.V1], t
+		}
+		if ta != nil && e.validated[mlKey{h.Model, ta.GID, tb.GID}] {
+			return false
+		}
+	}
+	return true
+}
+
+// gather collects an ML predicate's attribute-value vector from a tuple.
+func gather(t *relation.Tuple, attrs []int) []relation.Value {
+	vs := make([]relation.Value, len(attrs))
+	for i, a := range attrs {
+		vs[i] = t.Values[a]
+	}
+	return vs
+}
+
+// emit processes one complete valuation: if all dynamic predicates hold,
+// the head fact is derived; otherwise a dependency "unsatisfied literals →
+// head" is recorded in H (procedure Deduce of Section V-A).
+func (e *Engine) emit(br *boundRule, binding []*relation.Tuple) {
+	e.stats.Valuations++
+	h := &br.r.Head
+	var headLit Literal
+	if h.Kind == rule.PredID {
+		a, b := binding[h.V1], binding[h.V2]
+		if a == b || e.Same(a.GID, b.GID) {
+			return // already enforced
+		}
+		x, y := a.GID, b.GID
+		if y < x {
+			x, y = y, x
+		}
+		headLit = Literal{Kind: FactMatch, A: x, B: y}
+	} else {
+		a, b := binding[h.V1], binding[h.V2]
+		if a == b || e.validated[mlKey{h.Model, a.GID, b.GID}] {
+			return // trivial self prediction, or already validated
+		}
+		headLit = Literal{Kind: FactML, Model: h.Model, A: a.GID, B: b.GID}
+	}
+
+	var unsat []Literal
+	for _, p := range br.ids {
+		a, b := binding[p.V1], binding[p.V2]
+		if a == b || e.Same(a.GID, b.GID) {
+			continue
+		}
+		x, y := a.GID, b.GID
+		if y < x {
+			x, y = y, x
+		}
+		unsat = append(unsat, Literal{Kind: FactMatch, A: x, B: y})
+	}
+	for i := range br.mls {
+		m := &br.mls[i]
+		if !m.dynamic {
+			continue // already checked during binding
+		}
+		p := m.pred
+		a, b := binding[p.V1], binding[p.V2]
+		if e.validated[mlKey{p.Model, a.GID, b.GID}] {
+			continue
+		}
+		if e.mlPredict(br, m.cl, gather(a, p.A1Vec), gather(b, p.A2Vec)) {
+			continue
+		}
+		unsat = append(unsat, Literal{Kind: FactML, Model: p.Model, A: a.GID, B: b.GID})
+	}
+
+	if len(unsat) == 0 {
+		e.applyFact(literalFact(headLit))
+		return
+	}
+	sortLiterals(unsat)
+	if e.H.Add(&Dep{Body: unsat, Head: headLit}) {
+		e.stats.DepsRecorded++
+	}
+}
+
+func sortLiterals(ls []Literal) {
+	// Insertion sort by key: dependency bodies are tiny.
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].key() < ls[j-1].key(); j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package chase
+
+import (
+	"dcer/internal/relation"
+	"dcer/internal/unionfind"
+)
+
+// BuildEquivalence materializes the id-equivalence relation E_id induced
+// by a set of match facts over dataset d, including the implicit merges of
+// tuples sharing a literal id value within a relation (the same
+// initialization New performs). The parallel engine uses it to assemble
+// the global Γ from the workers' deltas.
+func BuildEquivalence(d *relation.Dataset, facts []Fact) *unionfind.UnionFind {
+	size := 0
+	for _, t := range d.Tuples() {
+		if int(t.GID)+1 > size {
+			size = int(t.GID) + 1
+		}
+	}
+	uf := unionfind.New(size)
+	for _, rel := range d.Relations {
+		byID := make(map[string]relation.TID)
+		for _, t := range rel.Tuples {
+			k := t.Values[rel.Schema.IDAttr].Key()
+			if first, ok := byID[k]; ok {
+				uf.Union(int(first), int(t.GID))
+			} else {
+				byID[k] = t.GID
+			}
+		}
+	}
+	for _, f := range facts {
+		if f.Kind == FactMatch {
+			uf.Union(int(f.A), int(f.B))
+		}
+	}
+	return uf
+}

@@ -1,0 +1,82 @@
+package chase
+
+import (
+	"fmt"
+
+	"dcer/internal/relation"
+)
+
+// InsertTuples implements the ΔD extension sketched in the paper's
+// Section V-A remark: given newly appended tuples, the engine inspects
+// only the valuations that involve a new tuple and recursively propagates
+// the consequences, instead of re-chasing from scratch.
+//
+// The tuples must already have been appended to the engine's dataset (via
+// Dataset.Append) after the engine was constructed. Only unscoped engines
+// (built with New, rules ranging over the whole dataset) support
+// incremental updates. The returned facts are the newly deduced matches
+// and validated predictions.
+func (e *Engine) InsertTuples(tuples []*relation.Tuple) ([]Fact, error) {
+	for _, br := range e.rules {
+		if br.scope != e.d {
+			return nil, fmt.Errorf("chase: InsertTuples requires an unscoped engine")
+		}
+	}
+	// Extend the id space and membership bookkeeping.
+	maxGID := -1
+	for _, t := range tuples {
+		if e.d.Tuple(t.GID) != t {
+			return nil, fmt.Errorf("chase: tuple %d is not part of this engine's dataset", t.GID)
+		}
+		if int(t.GID) > maxGID {
+			maxGID = int(t.GID)
+		}
+	}
+	e.uf.Grow(maxGID + 1)
+	for _, t := range tuples {
+		if _, ok := e.members[e.uf.Find(int(t.GID))]; !ok {
+			e.members[int(t.GID)] = []relation.TID{t.GID}
+		}
+	}
+	// Maintain every materialized index (shared and rule-private).
+	seenIx := make(map[*relation.IndexSet]bool)
+	for _, br := range e.rules {
+		if seenIx[br.ix] {
+			continue
+		}
+		seenIx[br.ix] = true
+		for _, t := range tuples {
+			br.ix.Add(t)
+		}
+	}
+	// A new tuple sharing a literal id value with an existing one denotes
+	// the same entity; merge through the regular fact path so dependent
+	// valuations are re-inspected.
+	e.delta = e.delta[:0]
+	for _, t := range tuples {
+		s := e.d.SchemaOf(t)
+		idVal := t.Values[s.IDAttr]
+		for _, other := range e.d.Relations[t.Rel].Tuples {
+			if other != t && other.Values[s.IDAttr].Equal(idVal) {
+				e.applyFact(MatchFact(other.GID, t.GID))
+				break
+			}
+		}
+	}
+	// Update-driven pass: only valuations involving a new tuple are new,
+	// so seed each rule variable with each compatible new tuple.
+	for _, br := range e.rules {
+		for vi, v := range br.r.Vars {
+			for _, t := range tuples {
+				if t.Rel != v.RelIdx {
+					continue
+				}
+				seed := make([]*relation.Tuple, len(br.r.Vars))
+				seed[vi] = t
+				e.enumerateRule(br, seed)
+			}
+		}
+	}
+	e.drain()
+	return append([]Fact(nil), e.delta...), nil
+}

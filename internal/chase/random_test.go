@@ -1,0 +1,150 @@
+package chase_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dcer/internal/chase"
+	"dcer/internal/complexity"
+	"dcer/internal/dmatch"
+	"dcer/internal/mlpred"
+	"dcer/internal/relation"
+	"dcer/internal/rule"
+)
+
+// randomInstance builds a small random dataset over a fixed 3-relation
+// schema with tiny value domains (to force collisions) and a random rule
+// set mixing equality, constant, id and ML predicates — deep, collective,
+// or both.
+func randomInstance(seed int64) (*relation.Dataset, []*rule.Rule, error) {
+	rng := rand.New(rand.NewSource(seed))
+	str := relation.TypeString
+	a := func(n string) relation.Attribute { return relation.Attribute{Name: n, Type: str} }
+	db := relation.MustDatabase(
+		relation.MustSchema("P", "pk", a("pk"), a("x"), a("y"), a("ref")),
+		relation.MustSchema("Q", "qk", a("qk"), a("x"), a("y"), a("ref")),
+		relation.MustSchema("R", "rk", a("rk"), a("x"), a("y"), a("ref")),
+	)
+	d := relation.NewDataset(db)
+	names := []string{"P", "Q", "R"}
+	vals := []string{"u", "v", "w"} // tiny domain: plenty of collisions
+	size := 6 + rng.Intn(10)
+	for _, rel := range names {
+		for i := 0; i < size; i++ {
+			d.MustAppend(rel,
+				relation.S(fmt.Sprintf("%s%d", rel, i)),
+				relation.S(vals[rng.Intn(len(vals))]),
+				relation.S(vals[rng.Intn(len(vals))]),
+				relation.S(fmt.Sprintf("%s%d", names[rng.Intn(3)], rng.Intn(size))))
+		}
+	}
+	attrs := []string{"x", "y"}
+	var rulesText string
+	numRules := 2 + rng.Intn(4)
+	for ri := 0; ri < numRules; ri++ {
+		relA := names[rng.Intn(3)]
+		relB := names[rng.Intn(3)]
+		body := ""
+		// 1-2 equality predicates between a and b.
+		for k := 0; k <= rng.Intn(2); k++ {
+			body += fmt.Sprintf(" ^ a.%s = b.%s", attrs[rng.Intn(2)], attrs[rng.Intn(2)])
+		}
+		extra := ""
+		switch rng.Intn(4) {
+		case 0: // constant predicate
+			body += fmt.Sprintf(" ^ a.x = %q", vals[rng.Intn(len(vals))])
+		case 1: // ML predicate (threshold similarity on small strings)
+			body += " ^ lev080(a.y, b.y)"
+		case 2: // deep: id predicate over a third pair of variables
+			relC := names[rng.Intn(3)]
+			extra = fmt.Sprintf(" ^ %s(c) ^ %s(e) ^ a.ref = c.%sk ^ b.ref = e.%sk ^ c.id = e.id",
+				relC, relC, lower(relC), lower(relC))
+		case 3: // collective join through a third variable
+			relC := names[rng.Intn(3)]
+			extra = fmt.Sprintf(" ^ %s(c) ^ a.ref = c.%sk ^ c.x = b.y", relC, lower(relC))
+		}
+		rulesText += fmt.Sprintf("r%d: %s(a) ^ %s(b)%s%s -> a.id = b.id\n",
+			ri, relA, relB, body, extra)
+	}
+	rules, err := rule.ParseResolved(rulesText, db)
+	return d, rules, err
+}
+
+func lower(s string) string { return string(s[0] + 32) }
+
+// TestEngineMatchesNaiveOracle cross-validates the optimized engine
+// against the brute-force reference chase on many random instances: the
+// final equivalence relations must be identical.
+func TestEngineMatchesNaiveOracle(t *testing.T) {
+	reg := mlpred.DefaultRegistry()
+	for seed := int64(0); seed < 60; seed++ {
+		d, rules, err := randomInstance(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		naive, err := complexity.NaiveChase(d, rules, reg)
+		if err != nil {
+			t.Fatalf("seed %d: naive: %v", seed, err)
+		}
+		for _, opts := range []chase.Options{
+			{ShareIndexes: true},
+			{ShareIndexes: false},
+			{ShareIndexes: true, MaxDeps: 1},
+			{ShareIndexes: true, MaxDeps: -1},
+		} {
+			eng, err := chase.New(d, rules, reg, opts)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			eng.Run()
+			for i := 0; i < d.Size(); i++ {
+				for j := i + 1; j < d.Size(); j++ {
+					a, b := relation.TID(i), relation.TID(j)
+					if eng.Same(a, b) != naive.Same(a, b) {
+						t.Fatalf("seed %d opts %+v: engine and oracle disagree on (%d,%d): engine=%v oracle=%v\nrules:\n%s",
+							seed, opts, i, j, eng.Same(a, b), naive.Same(a, b), rulesOf(rules))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesNaiveOracle extends the cross-validation to the
+// parallel BSP engine with random worker counts.
+func TestParallelMatchesNaiveOracle(t *testing.T) {
+	reg := mlpred.DefaultRegistry()
+	for seed := int64(100); seed < 130; seed++ {
+		d, rules, err := randomInstance(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		naive, err := complexity.NaiveChase(d, rules, reg)
+		if err != nil {
+			t.Fatalf("seed %d: naive: %v", seed, err)
+		}
+		workers := 2 + int(seed%5)
+		res, err := dmatch.Run(d, rules, reg, dmatch.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("seed %d: dmatch: %v", seed, err)
+		}
+		for i := 0; i < d.Size(); i++ {
+			for j := i + 1; j < d.Size(); j++ {
+				a, b := relation.TID(i), relation.TID(j)
+				if res.Same(a, b) != naive.Same(a, b) {
+					t.Fatalf("seed %d n=%d: parallel and oracle disagree on (%d,%d)\nrules:\n%s",
+						seed, workers, i, j, rulesOf(rules))
+				}
+			}
+		}
+	}
+}
+
+func rulesOf(rules []*rule.Rule) string {
+	out := ""
+	for _, r := range rules {
+		out += r.String() + "\n"
+	}
+	return out
+}

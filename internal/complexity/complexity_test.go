@@ -1,0 +1,185 @@
+package complexity_test
+
+import (
+	"testing"
+
+	"dcer/internal/chase"
+	"dcer/internal/complexity"
+	"dcer/internal/datagen"
+	"dcer/internal/mlpred"
+	"dcer/internal/relation"
+	"dcer/internal/rule"
+)
+
+// TestNaiveChaseMatchesEngine cross-validates the brute-force reference
+// chase against the optimized engine on the paper's running example.
+func TestNaiveChaseMatchesEngine(t *testing.T) {
+	d, l := datagen.PaperExample()
+	rules, err := datagen.PaperRules(d.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := complexity.NaiveChase(d, rules, mlpred.DefaultRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chase.New(d, rules, mlpred.DefaultRegistry(), chase.Options{ShareIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	for _, a := range []string{"t1", "t2", "t3", "t4", "t5", "t9", "t10", "t12", "t13"} {
+		for _, b := range []string{"t1", "t2", "t3", "t4", "t5", "t9", "t10", "t12", "t13"} {
+			if naive.Same(l[a].GID, l[b].GID) != eng.Same(l[a].GID, l[b].GID) {
+				t.Errorf("naive and engine disagree on (%s, %s)", a, b)
+			}
+		}
+	}
+}
+
+// TestProofGraphRoundTrip extracts the proof of the deep match (t1, t3)
+// and checks the independent PTIME verifier accepts it, and that the proof
+// stays within the small-model bound of Theorem 2.
+func TestProofGraphRoundTrip(t *testing.T) {
+	d, l := datagen.PaperExample()
+	rules, err := datagen.PaperRules(d.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := complexity.NaiveChase(d, rules, mlpred.DefaultRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := [2]relation.TID{l["t1"].GID, l["t3"].GID}
+	proof := complexity.ProofOf(res, target)
+	if proof == nil {
+		t.Fatal("no proof extracted for (t1, t3)")
+	}
+	bound := complexity.Bound(len(rules), rule.MaxVars(rules), d.Size())
+	if len(proof) > bound {
+		t.Errorf("proof size %d exceeds bound %d", len(proof), bound)
+	}
+	ok, err := complexity.VerifyProof(d, rules, mlpred.DefaultRegistry(), proof, target)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !ok {
+		t.Error("verifier rejected a valid proof")
+	}
+	// The proof must be genuinely deep: it needs the product and shop
+	// matches before the customer match.
+	var sawProduct, sawShop bool
+	for _, f := range proof {
+		switch f.Rule {
+		case "phi2":
+			sawProduct = true
+		case "phi3":
+			sawShop = true
+		}
+	}
+	if !sawProduct || !sawShop {
+		t.Errorf("proof lacks the prerequisite steps (product=%v shop=%v)", sawProduct, sawShop)
+	}
+}
+
+// TestVerifyProofRejectsBogus checks the verifier rejects a fabricated
+// step whose precondition does not hold.
+func TestVerifyProofRejectsBogus(t *testing.T) {
+	d, l := datagen.PaperExample()
+	rules, err := datagen.PaperRules(d.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim phi1 matches t1 and t4 (different name/phone/addr).
+	bogus := []complexity.Fact{{
+		IsMatch:   true,
+		A:         l["t1"].GID,
+		B:         l["t4"].GID,
+		Rule:      "phi1",
+		Valuation: []relation.TID{l["t1"].GID, l["t4"].GID},
+	}}
+	ok, err := complexity.VerifyProof(d, rules, mlpred.DefaultRegistry(), bogus,
+		[2]relation.TID{l["t1"].GID, l["t4"].GID})
+	if err == nil && ok {
+		t.Error("verifier accepted a bogus proof")
+	}
+}
+
+// TestVerifyProofRejectsWrongOrder checks topological validity: a deep
+// step placed before its prerequisites must fail.
+func TestVerifyProofRejectsWrongOrder(t *testing.T) {
+	d, l := datagen.PaperExample()
+	rules, err := datagen.PaperRules(d.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := complexity.NaiveChase(d, rules, mlpred.DefaultRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := [2]relation.TID{l["t1"].GID, l["t3"].GID}
+	proof := complexity.ProofOf(res, target)
+	if len(proof) < 2 {
+		t.Skip("proof too short to reorder")
+	}
+	// Move the last (deepest) step to the front.
+	reordered := append([]complexity.Fact{proof[len(proof)-1]}, proof[:len(proof)-1]...)
+	ok, err := complexity.VerifyProof(d, rules, mlpred.DefaultRegistry(), reordered, target)
+	if err == nil && ok {
+		t.Error("verifier accepted an out-of-order proof")
+	}
+}
+
+// TestAcyclicSolver exercises Theorem 3: φ1 (acyclic) is solvable, and the
+// solver refuses rule sets containing a cyclic precondition.
+func TestAcyclicSolver(t *testing.T) {
+	d, l := datagen.PaperExample()
+	rules, err := datagen.PaperRules(d.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phi1 []*rule.Rule
+	for _, r := range rules {
+		if r.Name == "phi1" {
+			phi1 = append(phi1, r)
+		}
+	}
+	res, err := complexity.SolveAcyclic(d, phi1, mlpred.DefaultRegistry())
+	if err != nil {
+		t.Fatalf("phi1 should be acyclic: %v", err)
+	}
+	if !res.Same(l["t2"].GID, l["t3"].GID) {
+		t.Error("acyclic solver missed (t2, t3)")
+	}
+
+	// A genuinely cyclic precondition: a triangle of equalities over
+	// three relations.
+	db := relation.MustDatabase(
+		relation.MustSchema("A", "x", relation.Attribute{Name: "x", Type: relation.TypeString}, relation.Attribute{Name: "y", Type: relation.TypeString}),
+		relation.MustSchema("B", "x", relation.Attribute{Name: "x", Type: relation.TypeString}, relation.Attribute{Name: "y", Type: relation.TypeString}),
+		relation.MustSchema("C", "x", relation.Attribute{Name: "x", Type: relation.TypeString}, relation.Attribute{Name: "y", Type: relation.TypeString}),
+	)
+	cyc, err := rule.ParseResolved(`
+cy: A(a) ^ B(b) ^ C(c) ^ A(a2) ^ a.x = b.x ^ b.y = c.x ^ c.y = a.y ^ a2.x = a.x -> a.id = a2.id
+`, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := rule.IsAcyclic(cyc[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("triangle rule reported acyclic")
+	}
+	if _, err := complexity.SolveAcyclic(relation.NewDataset(db), cyc, mlpred.DefaultRegistry()); err == nil {
+		t.Error("SolveAcyclic accepted a cyclic rule")
+	}
+}
+
+// TestBound sanity-checks the bound formula.
+func TestBound(t *testing.T) {
+	if got := complexity.Bound(10, 4, 100); got != 10*5*100*100 {
+		t.Errorf("Bound = %d", got)
+	}
+}

@@ -1,0 +1,105 @@
+package datagen
+
+import (
+	"fmt"
+
+	"dcer/internal/relation"
+)
+
+// DenormalizeTPCH reproduces the universal-relation setup of the paper's
+// Exp-1(5): it joins orders ⋈ customer ⋈ nation and the order's line items
+// ⋈ part through their foreign keys into one wide relation TPCH_d, so that
+// single-table matchers can be run "collectively" without collective
+// rules. The returned truth contains the order-duplicate pairs mapped to
+// the joined rows (one row per line item; an order pair counts as
+// recovered if any of its row pairs is found).
+//
+// The join preserves the paper's observations: denormalizing is expensive
+// (row count multiplies), and it is impossible to know statically how many
+// joins deep ER would have needed — the deep chains in this generator need
+// four, one more than TPCH_d materializes.
+func DenormalizeTPCH(g *Generated) (*relation.Dataset, [][2]relation.TID, error) {
+	src := g.D
+	str := relation.TypeString
+	fl := relation.TypeFloat
+	a := func(n string, t relation.Type) relation.Attribute { return relation.Attribute{Name: n, Type: t} }
+	db, err := relation.NewDatabase(relation.MustSchema("tpchd", "rowid",
+		a("rowid", str),
+		a("orderkey", str), a("totalprice", fl), a("orderdate", str), a("clerk", str),
+		a("custname", str), a("custphone", str), a("custaddr", str),
+		a("nationname", str),
+		a("partname", str), a("linenumber", str), a("quantity", str),
+	))
+	if err != nil {
+		return nil, nil, err
+	}
+	d := relation.NewDataset(db)
+
+	// Hash joins over the foreign keys.
+	custByKey := map[string]*relation.Tuple{}
+	for _, c := range src.Relation("customer").Tuples {
+		custByKey[c.Values[0].Str] = c
+	}
+	nationByKey := map[string]*relation.Tuple{}
+	for _, n := range src.Relation("nation").Tuples {
+		nationByKey[n.Values[0].Str] = n
+	}
+	partByKey := map[string]*relation.Tuple{}
+	for _, p := range src.Relation("part").Tuples {
+		partByKey[p.Values[0].Str] = p
+	}
+	linesByOrder := map[string][]*relation.Tuple{}
+	for _, l := range src.Relation("lineitem").Tuples {
+		linesByOrder[l.Values[1].Str] = append(linesByOrder[l.Values[1].Str], l)
+	}
+
+	// One joined row per (order, lineitem); remember which source order
+	// each row came from so the truth pairs can be mapped.
+	rowsOfOrder := map[relation.TID][]relation.TID{}
+	rowCount := 0
+	for _, o := range src.Relation("orders").Tuples {
+		c := custByKey[o.Values[1].Str]
+		if c == nil {
+			continue
+		}
+		n := nationByKey[c.Values[3].Str]
+		if n == nil {
+			continue
+		}
+		for _, l := range linesByOrder[o.Values[0].Str] {
+			p := partByKey[l.Values[2].Str]
+			if p == nil {
+				continue
+			}
+			row, err := d.Append("tpchd",
+				relation.S(fmt.Sprintf("r%d", rowCount)),
+				o.Values[0], o.Values[3], o.Values[4], o.Values[6],
+				c.Values[1], c.Values[4], c.Values[2],
+				n.Values[1],
+				p.Values[1], relation.S(l.Values[4].String()), relation.S(l.Values[5].String()),
+			)
+			if err != nil {
+				return nil, nil, err
+			}
+			rowCount++
+			rowsOfOrder[o.GID] = append(rowsOfOrder[o.GID], row.GID)
+		}
+	}
+
+	// Map the order-duplicate ground truth onto joined-row pairs: for a
+	// true order pair, pair up their rows positionally (same line number
+	// ordering by construction).
+	var truth [][2]relation.TID
+	orderRel := src.DB.SchemaIndex("orders")
+	for _, pr := range g.Truth {
+		t := src.Tuple(pr[0])
+		if t == nil || t.Rel != orderRel {
+			continue
+		}
+		ra, rb := rowsOfOrder[pr[0]], rowsOfOrder[pr[1]]
+		for i := 0; i < len(ra) && i < len(rb); i++ {
+			truth = append(truth, [2]relation.TID{ra[i], rb[i]})
+		}
+	}
+	return d, truth, nil
+}

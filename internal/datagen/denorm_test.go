@@ -1,0 +1,45 @@
+package datagen_test
+
+import (
+	"testing"
+
+	"dcer/internal/baselines"
+	"dcer/internal/datagen"
+	"dcer/internal/eval"
+)
+
+// TestDenormalizeTPCH checks the universal-relation join: row counts,
+// truth mapping, and that a single-table matcher on TPCH_d underperforms
+// the deep engine's order accuracy (the Exp-1(5) story).
+func TestDenormalizeTPCH(t *testing.T) {
+	g := datagen.TPCH(datagen.TPCHOptions{Scale: 0.08, Dup: 0.4, Seed: 9})
+	d, truth, err := datagen.DenormalizeTPCH(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per (order, lineitem) incl. duplicates: at least as many
+	// rows as line items that belong to resolvable orders.
+	if d.Size() == 0 {
+		t.Fatal("empty join")
+	}
+	lineCount := len(g.D.Relation("lineitem").Tuples)
+	if d.Size() < lineCount/2 {
+		t.Errorf("join produced %d rows for %d line items", d.Size(), lineCount)
+	}
+	if len(truth) == 0 {
+		t.Fatal("no truth pairs mapped onto the join")
+	}
+	// Every mapped pair references rows of the joined dataset.
+	for _, p := range truth {
+		if d.Tuple(p[0]) == nil || d.Tuple(p[1]) == nil {
+			t.Fatalf("truth pair (%d,%d) references missing rows", p[0], p[1])
+		}
+	}
+	// A single-table matcher on the universal relation stays well below
+	// the deep engine's ~0.9 order accuracy.
+	m := eval.EvaluatePairs((&baselines.DisDedupLike{}).Match(d), eval.NewTruth(truth))
+	t.Logf("DisDedup on TPCH_d: %s", m)
+	if m.F1 > 0.8 {
+		t.Errorf("universal-relation matcher F=%.3f suspiciously high", m.F1)
+	}
+}

@@ -1,0 +1,319 @@
+package datagen
+
+import (
+	"fmt"
+
+	"dcer/internal/relation"
+)
+
+// LabeledPair is one labeled tuple pair for ML training and evaluation.
+type LabeledPair struct {
+	A, B  relation.TID
+	Match bool
+}
+
+// Labeled is a generated dataset with labeled pairs (positives = the
+// planted duplicates, negatives = sampled non-matching pairs, including
+// hard negatives sharing blocking attributes). These are the stand-ins for
+// the paper's labeled benchmarks (IMDB, ACM-DBLP, Movie, Songs).
+type Labeled struct {
+	Generated
+	LabeledPairs []LabeledPair
+}
+
+var (
+	titleAdjs  = []string{"Silent", "Golden", "Broken", "Hidden", "Crimson", "Midnight", "Eternal", "Savage", "Gentle", "Burning", "Frozen", "Distant", "Electric", "Wicked", "Velvet", "Hollow"}
+	titleNouns = []string{"River", "Empire", "Garden", "Shadow", "Horizon", "Kingdom", "Voyage", "Summer", "Letter", "Promise", "Station", "Harvest", "Mirror", "Island", "Thunder", "Memory"}
+	firstNames = []string{"James", "Mary", "Robert", "Linda", "Michael", "Patricia", "David", "Jennifer", "William", "Elizabeth", "Richard", "Susan", "Thomas", "Jessica", "Charles", "Sarah", "Anil", "Wei", "Yuki", "Carlos"}
+	lastNames  = []string{"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez", "Martinez", "Wilson", "Anderson", "Taylor", "Thomas", "Moore", "Jackson", "Kumar", "Chen", "Tanaka", "Lopez"}
+	venues     = []string{"SIGMOD", "VLDB", "ICDE", "KDD", "WWW", "CIKM", "EDBT", "ICDM"}
+	genres     = []string{"drama", "comedy", "thriller", "romance", "action", "horror", "sci-fi", "documentary"}
+)
+
+func (n *Noiser) title() string {
+	return fmt.Sprintf("The %s %s", n.Pick(titleAdjs), n.Pick(titleNouns))
+}
+
+func (n *Noiser) person() string {
+	return n.Pick(firstNames) + " " + n.Pick(lastNames)
+}
+
+// sampleNegatives appends, for each planted positive, negRatio random
+// same-relation non-matching pairs.
+func sampleNegatives(n *Noiser, lab *Labeled, pool []*relation.Tuple, negRatio int) {
+	isDup := make(map[[2]relation.TID]bool)
+	for _, p := range lab.Truth {
+		a, b := p[0], p[1]
+		if b < a {
+			a, b = b, a
+		}
+		isDup[[2]relation.TID{a, b}] = true
+	}
+	want := len(lab.Truth) * negRatio
+	for tries := 0; tries < want*20 && want > 0; tries++ {
+		x := pool[n.Intn(len(pool))]
+		y := pool[n.Intn(len(pool))]
+		if x.GID == y.GID {
+			continue
+		}
+		a, b := x.GID, y.GID
+		if b < a {
+			a, b = b, a
+		}
+		if isDup[[2]relation.TID{a, b}] {
+			continue
+		}
+		lab.LabeledPairs = append(lab.LabeledPairs, LabeledPair{A: a, B: b, Match: false})
+		want--
+	}
+	for _, p := range lab.Truth {
+		lab.LabeledPairs = append(lab.LabeledPairs, LabeledPair{A: p[0], B: p[1], Match: true})
+	}
+}
+
+// IMDBLike generates a single-table movie dataset (the IMDB stand-in):
+// movies with typo-noised duplicate records.
+func IMDBLike(numMovies int, dup float64, seed int64) *Labeled {
+	str, intT := relation.TypeString, relation.TypeInt
+	db := relation.MustDatabase(relation.MustSchema("movie", "mid",
+		relation.Attribute{Name: "mid", Type: str},
+		relation.Attribute{Name: "title", Type: str},
+		relation.Attribute{Name: "year", Type: intT},
+		relation.Attribute{Name: "director", Type: str},
+		relation.Attribute{Name: "genre", Type: str},
+	))
+	d := relation.NewDataset(db)
+	n := NewNoiser(seed + 3)
+	lab := &Labeled{Generated: Generated{D: d, RulesText: `
+im: movie(a) ^ movie(b) ^ a.year = b.year ^ jaro085(a.title, b.title) ^ lev080(a.director, b.director) -> a.id = b.id
+`}}
+	s, i := relation.S, relation.I
+	movies := make([]*relation.Tuple, numMovies)
+	for mi := 0; mi < numMovies; mi++ {
+		movies[mi] = d.MustAppend("movie",
+			s(fmt.Sprintf("m%d", mi)),
+			s(fmt.Sprintf("%s %d", n.title(), mi)),
+			i(int64(1960+mi%60)),
+			s(n.person()),
+			s(n.Pick(genres)))
+	}
+	for _, mi := range n.Perm(numMovies)[:int(dup*float64(numMovies))] {
+		orig := movies[mi]
+		dupT := d.MustAppend("movie",
+			s(orig.Values[0].Str+"d"),
+			s(n.Typo(orig.Values[1].Str, 1)),
+			orig.Values[2],
+			s(n.MaybeTypo(orig.Values[3].Str, 0.5)),
+			orig.Values[4])
+		lab.Truth = append(lab.Truth, [2]relation.TID{orig.GID, dupT.GID})
+	}
+	sampleNegatives(n, lab, d.Relation("movie").Tuples, 3)
+	return lab
+}
+
+// DBLPLike generates a two-source bibliography (the ACM-DBLP stand-in):
+// publications whose cross-source duplicates drift in venue naming, title
+// typos and author abbreviation.
+func DBLPLike(numPubs int, dup float64, seed int64) *Labeled {
+	str, intT := relation.TypeString, relation.TypeInt
+	db := relation.MustDatabase(relation.MustSchema("pub", "pid",
+		relation.Attribute{Name: "pid", Type: str},
+		relation.Attribute{Name: "title", Type: str},
+		relation.Attribute{Name: "authors", Type: str},
+		relation.Attribute{Name: "venue", Type: str},
+		relation.Attribute{Name: "year", Type: intT},
+	))
+	d := relation.NewDataset(db)
+	n := NewNoiser(seed + 7)
+	lab := &Labeled{Generated: Generated{D: d, RulesText: `
+db: pub(a) ^ pub(b) ^ a.year = b.year ^ jaccard05(a.title, b.title) ^ surnames06(a.authors, b.authors) -> a.id = b.id
+`}}
+	s, i := relation.S, relation.I
+	pubs := make([]*relation.Tuple, numPubs)
+	for pi := 0; pi < numPubs; pi++ {
+		authors := n.person() + ", " + n.person()
+		pubs[pi] = d.MustAppend("pub",
+			s(fmt.Sprintf("acm%d", pi)),
+			s(fmt.Sprintf("%s of %s systems %d", n.Pick(titleAdjs), n.Pick(titleNouns), pi)),
+			s(authors),
+			s(n.Pick(venues)),
+			i(int64(1995+pi%28)))
+	}
+	for _, pi := range n.Perm(numPubs)[:int(dup*float64(numPubs))] {
+		orig := pubs[pi]
+		// Abbreviate the first author and drift the venue name.
+		var abbrev string
+		for k, name := range splitComma(orig.Values[2].Str) {
+			if k > 0 {
+				abbrev += ", "
+			} else {
+				name = n.Abbrev(name)
+			}
+			abbrev += name
+		}
+		dupT := d.MustAppend("pub",
+			s("dblp"+orig.Values[0].Str[3:]),
+			s(n.Typo(orig.Values[1].Str, 1)),
+			s(abbrev),
+			s(orig.Values[3].Str+" Conf."),
+			orig.Values[4])
+		lab.Truth = append(lab.Truth, [2]relation.TID{orig.GID, dupT.GID})
+	}
+	sampleNegatives(n, lab, d.Relation("pub").Tuples, 3)
+	return lab
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			part := s[start:i]
+			for len(part) > 0 && part[0] == ' ' {
+				part = part[1:]
+			}
+			if part != "" {
+				out = append(out, part)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// MovieLike generates the 5-table, 22-attribute Movie stand-in: movies
+// referencing directors and studios, with castings of actors. Duplicate
+// movies reference duplicate directors, so matching them is collective and
+// deep (the director entity must be resolved first).
+func MovieLike(numMovies int, dup float64, seed int64) *Labeled {
+	str, intT := relation.TypeString, relation.TypeInt
+	a := func(nm string, t relation.Type) relation.Attribute { return relation.Attribute{Name: nm, Type: t} }
+	db := relation.MustDatabase(
+		relation.MustSchema("movie", "mid",
+			a("mid", str), a("title", str), a("year", intT), a("runtime", intT),
+			a("directorkey", str), a("studiokey", str)),
+		relation.MustSchema("director", "dkey",
+			a("dkey", str), a("dname", str), a("dcountry", str), a("born", intT)),
+		relation.MustSchema("studio", "skey",
+			a("skey", str), a("stname", str), a("city", str), a("founded", intT)),
+		relation.MustSchema("actor", "akey",
+			a("akey", str), a("aname", str), a("acountry", str)),
+		relation.MustSchema("casting", "castkey",
+			a("castkey", str), a("movkey", str), a("actkey", str), a("role", str), a("billing", intT)),
+	)
+	d := relation.NewDataset(db)
+	n := NewNoiser(seed + 11)
+	lab := &Labeled{Generated: Generated{D: d, RulesText: `
+mvd: director(x) ^ director(y) ^ x.dcountry = y.dcountry ^ x.born = y.born ^ lev080(x.dname, y.dname) -> x.id = y.id
+mvm: movie(a) ^ movie(b) ^ director(x) ^ director(y) ^ a.directorkey = x.dkey ^
+     b.directorkey = y.dkey ^ x.id = y.id ^ a.year = b.year ^ jaro085(a.title, b.title) -> a.id = b.id
+`}}
+	s, i := relation.S, relation.I
+	countries := []string{"USA", "UK", "France", "Japan", "India", "Italy", "Korea", "Mexico"}
+	numDirectors := numMovies/4 + 1
+	directors := make([]*relation.Tuple, numDirectors)
+	for di := 0; di < numDirectors; di++ {
+		directors[di] = d.MustAppend("director",
+			s(fmt.Sprintf("d%d", di)), s(fmt.Sprintf("%s %d", n.person(), di)),
+			s(countries[di%len(countries)]), i(int64(1920+di%70)))
+	}
+	numStudios := 20
+	for si := 0; si < numStudios; si++ {
+		d.MustAppend("studio",
+			s(fmt.Sprintf("s%d", si)), s(fmt.Sprintf("Studio %s", n.Pick(titleNouns))),
+			s("Hollywood"), i(int64(1910+si*5)))
+	}
+	numActors := numMovies / 2
+	for ai := 0; ai < numActors; ai++ {
+		d.MustAppend("actor", s(fmt.Sprintf("a%d", ai)), s(n.person()), s(countries[ai%len(countries)]))
+	}
+	movies := make([]*relation.Tuple, numMovies)
+	castCount := 0
+	for mi := 0; mi < numMovies; mi++ {
+		di := mi % numDirectors
+		movies[mi] = d.MustAppend("movie",
+			s(fmt.Sprintf("m%d", mi)),
+			s(fmt.Sprintf("%s %d", n.title(), mi)),
+			i(int64(1960+mi%60)),
+			i(int64(80+mi%80)),
+			s(fmt.Sprintf("d%d", di)),
+			s(fmt.Sprintf("s%d", mi%numStudios)))
+		for k := 0; k < 2 && numActors > 0; k++ {
+			d.MustAppend("casting",
+				s(fmt.Sprintf("c%d", castCount)),
+				s(fmt.Sprintf("m%d", mi)),
+				s(fmt.Sprintf("a%d", n.Intn(numActors))),
+				s([]string{"lead", "support"}[k%2]),
+				i(int64(k+1)))
+			castCount++
+		}
+	}
+	dupDirOf := make(map[int]string)
+	dupDirFor := func(di int) string {
+		if dk, ok := dupDirOf[di]; ok {
+			return dk
+		}
+		orig := directors[di]
+		dk := orig.Values[0].Str + "d"
+		dupT := d.MustAppend("director",
+			s(dk), s(n.Typo(orig.Values[1].Str, 1)), orig.Values[2], orig.Values[3])
+		lab.Truth = append(lab.Truth, [2]relation.TID{orig.GID, dupT.GID})
+		dupDirOf[di] = dk
+		return dk
+	}
+	for _, mi := range n.Perm(numMovies)[:int(dup*float64(numMovies))] {
+		orig := movies[mi]
+		dupT := d.MustAppend("movie",
+			s(orig.Values[0].Str+"d"),
+			s(n.Typo(orig.Values[1].Str, 1)),
+			orig.Values[2],
+			orig.Values[3],
+			s(dupDirFor(mi%numDirectors)),
+			orig.Values[5])
+		lab.Truth = append(lab.Truth, [2]relation.TID{orig.GID, dupT.GID})
+	}
+	sampleNegatives(n, lab, d.Relation("movie").Tuples, 3)
+	return lab
+}
+
+// SongsLike generates the single-table Songs stand-in (8 attributes).
+func SongsLike(numSongs int, dup float64, seed int64) *Labeled {
+	str, intT := relation.TypeString, relation.TypeInt
+	a := func(nm string, t relation.Type) relation.Attribute { return relation.Attribute{Name: nm, Type: t} }
+	db := relation.MustDatabase(relation.MustSchema("song", "sid",
+		a("sid", str), a("title", str), a("artist", str), a("album", str),
+		a("year", intT), a("duration", intT), a("genre", str), a("label", str)))
+	d := relation.NewDataset(db)
+	n := NewNoiser(seed + 13)
+	lab := &Labeled{Generated: Generated{D: d, RulesText: `
+sg: song(a) ^ song(b) ^ a.year = b.year ^ a.duration = b.duration ^ jaro085(a.title, b.title) ^ lev080(a.artist, b.artist) -> a.id = b.id
+`}}
+	s, i := relation.S, relation.I
+	songs := make([]*relation.Tuple, numSongs)
+	for si := 0; si < numSongs; si++ {
+		songs[si] = d.MustAppend("song",
+			s(fmt.Sprintf("s%d", si)),
+			s(fmt.Sprintf("%s %s song %d", n.Pick(titleAdjs), n.Pick(titleNouns), si)),
+			s(n.person()),
+			s(fmt.Sprintf("Album %s", n.Pick(titleNouns))),
+			i(int64(1970+si%54)),
+			i(int64(120+n.Intn(300))),
+			s(n.Pick(genres)),
+			s(fmt.Sprintf("Label%d", si%12)))
+	}
+	for _, si := range n.Perm(numSongs)[:int(dup*float64(numSongs))] {
+		orig := songs[si]
+		dupT := d.MustAppend("song",
+			s(orig.Values[0].Str+"d"),
+			s(n.Typo(orig.Values[1].Str, 1)),
+			s(n.MaybeTypo(orig.Values[2].Str, 0.5)),
+			s(n.Drift(orig.Values[3].Str)),
+			orig.Values[4],
+			orig.Values[5],
+			orig.Values[6],
+			orig.Values[7])
+		lab.Truth = append(lab.Truth, [2]relation.TID{orig.GID, dupT.GID})
+	}
+	sampleNegatives(n, lab, d.Relation("song").Tuples, 3)
+	return lab
+}

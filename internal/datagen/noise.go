@@ -1,0 +1,116 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Noiser produces the realistic corruptions applied to planted duplicates:
+// typos (substitution, transposition, deletion, insertion), token
+// abbreviation, case drift and format drift. Deterministic for a fixed
+// seed.
+type Noiser struct {
+	rng *rand.Rand
+}
+
+// NewNoiser creates a noiser with the given seed.
+func NewNoiser(seed int64) *Noiser {
+	return &Noiser{rng: rand.New(rand.NewSource(seed))}
+}
+
+const noiseLetters = "abcdefghijklmnopqrstuvwxyz"
+
+// Typo applies k random single-character edits to s. Edits avoid the first
+// character so prefix-sensitive metrics (Jaro-Winkler) stay high.
+func (n *Noiser) Typo(s string, k int) string {
+	r := []rune(s)
+	for e := 0; e < k && len(r) > 2; e++ {
+		i := 1 + n.rng.Intn(len(r)-1)
+		switch n.rng.Intn(4) {
+		case 0: // substitute
+			r[i] = rune(noiseLetters[n.rng.Intn(len(noiseLetters))])
+		case 1: // transpose
+			if i+1 < len(r) {
+				r[i], r[i+1] = r[i+1], r[i]
+			}
+		case 2: // delete
+			r = append(r[:i], r[i+1:]...)
+		default: // insert
+			c := rune(noiseLetters[n.rng.Intn(len(noiseLetters))])
+			r = append(r[:i], append([]rune{c}, r[i:]...)...)
+		}
+	}
+	return string(r)
+}
+
+// Sub applies exactly one character substitution at a position ≥ 1 —
+// gentler than Typo (a transposition counts as two Levenshtein edits),
+// used for short strings like country names.
+func (n *Noiser) Sub(s string) string {
+	r := []rune(s)
+	if len(r) < 2 {
+		return s
+	}
+	i := 1 + n.rng.Intn(len(r)-1)
+	c := rune(noiseLetters[n.rng.Intn(len(noiseLetters))])
+	if r[i] >= 'A' && r[i] <= 'Z' {
+		c = c - 'a' + 'A'
+	}
+	for c == r[i] {
+		c++
+		if c > 'z' {
+			c = 'a'
+		}
+	}
+	r[i] = c
+	return string(r)
+}
+
+// Abbrev abbreviates the first token of a multi-token name to its initial
+// with a period: "Ford Smith" -> "F. Smith".
+func (n *Noiser) Abbrev(s string) string {
+	toks := strings.Fields(s)
+	if len(toks) < 2 {
+		return s
+	}
+	toks[0] = strings.ToUpper(toks[0][:1]) + "."
+	return strings.Join(toks, " ")
+}
+
+// Drift rewrites separators and casing: a cheap stand-in for format drift
+// between data sources ("14-Inch" vs "14 inch").
+func (n *Noiser) Drift(s string) string {
+	switch n.rng.Intn(3) {
+	case 0:
+		return strings.ToLower(s)
+	case 1:
+		return strings.ReplaceAll(s, "-", " ")
+	default:
+		return strings.ReplaceAll(s, ", ", " , ")
+	}
+}
+
+// MaybeTypo applies one typo with probability p.
+func (n *Noiser) MaybeTypo(s string, p float64) string {
+	if n.rng.Float64() < p {
+		return n.Typo(s, 1)
+	}
+	return s
+}
+
+// Pick returns a uniformly random element of choices.
+func (n *Noiser) Pick(choices []string) string {
+	return choices[n.rng.Intn(len(choices))]
+}
+
+// Intn exposes the underlying generator for count draws.
+func (n *Noiser) Intn(m int) int { return n.rng.Intn(m) }
+
+// Float64 exposes the underlying generator for probability draws.
+func (n *Noiser) Float64() float64 { return n.rng.Float64() }
+
+// Shuffle shuffles indexes deterministically.
+func (n *Noiser) Shuffle(length int, swap func(i, j int)) { n.rng.Shuffle(length, swap) }
+
+// Perm returns a deterministic permutation of [0,m).
+func (n *Noiser) Perm(m int) []int { return n.rng.Perm(m) }

@@ -1,0 +1,118 @@
+// Package datagen builds the datasets of the experimental study: the
+// paper's running example (Tables I-IV), a scaled-down TPC-H generator
+// with duplicate injection, a wide TFACC-like multi-table generator, and
+// labeled single/multi-table datasets shaped like IMDB / ACM-DBLP / Movie
+// / Songs. All generators are deterministic for a fixed seed and track the
+// ground-truth duplicate pairs they plant.
+package datagen
+
+import (
+	"dcer/internal/relation"
+	"dcer/internal/rule"
+)
+
+// PaperSchemas returns the database schema of Example 1:
+// Customers(cno, name, phone, addr, pref), Shops(sno, sname, owner, email,
+// loc), Products(pno, pname, price, desc) and Orders(ono, buyer, seller,
+// item, IP).
+func PaperSchemas() *relation.Database {
+	str := relation.TypeString
+	return relation.MustDatabase(
+		relation.MustSchema("Customers", "cno",
+			relation.Attribute{Name: "cno", Type: str},
+			relation.Attribute{Name: "name", Type: str},
+			relation.Attribute{Name: "phone", Type: str},
+			relation.Attribute{Name: "addr", Type: str},
+			relation.Attribute{Name: "pref", Type: str},
+		),
+		relation.MustSchema("Shops", "sno",
+			relation.Attribute{Name: "sno", Type: str},
+			relation.Attribute{Name: "sname", Type: str},
+			relation.Attribute{Name: "owner", Type: str},
+			relation.Attribute{Name: "email", Type: str},
+			relation.Attribute{Name: "loc", Type: str},
+		),
+		relation.MustSchema("Products", "pno",
+			relation.Attribute{Name: "pno", Type: str},
+			relation.Attribute{Name: "pname", Type: str},
+			relation.Attribute{Name: "price", Type: str},
+			relation.Attribute{Name: "desc", Type: str},
+		),
+		relation.MustSchema("Orders", "ono",
+			relation.Attribute{Name: "ono", Type: str},
+			relation.Attribute{Name: "buyer", Type: str},
+			relation.Attribute{Name: "seller", Type: str},
+			relation.Attribute{Name: "item", Type: str},
+			relation.Attribute{Name: "IP", Type: str},
+		),
+	)
+}
+
+// PaperExample builds the instance of Tables I-IV (tuples t1..t18). The
+// returned map gives each paper tuple label ("t1".."t18") its tuple.
+func PaperExample() (*relation.Dataset, map[string]*relation.Tuple) {
+	d := relation.NewDataset(PaperSchemas())
+	s := relation.S
+	t := map[string]*relation.Tuple{}
+	t["t1"] = d.MustAppend("Customers", s("c1"), s("Ford Smith"), s("(213) 243-9856"), s("1st Ave, LA"), s("clothing, makeup"))
+	t["t2"] = d.MustAppend("Customers", s("c2"), s("F. Smith"), s("(213) 333-0001"), s("1st Ave, LA"), s("clothing"))
+	t["t3"] = d.MustAppend("Customers", s("c3"), s("F. Smith"), s("(213) 333-0001"), s("1st Ave, LA"), s("dress"))
+	t["t4"] = d.MustAppend("Customers", s("c4"), s("Tony Brown"), s("(347) 981-3452"), s("9 Ave, NY"), s("sports"))
+	t["t5"] = d.MustAppend("Customers", s("c5"), s("T. Brown"), s("(347) 981-3452"), s("-"), s("sports"))
+	t["t6"] = d.MustAppend("Shops", s("s1"), s("Comp. World"), s("c1"), s("FSm@g.com"), s("1st Ave, LA"))
+	t["t7"] = d.MustAppend("Shops", s("s2"), s("Smith's Tech shop"), s("c2"), s("F_Sm@g.com"), s("1st Ave, LA"))
+	t["t8"] = d.MustAppend("Shops", s("s3"), s("Lap. store"), s("c3"), s("jp@youp.com"), s("1st Ave, LA"))
+	t["t9"] = d.MustAppend("Shops", s("s4"), s("T's Store"), s("c4"), s("T.Brown@ga.com"), s("9 Ave, NY"))
+	t["t10"] = d.MustAppend("Shops", s("s5"), s("Tony's Store"), s("c5"), s("T.Brown@ga.com"), s("-"))
+	t["t11"] = d.MustAppend("Products", s("p1"), s("Apple MacBook"), s("$1000"), s("Apple MacBook Air (13-inch, 8GB RAM, 256GB SSD)"))
+	t["t12"] = d.MustAppend("Products", s("p2"), s("ThinkPad"), s("$2000"), s("ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD"))
+	t["t13"] = d.MustAppend("Products", s("p3"), s("ThinkPad"), s("$1800"), s("ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM - 512 GB SSD"))
+	t["t14"] = d.MustAppend("Products", s("p4"), s("Acer Laptop"), s("$500"), s("Acer Aspire 5 Slim Laptop, 15.6 inches, 4GB DDR4, 128GB SSD, Backlit Keyboard"))
+	t["t15"] = d.MustAppend("Orders", s("o1"), s("c4"), s("s2"), s("p2"), s("156.33.14.7"))
+	t["t16"] = d.MustAppend("Orders", s("o2"), s("c3"), s("s4"), s("p2"), s("113.55.126.9"))
+	t["t17"] = d.MustAppend("Orders", s("o3"), s("c1"), s("s5"), s("p3"), s("113.55.126.9"))
+	t["t18"] = d.MustAppend("Orders", s("o4"), s("c1"), s("s4"), s("p2"), s("143.32.11.2"))
+	return d, t
+}
+
+// PaperRulesText is the MRL set Σ = {φ1..φ5} of Example 2 in the rule DSL.
+// M1 (long-description similarity) is jaccard05, M2 (shop-name similarity)
+// is jaccard05, M3 (abbreviated customer names) is nameabbrev and M4
+// (preference similarity, validated by φ5's head) is jaccard05 — all from
+// mlpred.DefaultRegistry.
+const PaperRulesText = `
+# φ1: same name, phone and address -> same customer.
+phi1: Customers(t) ^ Customers(s) ^ t.name = s.name ^ t.phone = s.phone ^ t.addr = s.addr -> t.id = s.id
+
+# φ2: same product name and ML-similar descriptions -> same product.
+phi2: Products(p) ^ Products(q) ^ p.pname = q.pname ^ jaccard05(p.desc, q.desc) -> p.id = q.id
+
+# φ3 (collective): same email, ML-similar shop names, owners share a phone -> same shop.
+phi3: Customers(c) ^ Customers(d) ^ Shops(x) ^ Shops(y) ^ jaccard05(x.sname, y.sname) ^
+      x.email = y.email ^ x.owner = c.cno ^ y.owner = d.cno ^ c.phone = d.phone -> x.id = y.id
+
+# φ4 (deep + collective): same address, ML-similar names, and both bought the
+# same product in the same shop from the same IP -> same customer.
+phi4: Customers(c) ^ Customers(d) ^ Orders(o) ^ Orders(u) ^ Products(p) ^ Products(q) ^
+      Shops(x) ^ Shops(y) ^ c.cno = o.buyer ^ d.cno = u.buyer ^ o.item = p.pno ^
+      u.item = q.pno ^ o.seller = x.sno ^ u.seller = y.sno ^ nameabbrev(c.name, d.name) ^
+      c.addr = d.addr ^ o.IP = u.IP ^ p.id = q.id ^ x.id = y.id -> c.id = d.id
+
+# φ5: buying the same item explains an ML similar-preference prediction.
+phi5: Customers(c) ^ Customers(d) ^ Orders(o) ^ Orders(u) ^ c.cno = o.buyer ^
+      d.cno = u.buyer ^ o.item = u.item -> jaccard05(c.pref, d.pref)
+`
+
+// PaperRules parses and resolves Σ = {φ1..φ5} against the example schema.
+func PaperRules(db *relation.Database) ([]*rule.Rule, error) {
+	rules, err := rule.Parse(PaperRulesText)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rules {
+		if err := r.Resolve(db); err != nil {
+			return nil, err
+		}
+	}
+	return rules, nil
+}

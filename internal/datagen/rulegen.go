@@ -1,0 +1,193 @@
+package datagen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tpchCustomerPreds is the predicate pool for the |φ|-sweep rules over
+// TPC-H customers, ordered so that the first predicate is selective (the
+// join stays cheap) and later ones add checking work — in particular ML
+// predicates, which dominate cost exactly as larger MRLs do in Fig 6(e).
+var tpchCustomerPreds = []string{
+	"c.cphone = d.cphone",
+	"c.nationkey = d.nationkey",
+	"c.mktsegment = d.mktsegment",
+	"jaro085(c.cname, d.cname)",
+	"embed080(c.caddress, d.caddress)",
+	"jaccard05(c.ccomment, d.ccomment)",
+	"lev080(c.caddress, d.caddress)",
+	"embed090(c.cname, d.cname)",
+	"cosine07(c.ccomment, d.ccomment)",
+	"c.cacctbal = d.cacctbal",
+}
+
+// TPCHWidthRules builds `count` MRLs over TPC-H customers, each with
+// `width` body predicates (2 ≤ width ≤ 10), for the Fig 6(e) sweep of the
+// average number of predicates per rule. Rules differ in a constant
+// mktsegment selector so the set is not degenerate.
+func TPCHWidthRules(width, count int) string {
+	if width < 1 {
+		width = 1
+	}
+	if width > len(tpchCustomerPreds) {
+		width = len(tpchCustomerPreds)
+	}
+	var b strings.Builder
+	for i := 0; i < count; i++ {
+		preds := append([]string(nil), tpchCustomerPreds[:width]...)
+		// Rotate the tail predicates so rules share a selective prefix but
+		// are not identical.
+		if width > 2 {
+			rot := i % (width - 1)
+			tail := append(append([]string(nil), preds[1+rot:]...), preds[1:1+rot]...)
+			preds = append(preds[:1], tail...)
+		}
+		fmt.Fprintf(&b, "w%d_%d: customer(c) ^ customer(d) ^ %s ^ c.mktsegment = %q -> c.id = d.id\n",
+			width, i, strings.Join(preds, " ^ "), tpchSegments[i%len(tpchSegments)])
+	}
+	return b.String()
+}
+
+// TPCHManyRules returns the first m rules of a deterministic ~80-rule set:
+// the six base TPC-H rules followed by constant-specialized variants
+// (per market segment, order priority, container, ...), for the Fig 6(g)
+// sweep of ‖Σ‖. The variants share most predicates with their base rule,
+// which is exactly the sharing MQO exploits.
+func TPCHManyRules(m int) string {
+	var rules []string
+	base := strings.Split(strings.TrimSpace(TPCHRulesText), "\n")
+	var current []string
+	for _, line := range base {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		current = append(current, line)
+		if strings.Contains(line, "->") {
+			rules = append(rules, strings.Join(current, " "))
+			current = nil
+		}
+	}
+	variant := func(baseRule, name, extra string) string {
+		r := rules[0]
+		for _, br := range rules {
+			if strings.HasPrefix(br, baseRule+":") {
+				r = br
+				break
+			}
+		}
+		body, head, _ := strings.Cut(r, "->")
+		_, body, _ = strings.Cut(body, ":")
+		return fmt.Sprintf("%s: %s ^ %s -> %s", name, strings.TrimSpace(body), extra, strings.TrimSpace(head))
+	}
+	for i, seg := range tpchSegments {
+		rules = append(rules, variant("tc", fmt.Sprintf("tcv%d", i), fmt.Sprintf("c.mktsegment = %q", seg)))
+	}
+	for i, pr := range tpchPriority {
+		rules = append(rules, variant("to", fmt.Sprintf("tov%d", i), fmt.Sprintf("o.orderpriority = %q", pr)))
+	}
+	for i, cont := range tpchContainer {
+		rules = append(rules, variant("tp", fmt.Sprintf("tpv%d", i), fmt.Sprintf("p.container = %q", cont)))
+	}
+	for i, ty := range tpchTypes {
+		rules = append(rules, variant("tp", fmt.Sprintf("tpt%d", i), fmt.Sprintf("p.ptype = %q", ty)))
+	}
+	for i := 0; i < 25; i++ {
+		rules = append(rules, variant("ts", fmt.Sprintf("tsv%d", i), fmt.Sprintf("s.nationkey = \"N%d\"", i)))
+	}
+	for i := 0; i < 5; i++ {
+		rules = append(rules, variant("tn", fmt.Sprintf("tnv%d", i), fmt.Sprintf("n.regionkey = \"R%d\"", i)))
+	}
+	for i := 0; i < 5; i++ {
+		rules = append(rules, variant("tl", fmt.Sprintf("tlv%d", i), fmt.Sprintf("l.linenumber = %d", i+1)))
+	}
+	for i := 0; i < 25; i++ {
+		rules = append(rules, variant("tc", fmt.Sprintf("tcn%d", i), fmt.Sprintf("c.nationkey = \"N%d\"", i)))
+	}
+	if m > len(rules) {
+		m = len(rules)
+	}
+	return strings.Join(rules[:m], "\n") + "\n"
+}
+
+// TFACCWidthRules is the TFACC analogue of TPCHWidthRules (Fig 6(f)).
+func TFACCWidthRules(width, count int) string {
+	pool := []string{
+		"v.vin = w.vin",
+		"v.modelkey = w.modelkey",
+		"v.year = w.year",
+		"v.colorkey = w.colorkey",
+		"lev080(v.reg, w.reg)",
+		"embed080(v.vin, w.vin)",
+		"v.fuelkey = w.fuelkey",
+		"v.engsize = w.engsize",
+	}
+	if width < 1 {
+		width = 1
+	}
+	if width > len(pool) {
+		width = len(pool)
+	}
+	var b strings.Builder
+	for i := 0; i < count; i++ {
+		preds := append([]string(nil), pool[:width]...)
+		if width > 2 {
+			rot := i % (width - 1)
+			tail := append(append([]string(nil), preds[1+rot:]...), preds[1:1+rot]...)
+			preds = append(preds[:1], tail...)
+		}
+		fmt.Fprintf(&b, "vw%d_%d: vehicle(v) ^ vehicle(w) ^ %s ^ v.fuelkey = \"FU%d\" -> v.id = w.id\n",
+			width, i, strings.Join(preds, " ^ "), i%5)
+	}
+	return b.String()
+}
+
+// TFACCManyRules returns the first m of ~35 TFACC rules: the five base
+// rules plus constant-specialized variants (Fig 6(h)).
+func TFACCManyRules(m int) string {
+	var rules []string
+	for _, line := range strings.Split(strings.TrimSpace(TFACCRulesText), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rules = append(rules, line)
+	}
+	// The base TFACC rules span multiple lines; re-join them.
+	var joined []string
+	var cur []string
+	for _, line := range rules {
+		cur = append(cur, line)
+		if strings.Contains(line, "->") {
+			joined = append(joined, strings.Join(cur, " "))
+			cur = nil
+		}
+	}
+	rules = joined
+	variant := func(baseRule, name, extra string) string {
+		r := rules[0]
+		for _, br := range rules {
+			if strings.HasPrefix(br, baseRule+":") {
+				r = br
+				break
+			}
+		}
+		body, head, _ := strings.Cut(r, "->")
+		_, body, _ = strings.Cut(body, ":")
+		return fmt.Sprintf("%s: %s ^ %s -> %s", name, strings.TrimSpace(body), extra, strings.TrimSpace(head))
+	}
+	for i := 0; i < 12; i++ {
+		rules = append(rules, variant("fs", fmt.Sprintf("fsv%d", i), fmt.Sprintf("s.regionkey = \"RG%d\"", i)))
+	}
+	for i := 0; i < 5; i++ {
+		rules = append(rules, variant("fv", fmt.Sprintf("fvv%d", i), fmt.Sprintf("v.fuelkey = \"FU%d\"", i)))
+	}
+	for i := 0; i < 15; i++ {
+		rules = append(rules, variant("fv", fmt.Sprintf("fvc%d", i), fmt.Sprintf("v.colorkey = \"CL%d\"", i)))
+	}
+	if m > len(rules) {
+		m = len(rules)
+	}
+	return strings.Join(rules[:m], "\n") + "\n"
+}

@@ -1,0 +1,91 @@
+package datagen_test
+
+import (
+	"testing"
+
+	"dcer/internal/datagen"
+	"dcer/internal/rule"
+)
+
+func TestTPCHWidthRulesParse(t *testing.T) {
+	db := datagen.TPCHSchemas()
+	for width := 2; width <= 10; width++ {
+		rules, err := rule.ParseResolved(datagen.TPCHWidthRules(width, 10), db)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if len(rules) != 10 {
+			t.Fatalf("width %d: got %d rules, want 10", width, len(rules))
+		}
+		for _, r := range rules {
+			// 2 relation atoms + width body predicates + 1 segment selector.
+			if got := r.NumPredicates(); got != 2+width+1 {
+				t.Errorf("width %d rule %s: NumPredicates = %d, want %d", width, r.Name, got, 2+width+1)
+			}
+		}
+	}
+}
+
+func TestTPCHManyRulesParse(t *testing.T) {
+	db := datagen.TPCHSchemas()
+	for _, m := range []int{6, 30, 50, 75} {
+		rules, err := rule.ParseResolved(datagen.TPCHManyRules(m), db)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if len(rules) != m {
+			t.Errorf("m=%d: got %d rules", m, len(rules))
+		}
+	}
+}
+
+func TestTFACCSweepRulesParse(t *testing.T) {
+	db := datagen.TFACCSchemas()
+	for width := 4; width <= 8; width++ {
+		if _, err := rule.ParseResolved(datagen.TFACCWidthRules(width, 10), db); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+	}
+	for _, m := range []int{5, 10, 20, 30} {
+		rules, err := rule.ParseResolved(datagen.TFACCManyRules(m), db)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if len(rules) != m {
+			t.Errorf("m=%d: got %d rules", m, len(rules))
+		}
+	}
+}
+
+// TestLabeledGeneratorsParse checks the four Table V dataset generators
+// produce resolvable rules and consistent labels.
+func TestLabeledGeneratorsParse(t *testing.T) {
+	gens := map[string]*datagen.Labeled{
+		"imdb":  datagen.IMDBLike(300, 0.3, 1),
+		"dblp":  datagen.DBLPLike(300, 0.3, 1),
+		"movie": datagen.MovieLike(300, 0.3, 1),
+		"songs": datagen.SongsLike(300, 0.3, 1),
+	}
+	for name, g := range gens {
+		if _, err := g.Rules(); err != nil {
+			t.Errorf("%s: rules: %v", name, err)
+		}
+		if len(g.Truth) == 0 {
+			t.Errorf("%s: no planted duplicates", name)
+		}
+		pos, neg := 0, 0
+		for _, p := range g.LabeledPairs {
+			if p.Match {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		if pos != len(g.Truth) {
+			t.Errorf("%s: %d positive labels, want %d", name, pos, len(g.Truth))
+		}
+		if neg < pos {
+			t.Errorf("%s: only %d negatives for %d positives", name, neg, pos)
+		}
+	}
+}

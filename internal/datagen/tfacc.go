@@ -1,0 +1,475 @@
+package datagen
+
+import (
+	"fmt"
+
+	"dcer/internal/relation"
+)
+
+// TFACCOptions configures the TFACC-shaped generator: a vehicle-inspection
+// database modeled on the UK MOT open data the paper uses. Like the real
+// TFACC it has 19 tables and 113 attributes (the real one holds 480M+
+// tuples; this stand-in keeps the full multi-table reference structure —
+// dimension tables, owners, vehicles, tests, per-test items, advisories,
+// policies — at laptop scale).
+type TFACCOptions struct {
+	Scale float64
+	Dup   float64
+	Seed  int64
+}
+
+// TFACCSchemas returns the 19-relation, 113-attribute vehicle-inspection
+// schema.
+func TFACCSchemas() *relation.Database {
+	str := relation.TypeString
+	intT := relation.TypeInt
+	fl := relation.TypeFloat
+	a := func(n string, t relation.Type) relation.Attribute { return relation.Attribute{Name: n, Type: t} }
+	return relation.MustDatabase(
+		relation.MustSchema("region", "regionkey",
+			a("regionkey", str), a("rname", str), a("population", intT)), // 3
+		relation.MustSchema("postcodearea", "pakey",
+			a("pakey", str), a("district", str), a("town", str), a("county", str)), // 4
+		relation.MustSchema("make", "makekey",
+			a("makekey", str), a("makename", str), a("country", str), a("founded", intT)), // 4
+		relation.MustSchema("model", "modelkey",
+			a("modelkey", str), a("modelname", str), a("makekey", str), a("bodytype", str),
+			a("engcc", intT), a("trim", str)), // 6
+		relation.MustSchema("color", "colorkey",
+			a("colorkey", str), a("cname", str), a("code", str)), // 3
+		relation.MustSchema("fueltype", "fuelkey",
+			a("fuelkey", str), a("fname", str), a("co2class", str)), // 3
+		relation.MustSchema("defect", "defectkey",
+			a("defectkey", str), a("dname", str), a("category", str), a("rectifiable", str)), // 4
+		relation.MustSchema("testtype", "ttkey",
+			a("ttkey", str), a("ttname", str), a("fee", fl), a("duration", intT)), // 4
+		relation.MustSchema("insurer", "inskey",
+			a("inskey", str), a("iname", str), a("rating", str), a("insphone", str)), // 4
+		relation.MustSchema("station", "stationkey",
+			a("stationkey", str), a("sname", str), a("regionkey", str), a("sphone", str),
+			a("capacity", intT), a("saddr", str), a("opened", intT), a("pakey", str)), // 8
+		relation.MustSchema("tester", "testerkey",
+			a("testerkey", str), a("tname", str), a("tstation", str), a("cert", str),
+			a("since", intT), a("grade", str)), // 6
+		relation.MustSchema("equipment", "eqkey",
+			a("eqkey", str), a("eqname", str), a("eqstation", str), a("installed", intT),
+			a("calibrated", str), a("serial", str)), // 6
+		relation.MustSchema("owner", "ownerkey",
+			a("ownerkey", str), a("oname", str), a("postcode", str), a("ophone", str),
+			a("email", str), a("dob", str), a("title", str)), // 7
+		relation.MustSchema("vehicle", "vehid",
+			a("vehid", str), a("reg", str), a("vin", str), a("modelkey", str),
+			a("colorkey", str), a("fuelkey", str), a("year", intT), a("engsize", intT),
+			a("ownerkey", str), a("weight", intT), a("doors", intT), a("seats", intT),
+			a("imported", str), a("firstreg", str)), // 14
+		relation.MustSchema("policy", "polkey",
+			a("polkey", str), a("pvehid", str), a("pinskey", str), a("pstart", str),
+			a("expiry", str), a("premium", fl), a("excess", fl)), // 7
+		relation.MustSchema("mottest", "testid",
+			a("testid", str), a("vehid", str), a("stationkey", str), a("testdate", str),
+			a("result", str), a("mileage", intT), a("testclass", str), a("certno", str),
+			a("retest", str), a("odounit", str), a("testerkey", str)), // 11
+		relation.MustSchema("testitem", "itemid",
+			a("itemid", str), a("testid", str), a("defectkey", str), a("severity", str),
+			a("notes", str), a("location", str), a("dangerous", str)), // 7
+		relation.MustSchema("advisory", "advkey",
+			a("advkey", str), a("atestid", str), a("advtext", str), a("aseverity", str),
+			a("noted", str)), // 5
+		relation.MustSchema("repair", "repkey",
+			a("repkey", str), a("rvehid", str), a("rdefect", str), a("repairdate", str),
+			a("cost", fl), a("garage", str), a("mechanic", str)), // 7
+	) // 3+4+4+6+3+3+4+4+4+8+6+6+7+14+7+11+7+5+7 = 113 attributes, 19 tables
+}
+
+// TFACCRulesText is the MRL set for the TFACC experiments: deep chains
+// model → vehicle → {owner, policy, mottest → {testitem, advisory}}, plus
+// a station rule. The deepest facts need four rounds of recursion.
+const TFACCRulesText = `
+# Models of the same make with typo-similar names.
+fm: model(m) ^ model(n) ^ m.makekey = n.makekey ^ lev080(m.modelname, n.modelname) -> m.id = n.id
+
+# Stations in the same region sharing a phone number, ML-similar names.
+fs: station(s) ^ station(u) ^ s.regionkey = u.regionkey ^ s.sphone = u.sphone ^ jaro085(s.sname, u.sname) -> s.id = u.id
+
+# Vehicles (deep+collective): matched models, same year, similar VINs.
+fv: vehicle(v) ^ vehicle(w) ^ model(m) ^ model(n) ^ v.modelkey = m.modelkey ^
+    w.modelkey = n.modelkey ^ m.id = n.id ^ v.year = w.year ^ lev080(v.vin, w.vin) -> v.id = w.id
+
+# Owners (deep+collective): same postcode, abbreviation-similar names, and
+# they own the same (resolved) vehicle.
+fo: owner(o) ^ owner(p) ^ vehicle(v) ^ vehicle(w) ^ v.ownerkey = o.ownerkey ^
+    w.ownerkey = p.ownerkey ^ v.id = w.id ^ o.postcode = p.postcode ^
+    nameabbrev(o.oname, p.oname) -> o.id = p.id
+
+# Policies (deep+collective): same insurer and expiry on a matched vehicle.
+fp: policy(a) ^ policy(b) ^ vehicle(v) ^ vehicle(w) ^ a.pvehid = v.vehid ^
+    b.pvehid = w.vehid ^ v.id = w.id ^ a.pinskey = b.pinskey ^ a.expiry = b.expiry -> a.id = b.id
+
+# MOT tests (deep+collective, 6 tuple variables like the paper's φ_b):
+# tests of matched vehicles at matched stations on the same date and mileage.
+ft: mottest(t) ^ mottest(u) ^ vehicle(v) ^ vehicle(w) ^ station(x) ^ station(y) ^
+    t.vehid = v.vehid ^ u.vehid = w.vehid ^ v.id = w.id ^ t.stationkey = x.stationkey ^
+    u.stationkey = y.stationkey ^ x.id = y.id ^ t.testdate = u.testdate ^ t.mileage = u.mileage -> t.id = u.id
+
+# Test items (deep): items of matched tests with the same defect.
+fi: testitem(i) ^ testitem(j) ^ mottest(t) ^ mottest(u) ^ i.testid = t.testid ^
+    j.testid = u.testid ^ t.id = u.id ^ i.defectkey = j.defectkey -> i.id = j.id
+
+# Advisories (deep): advisories of matched tests with similar texts.
+fa: advisory(x) ^ advisory(y) ^ mottest(t) ^ mottest(u) ^ x.atestid = t.testid ^
+    y.atestid = u.testid ^ t.id = u.id ^ jaccard05(x.advtext, y.advtext) -> x.id = y.id
+`
+
+var (
+	tfaccMakes  = []string{"FORD", "VAUXHALL", "VOLKSWAGEN", "BMW", "TOYOTA", "HONDA", "NISSAN", "PEUGEOT", "RENAULT", "MERCEDES", "AUDI", "SKODA", "KIA", "HYUNDAI", "FIAT", "MAZDA", "VOLVO", "CITROEN", "SEAT", "MINI"}
+	tfaccModels = []string{"FIESTA", "FOCUS", "CORSA", "ASTRA", "GOLF", "POLO", "CIVIC", "COROLLA", "QASHQAI", "CLIO", "MEGANE", "OCTAVIA", "FABIA", "SPORTAGE", "TUCSON", "PANDA", "PUNTO", "TRANSIT", "DISCOVERY", "DEFENDER"}
+	tfaccColors = []string{"BLACK", "WHITE", "SILVER", "BLUE", "RED", "GREY", "GREEN", "YELLOW", "ORANGE", "BROWN", "PURPLE", "GOLD", "BEIGE", "MAROON", "TURQUOISE"}
+	tfaccFuels  = []string{"PETROL", "DIESEL", "ELECTRIC", "HYBRID", "LPG"}
+	tfaccDefect = []string{"brake pad worn", "headlamp aim", "tyre tread depth", "exhaust leak", "suspension arm", "windscreen chip", "seat belt anchor", "steering play", "horn inoperative", "corrosion sill"}
+	tfaccAdvice = []string{"tyre wearing close to legal limit", "slight oil leak at sump", "brake disc slightly pitted", "wiper blade smearing", "minor exhaust corrosion", "bulb holder loose", "play in track rod end", "undertray insecure"}
+)
+
+// TFACC generates the vehicle-inspection dataset with planted deep
+// duplicate chains (model → vehicle → {owner, policy, mottest →
+// {testitem, advisory}}) plus station duplicates.
+func TFACC(opts TFACCOptions) *Generated {
+	if opts.Scale <= 0 {
+		opts.Scale = 0.1
+	}
+	n := NewNoiser(opts.Seed + 41)
+	d := relation.NewDataset(TFACCSchemas())
+	g := &Generated{D: d, RulesText: TFACCRulesText}
+	s, i, f := relation.S, relation.I, relation.F
+	scale := func(base int) int {
+		v := int(float64(base) * opts.Scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	numStation := scale(150)
+	numVehicle := scale(2500)
+	numTest := scale(5000)
+	numOwner := numVehicle/2 + 1
+
+	// Dimension tables.
+	for ri := 0; ri < 12; ri++ {
+		d.MustAppend("region", s(fmt.Sprintf("RG%d", ri)), s(fmt.Sprintf("Region %d", ri)), i(int64(100000*(ri+1))))
+	}
+	for pi := 0; pi < 40; pi++ {
+		d.MustAppend("postcodearea",
+			s(fmt.Sprintf("PA%d", pi)), s(fmt.Sprintf("District %d", pi)),
+			s(fmt.Sprintf("Town %s", n.Pick(tpchNouns))), s(fmt.Sprintf("County %d", pi%8)))
+	}
+	for mi, mn := range tfaccMakes {
+		d.MustAppend("make", s(fmt.Sprintf("MK%d", mi)), s(mn), s("UK"), i(int64(1900+mi*3)))
+	}
+	numModel := 150
+	variants := []string{"Sportline", "Estate", "Cabriolet", "Touring", "Signature", "Hybrid", "Classic", "Urbanline"}
+	models := make([]*relation.Tuple, numModel)
+	for mi := 0; mi < numModel; mi++ {
+		models[mi] = d.MustAppend("model",
+			s(fmt.Sprintf("MD%d", mi)),
+			s(fmt.Sprintf("%s %s", tfaccModels[mi%len(tfaccModels)], variants[mi/len(tfaccModels)%len(variants)])),
+			s(fmt.Sprintf("MK%d", mi%len(tfaccMakes))),
+			s([]string{"HATCHBACK", "SALOON", "ESTATE", "SUV", "VAN"}[mi%5]),
+			i(int64(1000+(mi%15)*200)),
+			s([]string{"Base", "SE", "Sport", "Luxury"}[mi%4]))
+	}
+	for ci, cn := range tfaccColors {
+		d.MustAppend("color", s(fmt.Sprintf("CL%d", ci)), s(cn), s(fmt.Sprintf("#%06x", ci*111111)))
+	}
+	for fi, fn := range tfaccFuels {
+		d.MustAppend("fueltype", s(fmt.Sprintf("FU%d", fi)), s(fn), s([]string{"A", "B", "C"}[fi%3]))
+	}
+	numDefect := 50
+	for di := 0; di < numDefect; di++ {
+		d.MustAppend("defect",
+			s(fmt.Sprintf("DF%d", di)),
+			s(fmt.Sprintf("%s grade %d", tfaccDefect[di%len(tfaccDefect)], di/len(tfaccDefect)+1)),
+			s([]string{"BRAKES", "LIGHTS", "TYRES", "BODY", "STEERING"}[di%5]),
+			s([]string{"yes", "no"}[di%2]))
+	}
+	for ti := 0; ti < 4; ti++ {
+		d.MustAppend("testtype",
+			s(fmt.Sprintf("TT%d", ti)), s([]string{"Class 4", "Class 5", "Class 7", "Retest"}[ti]),
+			f(54.85-float64(ti)*5), i(int64(45+ti*10)))
+	}
+	numInsurer := 8
+	for ii := 0; ii < numInsurer; ii++ {
+		d.MustAppend("insurer",
+			s(fmt.Sprintf("INS%d", ii)), s(fmt.Sprintf("Insurer %s", n.Pick(tpchAdjies))),
+			s([]string{"A", "A-", "B+", "B"}[ii%4]), s(fmt.Sprintf("0800 %06d", 100000+ii)))
+	}
+	stations := make([]*relation.Tuple, numStation)
+	for si := 0; si < numStation; si++ {
+		stations[si] = d.MustAppend("station",
+			s(fmt.Sprintf("ST%d", si)),
+			s(fmt.Sprintf("Garage %s %s %d", n.Pick(tpchAdjies), n.Pick(tpchNouns), si)),
+			s(fmt.Sprintf("RG%d", si%12)),
+			s(fmt.Sprintf("01%03d %06d", si%999, 100000+si)),
+			i(int64(2+si%8)),
+			s(fmt.Sprintf("%d Station Road", si)),
+			i(int64(1970+si%50)),
+			s(fmt.Sprintf("PA%d", si%40)))
+	}
+	for ti := 0; ti < numStation*2; ti++ {
+		d.MustAppend("tester",
+			s(fmt.Sprintf("TS%d", ti)), s(fmt.Sprintf("%s %s", n.Pick(firstNames), n.Pick(lastNames))),
+			s(fmt.Sprintf("ST%d", ti%numStation)), s(fmt.Sprintf("CERT%05d", ti)),
+			i(int64(2005+ti%18)), s([]string{"I", "II", "III"}[ti%3]))
+	}
+	for ei := 0; ei < numStation; ei++ {
+		d.MustAppend("equipment",
+			s(fmt.Sprintf("EQ%d", ei)), s([]string{"brake roller", "emissions analyser", "headlamp aligner", "play detector"}[ei%4]),
+			s(fmt.Sprintf("ST%d", ei%numStation)), i(int64(2010+ei%12)),
+			s(fmt.Sprintf("2023-%02d-01", ei%12+1)), s(fmt.Sprintf("SER%07d", ei)))
+	}
+
+	// Owners and vehicles.
+	owners := make([]*relation.Tuple, numOwner)
+	for oi := 0; oi < numOwner; oi++ {
+		owners[oi] = d.MustAppend("owner",
+			s(fmt.Sprintf("OW%d", oi)),
+			s(fmt.Sprintf("%s %s %d", n.Pick(firstNames), n.Pick(lastNames), oi)),
+			s(fmt.Sprintf("PC%d %dXY", oi%400, oi%9+1)),
+			s(fmt.Sprintf("07%09d", 100000000+oi)),
+			s(fmt.Sprintf("owner%d@mail.uk", oi)),
+			s(fmt.Sprintf("19%02d-0%d-1%d", 50+oi%45, oi%9+1, oi%9)),
+			s([]string{"Mr", "Ms", "Dr", "Mx"}[oi%4]))
+	}
+	vehicles := make([]*relation.Tuple, numVehicle)
+	for vi := 0; vi < numVehicle; vi++ {
+		vehicles[vi] = d.MustAppend("vehicle",
+			s(fmt.Sprintf("V%d", vi)),
+			s(fmt.Sprintf("AB%02d XYZ", vi%100)),
+			s(fmt.Sprintf("VIN%06dKLMNOPQ%03d", vi, vi%997)),
+			s(fmt.Sprintf("MD%d", vi%numModel)),
+			s(fmt.Sprintf("CL%d", vi%len(tfaccColors))),
+			s(fmt.Sprintf("FU%d", vi%len(tfaccFuels))),
+			i(int64(2000+vi%22)),
+			i(int64(1000+(vi%30)*100)),
+			s(fmt.Sprintf("OW%d", vi%numOwner)),
+			i(int64(900+(vi%40)*25)),
+			i(int64(3+vi%3)),
+			i(int64(2+vi%6)),
+			s([]string{"no", "yes"}[vi%10/9]),
+			s(fmt.Sprintf("%d-03-01", 2000+vi%22)))
+	}
+	policies := make([]*relation.Tuple, numVehicle)
+	for vi := 0; vi < numVehicle; vi++ {
+		policies[vi] = d.MustAppend("policy",
+			s(fmt.Sprintf("PL%d", vi)),
+			s(fmt.Sprintf("V%d", vi)),
+			s(fmt.Sprintf("INS%d", vi%numInsurer)),
+			s(fmt.Sprintf("2023-%02d-01", vi%12+1)),
+			s(fmt.Sprintf("2024-%02d-%02d", vi%12+1, vi%28+1)),
+			f(300+float64(vi%700)),
+			f(float64(100+(vi%5)*50)))
+	}
+
+	// Tests, items and advisories.
+	type testChain struct {
+		test     *relation.Tuple
+		veh      int
+		items    []*relation.Tuple
+		advisory *relation.Tuple
+	}
+	dates := make([]string, 60)
+	for di := range dates {
+		dates[di] = fmt.Sprintf("2019-%02d-%02d", di%12+1, di%28+1)
+	}
+	chains := make([]testChain, numTest)
+	usedCombo := make(map[string]bool)
+	itemCount, advCount := 0, 0
+	for ti := 0; ti < numTest; ti++ {
+		veh := n.Intn(numVehicle)
+		var date string
+		var mileage int64
+		for {
+			date = dates[n.Intn(len(dates))]
+			mileage = int64(10000 + n.Intn(150)*371)
+			key := fmt.Sprintf("%d|%s|%d", veh, date, mileage)
+			if !usedCombo[key] {
+				usedCombo[key] = true
+				break
+			}
+		}
+		t := d.MustAppend("mottest",
+			s(fmt.Sprintf("T%d", ti)),
+			s(fmt.Sprintf("V%d", veh)),
+			s(fmt.Sprintf("ST%d", n.Intn(numStation))),
+			s(date),
+			s([]string{"PASS", "FAIL", "PRS"}[n.Intn(3)]),
+			i(mileage),
+			s("4"),
+			s(fmt.Sprintf("CRT%08d", ti)),
+			s([]string{"no", "yes"}[n.Intn(10)/9]),
+			s("mi"),
+			s(fmt.Sprintf("TS%d", n.Intn(numStation*2))))
+		ni := n.Intn(3)
+		var items []*relation.Tuple
+		usedDefect := make(map[int]bool)
+		for k := 0; k < ni; k++ {
+			df := n.Intn(numDefect)
+			for usedDefect[df] {
+				df = (df + 1) % numDefect
+			}
+			usedDefect[df] = true
+			it := d.MustAppend("testitem",
+				s(fmt.Sprintf("I%d", itemCount)),
+				s(fmt.Sprintf("T%d", ti)),
+				s(fmt.Sprintf("DF%d", df)),
+				s([]string{"MINOR", "MAJOR", "DANGEROUS"}[n.Intn(3)]),
+				s("item notes"),
+				s([]string{"nearside front", "offside rear", "centre"}[n.Intn(3)]),
+				s([]string{"no", "yes"}[n.Intn(10)/9]))
+			items = append(items, it)
+			itemCount++
+		}
+		var adv *relation.Tuple
+		if n.Intn(2) == 0 {
+			adv = d.MustAppend("advisory",
+				s(fmt.Sprintf("AD%d", advCount)),
+				s(fmt.Sprintf("T%d", ti)),
+				s(n.Pick(tfaccAdvice)),
+				s([]string{"advisory", "minor"}[n.Intn(2)]),
+				s(date))
+			advCount++
+		}
+		chains[ti] = testChain{test: t, veh: veh, items: items, advisory: adv}
+	}
+	// Repairs reference vehicles and defects (dimension-style facts).
+	for ri := 0; ri < numTest/4; ri++ {
+		d.MustAppend("repair",
+			s(fmt.Sprintf("RP%d", ri)),
+			s(fmt.Sprintf("V%d", n.Intn(numVehicle))),
+			s(fmt.Sprintf("DF%d", n.Intn(numDefect))),
+			s(dates[n.Intn(len(dates))]),
+			f(50+float64(n.Intn(500))),
+			s(fmt.Sprintf("Garage %d", n.Intn(numStation))),
+			s(fmt.Sprintf("%s %s", n.Pick(firstNames), n.Pick(lastNames))))
+	}
+
+	// Duplicate injection: deep chains.
+	truth := func(orig, dup *relation.Tuple) { g.Truth = append(g.Truth, [2]relation.TID{orig.GID, dup.GID}) }
+	dupCounter := 0
+	freshKey := func() string {
+		dupCounter++
+		return fmt.Sprintf("X%d", 1000+dupCounter*3)
+	}
+
+	dupModelOf := make(map[string]string)
+	dupModelFor := func(mk string) string {
+		if dk, ok := dupModelOf[mk]; ok {
+			return dk
+		}
+		var orig *relation.Tuple
+		for _, mt := range models {
+			if mt.Values[0].Str == mk {
+				orig = mt
+				break
+			}
+		}
+		dk := freshKey()
+		dup := d.MustAppend("model",
+			s(dk), s(n.Typo(orig.Values[1].Str, 1)), orig.Values[2], orig.Values[3],
+			orig.Values[4], orig.Values[5])
+		truth(orig, dup)
+		dupModelOf[mk] = dk
+		return dk
+	}
+	dupOwnerOf := make(map[string]string)
+	dupOwnerFor := func(ok string) string {
+		if dk, exists := dupOwnerOf[ok]; exists {
+			return dk
+		}
+		var orig *relation.Tuple
+		for _, ot := range owners {
+			if ot.Values[0].Str == ok {
+				orig = ot
+				break
+			}
+		}
+		dk := freshKey()
+		dup := d.MustAppend("owner",
+			s(dk), s(n.Abbrev(orig.Values[1].Str)), orig.Values[2],
+			s(fmt.Sprintf("07%09d", 900000000+dupCounter)),
+			s(n.Drift(orig.Values[4].Str)), orig.Values[5], orig.Values[6])
+		truth(orig, dup)
+		dupOwnerOf[ok] = dk
+		return dk
+	}
+	dupVehOf := make(map[int]string)
+	dupVehFor := func(vi int) string {
+		if vk, ok := dupVehOf[vi]; ok {
+			return vk
+		}
+		orig := vehicles[vi]
+		vk := freshKey()
+		year := orig.Values[6]
+		if n.Float64() < 0.08 {
+			// Hard case: wrong first-registration year; the chain costs
+			// recall like the residual errors in the paper's Table VI.
+			year = relation.I(year.Int() + 1)
+		}
+		dup := d.MustAppend("vehicle",
+			s(vk),
+			s(n.Drift(orig.Values[1].Str)),
+			s(n.Typo(orig.Values[2].Str, 1)),
+			s(dupModelFor(orig.Values[3].Str)),
+			orig.Values[4], orig.Values[5], year, orig.Values[7],
+			s(dupOwnerFor(orig.Values[8].Str)),
+			orig.Values[9], orig.Values[10], orig.Values[11], orig.Values[12], orig.Values[13])
+		truth(orig, dup)
+		// The duplicate registration carries its own policy record with
+		// the same insurer and expiry.
+		origPol := policies[vi]
+		dupPol := d.MustAppend("policy",
+			s(freshKey()), s(vk), origPol.Values[2], origPol.Values[3],
+			origPol.Values[4], origPol.Values[5], origPol.Values[6])
+		truth(origPol, dupPol)
+		dupVehOf[vi] = vk
+		return vk
+	}
+
+	numDupTests := int(opts.Dup * float64(numTest))
+	for _, ti := range n.Perm(numTest)[:numDupTests] {
+		ch := chains[ti]
+		dv := dupVehFor(ch.veh)
+		tk := freshKey()
+		mileage := ch.test.Values[5]
+		if n.Float64() < 0.08 {
+			// Hard case: mis-keyed odometer reading.
+			mileage = relation.I(mileage.Int() + 3)
+		}
+		dupTest := d.MustAppend("mottest",
+			s(tk), s(dv), ch.test.Values[2], ch.test.Values[3], ch.test.Values[4],
+			mileage, ch.test.Values[6], s(fmt.Sprintf("CRT9%07d", dupCounter)),
+			ch.test.Values[8], ch.test.Values[9], ch.test.Values[10])
+		truth(ch.test, dupTest)
+		for _, it := range ch.items {
+			dupItem := d.MustAppend("testitem",
+				s(freshKey()), s(tk), it.Values[2], it.Values[3], s("dup item"),
+				it.Values[5], it.Values[6])
+			truth(it, dupItem)
+		}
+		if ch.advisory != nil {
+			dupAdv := d.MustAppend("advisory",
+				s(freshKey()), s(tk), s(n.Drift(ch.advisory.Values[2].Str)),
+				ch.advisory.Values[3], ch.advisory.Values[4])
+			truth(ch.advisory, dupAdv)
+		}
+	}
+	numDupStations := int(opts.Dup * float64(numStation))
+	for _, si := range n.Perm(numStation)[:numDupStations] {
+		orig := stations[si]
+		dup := d.MustAppend("station",
+			s(freshKey()),
+			s(n.Typo(orig.Values[1].Str, 1)),
+			orig.Values[2], orig.Values[3], orig.Values[4], orig.Values[5],
+			orig.Values[6], orig.Values[7])
+		truth(orig, dup)
+	}
+	return g
+}

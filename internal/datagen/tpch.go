@@ -1,0 +1,427 @@
+package datagen
+
+import (
+	"fmt"
+
+	"dcer/internal/relation"
+	"dcer/internal/rule"
+)
+
+// Generated is a synthetic dataset with its planted ground truth and the
+// MRL set used against it in the experiments.
+type Generated struct {
+	D *relation.Dataset
+	// Truth lists the planted duplicate pairs (original, duplicate) by
+	// global tuple id.
+	Truth [][2]relation.TID
+	// RulesText is the MRL set in the rule DSL.
+	RulesText string
+}
+
+// Rules parses and resolves the generated rule set.
+func (g *Generated) Rules() ([]*rule.Rule, error) {
+	rules, err := rule.Parse(g.RulesText)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rules {
+		if err := r.Resolve(g.D.DB); err != nil {
+			return nil, err
+		}
+	}
+	return rules, nil
+}
+
+// TPCHOptions configures the TPC-H-shaped generator.
+type TPCHOptions struct {
+	// Scale is the scale factor; 1.0 yields roughly 25k tuples (the
+	// laptop-scale stand-in for the paper's 30M-tuple TPC-H).
+	Scale float64
+	// Dup is the duplication rate: the fraction of orders whose full
+	// deep chain (nation -> customer -> order -> lineitems) is
+	// duplicated with noise, plus the same fraction of parts and
+	// suppliers. Matches the paper's Dup knob (0.1 .. 0.5).
+	Dup  float64
+	Seed int64
+}
+
+// TPCHSchemas returns the 8-relation TPC-H database schema (58 attributes;
+// a synthetic partsupp key is added because every relation needs a
+// designated id).
+func TPCHSchemas() *relation.Database {
+	str := relation.TypeString
+	intT := relation.TypeInt
+	fl := relation.TypeFloat
+	a := func(n string, t relation.Type) relation.Attribute { return relation.Attribute{Name: n, Type: t} }
+	return relation.MustDatabase(
+		relation.MustSchema("region", "regionkey",
+			a("regionkey", str), a("rname", str), a("rcomment", str)),
+		relation.MustSchema("nation", "nationkey",
+			a("nationkey", str), a("nname", str), a("regionkey", str), a("ncomment", str)),
+		relation.MustSchema("supplier", "suppkey",
+			a("suppkey", str), a("sname", str), a("saddress", str), a("nationkey", str),
+			a("sphone", str), a("acctbal", fl), a("scomment", str)),
+		relation.MustSchema("customer", "custkey",
+			a("custkey", str), a("cname", str), a("caddress", str), a("nationkey", str),
+			a("cphone", str), a("cacctbal", fl), a("mktsegment", str), a("ccomment", str)),
+		relation.MustSchema("part", "partkey",
+			a("partkey", str), a("pname", str), a("mfgr", str), a("brand", str),
+			a("ptype", str), a("psize", intT), a("container", str), a("retailprice", fl),
+			a("pcomment", str)),
+		relation.MustSchema("partsupp", "pskey",
+			a("pskey", str), a("partkey", str), a("suppkey", str), a("availqty", intT),
+			a("supplycost", fl), a("pscomment", str)),
+		relation.MustSchema("orders", "orderkey",
+			a("orderkey", str), a("custkey", str), a("orderstatus", str), a("totalprice", fl),
+			a("orderdate", str), a("orderpriority", str), a("clerk", str), a("shippriority", intT),
+			a("ocomment", str)),
+		relation.MustSchema("lineitem", "lineid",
+			a("lineid", str), a("orderkey", str), a("partkey", str), a("suppkey", str),
+			a("linenumber", intT), a("quantity", intT), a("extendedprice", fl), a("discount", fl),
+			a("tax", fl), a("returnflag", str), a("shipdate", str), a("lcomment", str)),
+	)
+}
+
+// TPCHRulesText is the MRL set Σ for the TPC-H experiments: a six-rule
+// chain whose deepest deduction needs four rounds of recursion
+// (nation → customer → orders → lineitem), mirroring the φ_a / φ_b rules
+// of the paper's case study (Exp-4) and the 3-level "Argenztina" example.
+const TPCHRulesText = `
+# Nations: same region, typo-similar names.
+tn: nation(n) ^ nation(m) ^ n.regionkey = m.regionkey ^ lev075(n.nname, m.nname) -> n.id = m.id
+
+# Suppliers: same nation and phone, ML-similar names.
+ts: supplier(s) ^ supplier(u) ^ s.nationkey = u.nationkey ^ s.sphone = u.sphone ^ jaro085(s.sname, u.sname) -> s.id = u.id
+
+# Customers (deep+collective): matched nations, same phone, ML-similar names.
+tc: customer(c) ^ customer(d) ^ nation(n) ^ nation(m) ^ c.nationkey = n.nationkey ^
+    d.nationkey = m.nationkey ^ n.id = m.id ^ c.cphone = d.cphone ^ jaro085(c.cname, d.cname) -> c.id = d.id
+
+# Parts (deep+collective, the paper's φ_a): same supplier entity and supply
+# cost, ML-similar names.
+tp: part(p) ^ part(q) ^ partsupp(ps) ^ partsupp(qs) ^ supplier(s) ^ supplier(u) ^
+    ps.partkey = p.partkey ^ qs.partkey = q.partkey ^ ps.suppkey = s.suppkey ^
+    qs.suppkey = u.suppkey ^ s.id = u.id ^ ps.supplycost = qs.supplycost ^
+    jaro085(p.pname, q.pname) -> p.id = q.id
+
+# Orders (deep+collective, the paper's φ_b): matched customers, same total
+# price, date and an item with the same part, ML-similar clerk names.
+to: orders(o) ^ orders(w) ^ customer(c) ^ customer(d) ^ lineitem(l) ^ lineitem(k) ^
+    o.custkey = c.custkey ^ w.custkey = d.custkey ^ l.orderkey = o.orderkey ^
+    k.orderkey = w.orderkey ^ o.totalprice = w.totalprice ^ o.orderdate = w.orderdate ^
+    c.id = d.id ^ l.partkey = k.partkey ^ jaro085(o.clerk, w.clerk) -> o.id = w.id
+
+# Line items (deep): items of matched orders with the same line number and part.
+tl: lineitem(l) ^ lineitem(k) ^ orders(o) ^ orders(w) ^ l.orderkey = o.orderkey ^
+    k.orderkey = w.orderkey ^ o.id = w.id ^ l.linenumber = k.linenumber ^
+    l.partkey = k.partkey -> l.id = k.id
+`
+
+var (
+	tpchRegions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	tpchNations = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+		"GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+		"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+		"VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+	}
+	tpchSegments  = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	tpchTypes     = []string{"STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM BURNISHED NICKEL", "LARGE BRUSHED STEEL", "ECONOMY POLISHED BRASS"}
+	tpchContainer = []string{"SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PACK"}
+	tpchAdjies    = []string{"antique", "burnished", "chartreuse", "dim", "floral", "gainsboro", "honeydew", "ivory", "khaki", "lavender", "maroon", "navajo", "olive", "peru", "rosy", "sandy", "thistle", "wheat"}
+	tpchNouns     = []string{"almond", "brass", "copper", "drab", "ebony", "firebrick", "ghost", "hot", "indian", "lace", "metallic", "nickel", "orchid", "pale", "quartz", "rose", "steel", "tomato"}
+	tpchPriority  = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+)
+
+// TPCH generates the TPC-H-shaped dataset with planted deep duplicate
+// chains.
+func TPCH(opts TPCHOptions) *Generated {
+	if opts.Scale <= 0 {
+		opts.Scale = 0.1
+	}
+	n := NewNoiser(opts.Seed + 17)
+	d := relation.NewDataset(TPCHSchemas())
+	g := &Generated{D: d, RulesText: TPCHRulesText}
+	s, i, f := relation.S, relation.I, relation.F
+
+	scale := func(base int) int {
+		v := int(float64(base) * opts.Scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	numSupp := scale(200)
+	numCust := scale(2000)
+	numPart := scale(1500)
+	numOrders := scale(5000)
+
+	// Static relations.
+	for ri, rn := range tpchRegions {
+		d.MustAppend("region", s(fmt.Sprintf("R%d", ri)), s(rn), s("region comment"))
+	}
+	nations := make([]*relation.Tuple, len(tpchNations))
+	for ni, nn := range tpchNations {
+		nations[ni] = d.MustAppend("nation",
+			s(fmt.Sprintf("N%d", ni)), s(nn), s(fmt.Sprintf("R%d", ni%len(tpchRegions))), s("nation comment"))
+	}
+
+	// Suppliers.
+	supps := make([]*relation.Tuple, numSupp)
+	for si := 0; si < numSupp; si++ {
+		supps[si] = d.MustAppend("supplier",
+			s(fmt.Sprintf("S%d", si)),
+			s(fmt.Sprintf("Supplier %s %s %d", n.Pick(tpchAdjies), n.Pick(tpchNouns), si)),
+			s(fmt.Sprintf("%d Main Street", 100+si)),
+			s(fmt.Sprintf("N%d", si%len(tpchNations))),
+			s(fmt.Sprintf("27-%03d-%04d", si%999, 1000+si)),
+			f(float64(1000+si)+0.5),
+			s("supplier comment"))
+	}
+
+	// Customers.
+	custs := make([]*relation.Tuple, numCust)
+	for ci := 0; ci < numCust; ci++ {
+		custs[ci] = d.MustAppend("customer",
+			s(fmt.Sprintf("C%d", ci)),
+			s(fmt.Sprintf("Customer %s %s %d", n.Pick(tpchNouns), n.Pick(tpchAdjies), ci)),
+			s(fmt.Sprintf("%d Oak Avenue", 10+ci)),
+			s(fmt.Sprintf("N%d", ci%len(tpchNations))),
+			s(fmt.Sprintf("13-%04d-%04d", ci%9999, 2000+ci)),
+			f(float64(ci)*1.25),
+			s(tpchSegments[ci%len(tpchSegments)]),
+			s("customer comment"))
+	}
+
+	// Parts and partsupp (two suppliers per part, unique supply costs).
+	parts := make([]*relation.Tuple, numPart)
+	partSupps := make(map[int][]*relation.Tuple, numPart)
+	psCount := 0
+	for pi := 0; pi < numPart; pi++ {
+		parts[pi] = d.MustAppend("part",
+			s(fmt.Sprintf("P%d", pi)),
+			s(fmt.Sprintf("%s %s part %d", n.Pick(tpchAdjies), n.Pick(tpchNouns), pi)),
+			s(fmt.Sprintf("Manufacturer#%d", pi%5+1)),
+			s(fmt.Sprintf("Brand#%d%d", pi%5+1, pi%4+1)),
+			s(tpchTypes[pi%len(tpchTypes)]),
+			i(int64(pi%50+1)),
+			s(tpchContainer[pi%len(tpchContainer)]),
+			f(900+float64(pi)*0.1),
+			s("part comment"))
+		for k := 0; k < 2; k++ {
+			ps := d.MustAppend("partsupp",
+				s(fmt.Sprintf("PS%d", psCount)),
+				s(fmt.Sprintf("P%d", pi)),
+				s(fmt.Sprintf("S%d", (pi+k*7)%numSupp)),
+				i(int64(100+pi)),
+				f(10+float64(psCount)*0.01),
+				s("partsupp comment"))
+			partSupps[pi] = append(partSupps[pi], ps)
+			psCount++
+		}
+	}
+
+	// Orders and line items. Dates, prices and clerks come from small
+	// pools so that single-table matching on (price, date, clerk) alone
+	// is ambiguous — the discriminating signal is the customer entity
+	// and shared parts, which is what makes deep+collective ER win.
+	dates := make([]string, 30)
+	for di := range dates {
+		dates[di] = fmt.Sprintf("1996-%02d-%02d", di%12+1, di%28+1)
+	}
+	clerks := make([]string, 25)
+	for ci := range clerks {
+		clerks[ci] = fmt.Sprintf("Clerk#%09d", ci+1)
+	}
+	prices := make([]float64, 40)
+	for pi := range prices {
+		prices[pi] = float64(1000 + pi*250)
+	}
+	type orderChain struct {
+		order *relation.Tuple
+		cust  int
+		lines []*relation.Tuple
+	}
+	chains := make([]orderChain, numOrders)
+	usedCombo := make(map[string]bool) // customer+date+price uniqueness guard
+	lineCount := 0
+	for oi := 0; oi < numOrders; oi++ {
+		cust := n.Intn(numCust)
+		var date string
+		var price float64
+		for {
+			date = dates[n.Intn(len(dates))]
+			price = prices[n.Intn(len(prices))]
+			key := fmt.Sprintf("%d|%s|%g", cust, date, price)
+			if !usedCombo[key] {
+				usedCombo[key] = true
+				break
+			}
+		}
+		o := d.MustAppend("orders",
+			s(fmt.Sprintf("O%d", oi)),
+			s(fmt.Sprintf("C%d", cust)),
+			s("F"),
+			f(price),
+			s(date),
+			s(tpchPriority[oi%len(tpchPriority)]),
+			s(clerks[n.Intn(len(clerks))]),
+			i(0),
+			s("order comment"))
+		nl := 1 + n.Intn(3)
+		var lines []*relation.Tuple
+		for li := 0; li < nl; li++ {
+			part := n.Intn(numPart)
+			l := d.MustAppend("lineitem",
+				s(fmt.Sprintf("L%d", lineCount)),
+				s(fmt.Sprintf("O%d", oi)),
+				s(fmt.Sprintf("P%d", part)),
+				s(fmt.Sprintf("S%d", part%numSupp)),
+				i(int64(li+1)),
+				i(int64(1+n.Intn(50))),
+				f(price/float64(nl)),
+				f(0.05),
+				f(0.08),
+				s("N"),
+				s(date),
+				s("lineitem comment"))
+			lines = append(lines, l)
+			lineCount++
+		}
+		chains[oi] = orderChain{order: o, cust: cust, lines: lines}
+	}
+
+	// Duplicate injection. Dup fraction of order chains are duplicated
+	// deeply: the order's customer gets a noisy duplicate (and the
+	// customer's nation, once), the order itself is duplicated against
+	// the duplicate customer, and its line items against the duplicate
+	// order. Identifying the duplicate line items therefore needs four
+	// rounds of recursion. Additionally Dup fractions of parts and
+	// suppliers are duplicated.
+	truth := func(orig, dup *relation.Tuple) { g.Truth = append(g.Truth, [2]relation.TID{orig.GID, dup.GID}) }
+
+	dupCounter := 0
+	freshKey := func() string {
+		dupCounter++
+		return fmt.Sprintf("X%d", 1000+dupCounter*7)
+	}
+	dupNationOf := make(map[string]string) // nationkey -> duplicate nationkey
+	dupNationFor := func(nkey string) string {
+		if dk, ok := dupNationOf[nkey]; ok {
+			return dk
+		}
+		var orig *relation.Tuple
+		for _, nt := range nations {
+			if nt.Values[0].Str == nkey {
+				orig = nt
+				break
+			}
+		}
+		dk := freshKey()
+		dup := d.MustAppend("nation",
+			s(dk), s(n.Sub(orig.Values[1].Str)), orig.Values[2], s("dup nation"))
+		truth(orig, dup)
+		dupNationOf[nkey] = dk
+		return dk
+	}
+
+	dupCustOf := make(map[int]string) // customer index -> duplicate custkey
+	dupCustFor := func(ci int) string {
+		if ck, ok := dupCustOf[ci]; ok {
+			return ck
+		}
+		orig := custs[ci]
+		ck := freshKey()
+		phone := orig.Values[4]
+		if n.Float64() < 0.08 {
+			// Hard case: the duplicate lost its phone digits; this chain
+			// becomes unrecoverable and costs recall, like the residual
+			// errors in the paper's Table VI.
+			phone = relation.S("unknown")
+		}
+		dup := d.MustAppend("customer",
+			s(ck),
+			s(n.Typo(orig.Values[1].Str, 1)),
+			s(n.Drift(orig.Values[2].Str)),
+			s(dupNationFor(orig.Values[3].Str)),
+			phone,
+			orig.Values[5],
+			orig.Values[6],
+			s("dup customer"))
+		truth(orig, dup)
+		dupCustOf[ci] = ck
+		return ck
+	}
+
+	numDupOrders := int(opts.Dup * float64(numOrders))
+	perm := n.Perm(numOrders)
+	for _, oi := range perm[:numDupOrders] {
+		ch := chains[oi]
+		dupCust := dupCustFor(ch.cust)
+		ok := freshKey()
+		date := ch.order.Values[4]
+		if n.Float64() < 0.08 {
+			// Hard case: the duplicate order was re-entered on a later
+			// date and cannot be recovered by the rules.
+			date = relation.S("1997-01-01")
+		}
+		dupOrder := d.MustAppend("orders",
+			s(ok),
+			s(dupCust),
+			ch.order.Values[2],
+			ch.order.Values[3], // same totalprice
+			date,
+			ch.order.Values[5],
+			s(n.Typo(ch.order.Values[6].Str, 1)), // noisy clerk
+			ch.order.Values[7],
+			s("dup order"))
+		truth(ch.order, dupOrder)
+		for _, l := range ch.lines {
+			dupLine := d.MustAppend("lineitem",
+				s(freshKey()),
+				s(ok),
+				l.Values[2], l.Values[3], l.Values[4], l.Values[5],
+				l.Values[6], l.Values[7], l.Values[8], l.Values[9], l.Values[10],
+				s("dup lineitem"))
+			truth(l, dupLine)
+		}
+	}
+
+	numDupParts := int(opts.Dup * float64(numPart))
+	for _, pi := range n.Perm(numPart)[:numDupParts] {
+		orig := parts[pi]
+		pk := freshKey()
+		dup := d.MustAppend("part",
+			s(pk),
+			s(n.Typo(orig.Values[1].Str, 1)),
+			orig.Values[2], orig.Values[3], orig.Values[4], orig.Values[5],
+			orig.Values[6], orig.Values[7],
+			s("dup part"))
+		truth(orig, dup)
+		for _, ps := range partSupps[pi] {
+			d.MustAppend("partsupp",
+				s(freshKey()),
+				s(pk),
+				ps.Values[2], // same supplier
+				ps.Values[3],
+				ps.Values[4], // same supply cost
+				s("dup partsupp"))
+		}
+	}
+
+	numDupSupp := int(opts.Dup * float64(numSupp))
+	for _, si := range n.Perm(numSupp)[:numDupSupp] {
+		orig := supps[si]
+		dup := d.MustAppend("supplier",
+			s(freshKey()),
+			s(n.Typo(orig.Values[1].Str, 1)),
+			s(n.Drift(orig.Values[2].Str)),
+			orig.Values[3],
+			orig.Values[4], // same phone
+			orig.Values[5],
+			s("dup supplier"))
+		truth(orig, dup)
+	}
+
+	return g
+}

@@ -1,0 +1,53 @@
+package datagen_test
+
+import (
+	"testing"
+
+	"dcer/internal/chase"
+	"dcer/internal/datagen"
+	"dcer/internal/eval"
+	"dcer/internal/mlpred"
+)
+
+// TestTPCHEndToEnd generates the TPC-H-shaped dataset, chases it with the
+// six-rule deep chain, and checks the accuracy is high (the planted
+// duplicates are recoverable) with few false positives.
+func TestTPCHEndToEnd(t *testing.T) {
+	g := datagen.TPCH(datagen.TPCHOptions{Scale: 0.1, Dup: 0.3, Seed: 1})
+	rules, err := g.Rules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chase.New(g.D, rules, mlpred.DefaultRegistry(), chase.Options{ShareIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	m := eval.EvaluateClasses(eng.Classes(), eval.NewTruth(g.Truth))
+	t.Logf("TPCH scale=0.1 dup=0.3: %s (|D|=%d, truth=%d)", m, g.D.Size(), len(g.Truth))
+	if m.F1 < 0.8 {
+		t.Errorf("TPCH F1 = %.3f, want >= 0.8", m.F1)
+	}
+	if m.Precision < 0.95 {
+		t.Errorf("TPCH precision = %.3f, want >= 0.95", m.Precision)
+	}
+}
+
+// TestTFACCEndToEnd does the same for the TFACC-shaped dataset.
+func TestTFACCEndToEnd(t *testing.T) {
+	g := datagen.TFACC(datagen.TFACCOptions{Scale: 0.1, Dup: 0.3, Seed: 1})
+	rules, err := g.Rules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := chase.New(g.D, rules, mlpred.DefaultRegistry(), chase.Options{ShareIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	m := eval.EvaluateClasses(eng.Classes(), eval.NewTruth(g.Truth))
+	t.Logf("TFACC scale=0.1 dup=0.3: %s (|D|=%d, truth=%d)", m, g.D.Size(), len(g.Truth))
+	if m.F1 < 0.8 {
+		t.Errorf("TFACC F1 = %.3f, want >= 0.8", m.F1)
+	}
+}

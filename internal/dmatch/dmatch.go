@@ -1,0 +1,315 @@
+// Package dmatch implements the parallel algorithm DMatch of Section V-B:
+// the BSP fixpoint model of Section III-B over fragments produced by
+// HyPart. Each worker runs the sequential chase engine on its fragment —
+// partial evaluation A (Deduce) in the first superstep, incremental A_Δ
+// (IncDeduce) afterwards — and a master routes newly deduced matches and
+// validated ML predictions to the workers hosting either tuple. No raw
+// tuples are ever exchanged after partitioning, only facts.
+//
+// DMatch is parallelly scalable relative to Match (Theorem 7): work is
+// evenly spread by HyPart's virtual blocks + LPT balancing, and the total
+// incremental work is bounded by the number of facts, so runtime shrinks
+// proportionally as workers are added.
+package dmatch
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dcer/internal/chase"
+	"dcer/internal/hypart"
+	"dcer/internal/mlpred"
+	"dcer/internal/relation"
+	"dcer/internal/rule"
+	"dcer/internal/unionfind"
+)
+
+// Options configures a DMatch run.
+type Options struct {
+	// Workers is the number n of workers; 0 means GOMAXPROCS.
+	Workers int
+	// NoMQO disables hash-function sharing in HyPart and index/ML-cache
+	// sharing in the per-worker engines (the DMatch_noMQO ablation).
+	NoMQO bool
+	// MaxDeps is the per-worker dependency-store capacity K (see chase).
+	MaxDeps int
+	// ReplicationCap bounds HyPart's per-tuple copy factor (see hypart).
+	ReplicationCap int
+	// MaxSupersteps bounds the BSP loop as a safety net; 0 means 1 << 20.
+	MaxSupersteps int
+	// Sequential forces the supersteps to run workers one at a time;
+	// useful for deterministic debugging.
+	Sequential bool
+}
+
+// Result is the outcome of a parallel run.
+type Result struct {
+	// Matches is the deduplicated set of deduced match facts.
+	Matches []chase.Fact
+	// Validated is the deduplicated set of validated ML predictions.
+	Validated []chase.Fact
+	// Eq is the global id-equivalence relation E_id over the dataset.
+	Eq *unionfind.UnionFind
+
+	Supersteps     int
+	MessagesRouted int64 // facts delivered worker->worker via the master
+	FactsProduced  int64 // facts reported by workers incl. duplicates
+	PartitionStats hypart.Stats
+	PartitionTime  time.Duration
+	ERTime         time.Duration
+	// SimulatedTime is the BSP makespan: per superstep, the maximum
+	// compute time over the workers, summed over supersteps. On a
+	// machine with fewer cores than workers this — not wall-clock ERTime
+	// — is the faithful stand-in for the runtime on a real n-machine
+	// cluster (use Options.Sequential for undistorted per-worker
+	// timings). The parallel-scalability experiments report it.
+	SimulatedTime time.Duration
+	WorkerStats   []chase.Stats
+
+	d *relation.Dataset
+}
+
+// Same reports whether two tuples are matched in the global Γ.
+func (r *Result) Same(a, b relation.TID) bool {
+	return a == b || r.Eq.Same(int(a), int(b))
+}
+
+// Classes returns the non-singleton global equivalence classes.
+func (r *Result) Classes() [][]relation.TID {
+	groups := make(map[int][]relation.TID)
+	for _, t := range r.d.Tuples() {
+		root := r.Eq.Find(int(t.GID))
+		groups[root] = append(groups[root], t.GID)
+	}
+	var out [][]relation.TID
+	for _, g := range groups {
+		if len(g) > 1 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// scopeKey fingerprints a sorted id list for scope deduplication.
+func scopeKey(ids []relation.TID) string {
+	var b strings.Builder
+	b.Grow(len(ids) * 4)
+	for _, id := range ids {
+		b.WriteString(strconv.Itoa(int(id)))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// Run partitions d with HyPart and executes the BSP fixpoint with n
+// workers.
+func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Options) (*Result, error) {
+	n := opts.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxSteps := opts.MaxSupersteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+
+	t0 := time.Now()
+	part, err := hypart.Partition(d, rules, n, hypart.Options{
+		Share:          !opts.NoMQO,
+		ReplicationCap: opts.ReplicationCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{PartitionStats: part.Stats, d: d}
+	res.PartitionTime = time.Since(t0)
+
+	idSpace := 0
+	for _, t := range d.Tuples() {
+		if int(t.GID)+1 > idSpace {
+			idSpace = int(t.GID) + 1
+		}
+	}
+
+	// Build one chase engine per worker over its fragment, with each rule
+	// scoped to the union of the worker's blocks generated for that rule
+	// (hypercube semantics: a rule is checked within its own blocks).
+	// Identical rule scopes are deduplicated so MQO index sharing applies.
+	workers := make([]*chase.Engine, n)
+	hosts := make(map[relation.TID][]int)
+	for i, frag := range part.Fragments {
+		fd := d.Fragment(frag)
+		scopes := make([]*relation.Dataset, len(rules))
+		byContent := map[string]*relation.Dataset{}
+		for ri, ids := range part.RuleFragments[i] {
+			if len(ids) == len(frag) {
+				scopes[ri] = fd
+				continue
+			}
+			key := scopeKey(ids)
+			if sc, ok := byContent[key]; ok {
+				scopes[ri] = sc
+				continue
+			}
+			sc := d.Fragment(ids)
+			byContent[key] = sc
+			scopes[ri] = sc
+		}
+		eng, err := chase.NewScoped(fd, rules, scopes, reg, chase.Options{
+			MaxDeps:      opts.MaxDeps,
+			ShareIndexes: !opts.NoMQO,
+			IDSpace:      idSpace,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dmatch: worker %d: %w", i, err)
+		}
+		workers[i] = eng
+		for _, gid := range frag {
+			hosts[gid] = append(hosts[gid], i)
+		}
+	}
+
+	t1 := time.Now()
+	// The master tracks the global E_id (with class member lists) so that
+	// a match merging classes Ca and Cb can be routed to every worker
+	// hosting *any* member of either class: a worker hosting x and y
+	// needs the bridging fact (a,b) even when it hosts neither a nor b,
+	// otherwise transitive chains through remote tuples would be lost.
+	guf := chase.BuildEquivalence(d, nil)
+	members := make(map[int][]relation.TID, d.Size())
+	for _, t := range d.Tuples() {
+		root := guf.Find(int(t.GID))
+		members[root] = append(members[root], t.GID)
+	}
+	seenML := make(map[chase.Fact]bool)
+	inboxes := make([][]chase.Fact, n)
+	deltas := make([][]chase.Fact, n)
+
+	elapsed := make([]time.Duration, n)
+	runStep := func(step int) {
+		if opts.Sequential {
+			for i := range workers {
+				start := time.Now()
+				if step == 0 {
+					deltas[i] = workers[i].Deduce()
+				} else if len(inboxes[i]) > 0 {
+					deltas[i] = workers[i].IncDeduce(inboxes[i])
+				} else {
+					deltas[i] = nil
+				}
+				elapsed[i] = time.Since(start)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		for i := range workers {
+			if step > 0 && len(inboxes[i]) == 0 {
+				deltas[i] = nil
+				elapsed[i] = 0
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				start := time.Now()
+				if step == 0 {
+					deltas[i] = workers[i].Deduce()
+				} else {
+					deltas[i] = workers[i].IncDeduce(inboxes[i])
+				}
+				elapsed[i] = time.Since(start)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	for step := 0; step < maxSteps; step++ {
+		runStep(step)
+		res.Supersteps++
+		var stepMax time.Duration
+		for _, e := range elapsed {
+			if e > stepMax {
+				stepMax = e
+			}
+		}
+		res.SimulatedTime += stepMax
+		// Master: take the union of the workers' new facts, record them
+		// in the global Γ, and route each to the other hosts of its
+		// tuples (the ΔΓ_i of the fixpoint equations).
+		next := make([][]chase.Fact, n)
+		route := func(f chase.Fact, from int, recipients map[int]bool) {
+			for host := range recipients {
+				if host == from {
+					continue
+				}
+				next[host] = append(next[host], f)
+				res.MessagesRouted++
+			}
+		}
+		for w, delta := range deltas {
+			res.FactsProduced += int64(len(delta))
+			for _, f := range delta {
+				if f.Kind == chase.FactMatch {
+					ra, rb := guf.Find(int(f.A)), guf.Find(int(f.B))
+					if ra == rb {
+						continue // globally redundant
+					}
+					recipients := make(map[int]bool)
+					for _, gid := range members[ra] {
+						for _, h := range hosts[gid] {
+							recipients[h] = true
+						}
+					}
+					for _, gid := range members[rb] {
+						for _, h := range hosts[gid] {
+							recipients[h] = true
+						}
+					}
+					merged := append(members[ra], members[rb]...)
+					guf.Union(ra, rb)
+					root := guf.Find(ra)
+					delete(members, ra)
+					delete(members, rb)
+					members[root] = merged
+					res.Matches = append(res.Matches, f)
+					route(f, w, recipients)
+				} else {
+					if seenML[f] {
+						continue
+					}
+					seenML[f] = true
+					res.Validated = append(res.Validated, f)
+					recipients := make(map[int]bool)
+					for _, h := range hosts[f.A] {
+						recipients[h] = true
+					}
+					for _, h := range hosts[f.B] {
+						recipients[h] = true
+					}
+					route(f, w, recipients)
+				}
+			}
+		}
+		inboxes = next
+		empty := true
+		for _, in := range inboxes {
+			if len(in) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			break
+		}
+	}
+	res.ERTime = time.Since(t1)
+	res.Eq = guf
+	for _, w := range workers {
+		res.WorkerStats = append(res.WorkerStats, w.Stats())
+	}
+	return res, nil
+}

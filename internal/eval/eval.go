@@ -1,0 +1,96 @@
+// Package eval measures ER accuracy against planted ground truth using the
+// paper's metrics: Precision, Recall and F-Measure over duplicate pairs.
+package eval
+
+import (
+	"fmt"
+
+	"dcer/internal/relation"
+)
+
+// Truth is the set of ground-truth duplicate pairs (unordered).
+type Truth struct {
+	pairs map[[2]relation.TID]bool
+}
+
+func canonical(a, b relation.TID) [2]relation.TID {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]relation.TID{a, b}
+}
+
+// NewTruth builds a truth set from (original, duplicate) pairs.
+func NewTruth(pairs [][2]relation.TID) *Truth {
+	t := &Truth{pairs: make(map[[2]relation.TID]bool, len(pairs))}
+	for _, p := range pairs {
+		t.pairs[canonical(p[0], p[1])] = true
+	}
+	return t
+}
+
+// Len returns the number of ground-truth pairs.
+func (t *Truth) Len() int { return len(t.pairs) }
+
+// Has reports whether (a, b) is a true duplicate pair.
+func (t *Truth) Has(a, b relation.TID) bool { return t.pairs[canonical(a, b)] }
+
+// Metrics is the accuracy result of one matcher run.
+type Metrics struct {
+	TP, FP, FN int
+	Precision  float64
+	Recall     float64
+	F1         float64
+}
+
+// String renders the metrics in one line.
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.4f R=%.4f F=%.4f (tp=%d fp=%d fn=%d)", m.Precision, m.Recall, m.F1, m.TP, m.FP, m.FN)
+}
+
+func finish(m *Metrics, truthLen int) {
+	m.FN = truthLen - m.TP
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	if truthLen > 0 {
+		m.Recall = float64(m.TP) / float64(truthLen)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+}
+
+// EvaluatePairs scores an explicit list of predicted duplicate pairs.
+func EvaluatePairs(pred [][2]relation.TID, truth *Truth) Metrics {
+	var m Metrics
+	seen := make(map[[2]relation.TID]bool, len(pred))
+	for _, p := range pred {
+		c := canonical(p[0], p[1])
+		if c[0] == c[1] || seen[c] {
+			continue
+		}
+		seen[c] = true
+		if truth.pairs[c] {
+			m.TP++
+		} else {
+			m.FP++
+		}
+	}
+	finish(&m, truth.Len())
+	return m
+}
+
+// EvaluateClasses scores equivalence classes: the predicted pairs are all
+// unordered tuple pairs within each class.
+func EvaluateClasses(classes [][]relation.TID, truth *Truth) Metrics {
+	var pred [][2]relation.TID
+	for _, c := range classes {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				pred = append(pred, [2]relation.TID{c[i], c[j]})
+			}
+		}
+	}
+	return EvaluatePairs(pred, truth)
+}

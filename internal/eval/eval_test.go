@@ -1,0 +1,68 @@
+package eval_test
+
+import (
+	"math"
+	"testing"
+
+	"dcer/internal/eval"
+	"dcer/internal/relation"
+)
+
+func pairs(ps ...[2]int) [][2]relation.TID {
+	out := make([][2]relation.TID, len(ps))
+	for i, p := range ps {
+		out[i] = [2]relation.TID{relation.TID(p[0]), relation.TID(p[1])}
+	}
+	return out
+}
+
+func TestEvaluatePairs(t *testing.T) {
+	truth := eval.NewTruth(pairs([2]int{1, 2}, [2]int{3, 4}))
+	if truth.Len() != 2 || !truth.Has(2, 1) || truth.Has(1, 3) {
+		t.Fatal("truth set wrong")
+	}
+	m := eval.EvaluatePairs(pairs([2]int{2, 1}, [2]int{5, 6}), truth)
+	if m.TP != 1 || m.FP != 1 || m.FN != 1 {
+		t.Errorf("counts = %+v", m)
+	}
+	if math.Abs(m.Precision-0.5) > 1e-9 || math.Abs(m.Recall-0.5) > 1e-9 || math.Abs(m.F1-0.5) > 1e-9 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestEvaluatePairsDedupAndSelf(t *testing.T) {
+	truth := eval.NewTruth(pairs([2]int{1, 2}))
+	m := eval.EvaluatePairs(pairs([2]int{1, 2}, [2]int{2, 1}, [2]int{3, 3}), truth)
+	if m.TP != 1 || m.FP != 0 {
+		t.Errorf("dedup/self-pair handling wrong: %+v", m)
+	}
+}
+
+func TestEvaluateClasses(t *testing.T) {
+	truth := eval.NewTruth(pairs([2]int{1, 2}, [2]int{2, 3}, [2]int{1, 3}))
+	// One perfect class {1,2,3} = 3 predicted pairs, all true.
+	m := eval.EvaluateClasses([][]relation.TID{{1, 2, 3}}, truth)
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Errorf("perfect class: %+v", m)
+	}
+	// Over-merged class {1,2,3,9} adds 3 false pairs.
+	m = eval.EvaluateClasses([][]relation.TID{{1, 2, 3, 9}}, truth)
+	if m.TP != 3 || m.FP != 3 {
+		t.Errorf("over-merge: %+v", m)
+	}
+}
+
+func TestEmptyEdges(t *testing.T) {
+	truth := eval.NewTruth(nil)
+	m := eval.EvaluatePairs(nil, truth)
+	if m.F1 != 0 || m.Precision != 0 || m.Recall != 0 {
+		t.Errorf("empty metrics: %+v", m)
+	}
+	m = eval.EvaluatePairs(pairs([2]int{1, 2}), truth)
+	if m.FP != 1 || m.Precision != 0 {
+		t.Errorf("all-FP metrics: %+v", m)
+	}
+	if m.String() == "" {
+		t.Error("String empty")
+	}
+}

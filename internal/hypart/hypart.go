@@ -1,0 +1,347 @@
+// Package hypart implements HyPart (Section IV): data partitioning for
+// deep and collective ER in place of blocking. It extends the Hypercube
+// algorithm to a set of MRLs using the MQO hash-function assignment, lays
+// tuples out over virtual blocks (n² blocks for n workers), and assigns
+// blocks to workers with an LPT minimum-makespan heuristic to balance the
+// load.
+//
+// The partition has the locality property of Lemma 6: every valuation of
+// every rule is fully contained in at least one fragment, so checking
+// D ⊨ Σ (and chasing) can be done locally, with only deduced matches and
+// validated ML predictions exchanged between workers.
+package hypart
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dcer/internal/mqo"
+	"dcer/internal/relation"
+	"dcer/internal/rule"
+)
+
+// Options configures the partitioner.
+type Options struct {
+	// Share enables MQO hash-function sharing (HyPart proper); false is
+	// the DMatch_noMQO configuration.
+	Share bool
+	// VirtualBlocks overrides the number of virtual blocks; 0 means n².
+	VirtualBlocks int
+	// ReplicationCap bounds the per-tuple copy factor of any rule: a
+	// dimension is only enlarged while every tuple variable's broadcast
+	// product stays within the cap. This is the pragmatic stand-in for
+	// the Lagrangean extent allocation of Afrati-Ullman — wide collective
+	// rules keep locality (Lemma 6) but are spread over fewer blocks.
+	// Replication is inherent to Hypercube multi-way joins (the
+	// communication-optimal factor for a ρ-wide join is n^(1-1/ρ)), so
+	// the default grows with the worker count: max(4, n/2).
+	ReplicationCap int
+}
+
+// Stats reports the partitioning work, for the Exp-2 experiments.
+type Stats struct {
+	HashComputations int64 // distinct hash-function evaluations
+	HashLookups      int64 // total evaluations incl. memoized reuse
+	GeneratedTuples  int64 // |H(Σ,D)|: tuple copies generated before dedup
+	PlacedTuples     int64 // tuple copies after per-block dedup
+	Blocks           int   // non-empty virtual blocks
+	HashFns          int   // hash functions used (after sharing)
+	HashFnsBaseline  int   // one-per-distinct-variable baseline
+	MaxFragment      int
+	MinFragment      int
+}
+
+// Result is the computed partition.
+type Result struct {
+	// Fragments[i] lists the GIDs assigned to worker i (deduplicated):
+	// the union of the virtual blocks placed on the worker.
+	Fragments [][]relation.TID
+	// RuleFragments[i][r] lists the GIDs of worker i's blocks that were
+	// generated for rule r. Hypercube semantics evaluate each rule within
+	// its own blocks; scoping the chase per rule avoids every rule
+	// re-scanning tuples that other rules' blocks brought to the worker.
+	RuleFragments [][][]relation.TID
+	Plan          *mqo.Plan
+	Stats         Stats
+}
+
+// dim is one hypercube dimension of a rule: a distinct-variable class with
+// its hash function and extent.
+type dim struct {
+	dv   *rule.DistinctVar
+	fn   int
+	size int
+}
+
+// Partition splits dataset d into n fragments for the rule set Σ.
+func Partition(d *relation.Dataset, rules []*rule.Rule, n int, opts Options) (*Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hypart: need at least one worker, got %d", n)
+	}
+	plan, err := mqo.Build(rules, opts.Share)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: plan}
+	res.Stats.HashFns, res.Stats.HashFnsBaseline = plan.Savings()
+	if n == 1 {
+		ids := make([]relation.TID, 0, d.Size())
+		for _, t := range d.Tuples() {
+			ids = append(ids, t.GID)
+		}
+		res.Fragments = [][]relation.TID{ids}
+		perRule := make([][]relation.TID, len(rules))
+		for r := range perRule {
+			perRule[r] = ids
+		}
+		res.RuleFragments = [][][]relation.TID{perRule}
+		res.Stats.MaxFragment, res.Stats.MinFragment = len(ids), len(ids)
+		return res, nil
+	}
+
+	vb := opts.VirtualBlocks
+	if vb == 0 {
+		vb = n * n
+	}
+	hasher := mqo.NewHasher()
+	blocks := make(map[string]map[relation.TID]bool)
+	blockRules := make(map[string]map[int]bool)
+
+	repCap := opts.ReplicationCap
+	if repCap <= 0 {
+		repCap = 4
+		if n/2 > repCap {
+			repCap = n / 2
+		}
+	}
+	relSizes := make([]int, len(d.Relations))
+	for i, rel := range d.Relations {
+		relSizes[i] = len(rel.Tuples)
+	}
+	for ri, ra := range plan.Assignments {
+		dims := buildDims(ra, vb, repCap, relSizes)
+		ruleKeys := make(map[string]bool)
+		for vi, v := range ra.Rule.Vars {
+			rel := d.Relations[v.RelIdx]
+			// Split dimensions into hashed (the variable has a member
+			// attribute in the class) and broadcast.
+			var hashed []int
+			var bcast []int
+			for di := range dims {
+				if _, ok := dims[di].dv.AttrOf(vi); ok {
+					hashed = append(hashed, di)
+				} else if dims[di].size > 1 {
+					bcast = append(bcast, di)
+				}
+			}
+			for _, t := range rel.Tuples {
+				coord := make([]int, len(dims))
+				for di := range coord {
+					coord[di] = -1 // size-1 or broadcast dims default below
+				}
+				for di := range dims {
+					if dims[di].size == 1 {
+						coord[di] = 0
+					}
+				}
+				for _, di := range hashed {
+					attr, _ := dims[di].dv.AttrOf(vi)
+					coord[di] = int(hasher.Hash(dims[di].fn, t.Values[attr])) % dims[di].size
+				}
+				emitBlocks(dims, coord, bcast, 0, t.GID, blocks, ruleKeys, &res.Stats)
+			}
+		}
+		for key := range ruleKeys {
+			rs, ok := blockRules[key]
+			if !ok {
+				rs = make(map[int]bool)
+				blockRules[key] = rs
+			}
+			rs[ri] = true
+		}
+	}
+	res.Stats.HashComputations = hasher.Computations
+	res.Stats.HashLookups = hasher.Lookups
+	res.Stats.Blocks = len(blocks)
+
+	// LPT minimum-makespan assignment of virtual blocks to workers.
+	type blockInfo struct {
+		key  string
+		size int
+	}
+	infos := make([]blockInfo, 0, len(blocks))
+	for k, set := range blocks {
+		infos = append(infos, blockInfo{k, len(set)})
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].size != infos[j].size {
+			return infos[i].size > infos[j].size
+		}
+		return infos[i].key < infos[j].key
+	})
+	load := make([]int, n)
+	fragSets := make([]map[relation.TID]bool, n)
+	ruleSets := make([][]map[relation.TID]bool, n)
+	for i := range fragSets {
+		fragSets[i] = make(map[relation.TID]bool)
+		ruleSets[i] = make([]map[relation.TID]bool, len(rules))
+	}
+	for _, bi := range infos {
+		w := 0
+		for i := 1; i < n; i++ {
+			if load[i] < load[w] {
+				w = i
+			}
+		}
+		load[w] += bi.size
+		for gid := range blocks[bi.key] {
+			fragSets[w][gid] = true
+		}
+		for ri := range blockRules[bi.key] {
+			set := ruleSets[w][ri]
+			if set == nil {
+				set = make(map[relation.TID]bool)
+				ruleSets[w][ri] = set
+			}
+			for gid := range blocks[bi.key] {
+				set[gid] = true
+			}
+		}
+	}
+	res.Fragments = make([][]relation.TID, n)
+	res.RuleFragments = make([][][]relation.TID, n)
+	res.Stats.MinFragment = int(^uint(0) >> 1)
+	sortIDs := func(set map[relation.TID]bool) []relation.TID {
+		ids := make([]relation.TID, 0, len(set))
+		for gid := range set {
+			ids = append(ids, gid)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		return ids
+	}
+	for i, set := range fragSets {
+		ids := sortIDs(set)
+		res.Fragments[i] = ids
+		res.RuleFragments[i] = make([][]relation.TID, len(rules))
+		for ri, rset := range ruleSets[i] {
+			res.RuleFragments[i][ri] = sortIDs(rset)
+		}
+		if len(ids) > res.Stats.MaxFragment {
+			res.Stats.MaxFragment = len(ids)
+		}
+		if len(ids) < res.Stats.MinFragment {
+			res.Stats.MinFragment = len(ids)
+		}
+	}
+	return res, nil
+}
+
+// buildDims allocates hypercube extents to a rule's dimensions by greedy
+// doubling, the pragmatic stand-in for the Lagrangean allocation of
+// Afrati-Ullman: at each step it doubles the dimension whose member
+// variables contribute the most tuples to each block (so the doubling
+// shrinks the expected block the most), refusing any doubling that would
+// push some variable's broadcast product beyond repCap or exceed the block
+// budget vb. Constant-pinned dimensions carry one value and keep extent 1.
+func buildDims(ra *mqo.RuleAssignment, vb, repCap int, relSizes []int) []dim {
+	dims := make([]dim, len(ra.DVs))
+	for _, di := range ra.DimOrder {
+		dims[di] = dim{dv: ra.DVs[di], fn: ra.HashFn[di], size: 1}
+	}
+	nvars := len(ra.Rule.Vars)
+	// replication(v) = product of extents of dimensions without a member
+	// on v — the number of copies each tuple bound to v generates.
+	replication := func(v int) int {
+		r := 1
+		for di := range dims {
+			if _, ok := dims[di].dv.AttrOf(v); !ok {
+				r *= dims[di].size
+			}
+		}
+		return r
+	}
+	// contribution(v) = expected tuples variable v places in one block.
+	contribution := func(v int) float64 {
+		c := float64(relSizes[ra.Rule.Vars[v].RelIdx])
+		for di := range dims {
+			if _, ok := dims[di].dv.AttrOf(v); ok {
+				c /= float64(dims[di].size)
+			}
+		}
+		return c
+	}
+	product := 1
+	for product*2 <= vb {
+		best, bestGain := -1, 0.0
+		for di := range dims {
+			if dims[di].dv.Const {
+				continue
+			}
+			// Doubling di halves its member variables' block contribution
+			// but doubles the broadcast of every non-member variable;
+			// check the cap.
+			ok := true
+			gain := 0.0
+			for v := 0; v < nvars; v++ {
+				if _, member := dims[di].dv.AttrOf(v); member {
+					gain += contribution(v) / 2
+				} else if replication(v)*2 > repCap {
+					ok = false
+					break
+				}
+			}
+			if !ok || gain <= 0 {
+				continue
+			}
+			if best < 0 || gain > bestGain {
+				best, bestGain = di, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		dims[best].size *= 2
+		product *= 2
+	}
+	return dims
+}
+
+// emitBlocks enumerates the broadcast combinations of coord and registers
+// the tuple in each resulting block. Block keys embed (fn, extent, bucket)
+// per dimension, so rules sharing all hash functions and extents share
+// blocks — the tuple-copy dedup that MQO sharing buys.
+func emitBlocks(dims []dim, coord []int, bcast []int, bi int, gid relation.TID,
+	blocks map[string]map[relation.TID]bool, ruleKeys map[string]bool, stats *Stats) {
+	if bi == len(bcast) {
+		stats.GeneratedTuples++
+		key := blockKey(dims, coord)
+		ruleKeys[key] = true
+		set, ok := blocks[key]
+		if !ok {
+			set = make(map[relation.TID]bool)
+			blocks[key] = set
+		}
+		if !set[gid] {
+			set[gid] = true
+			stats.PlacedTuples++
+		}
+		return
+	}
+	di := bcast[bi]
+	for b := 0; b < dims[di].size; b++ {
+		coord[di] = b
+		emitBlocks(dims, coord, bcast, bi+1, gid, blocks, ruleKeys, stats)
+	}
+	coord[di] = -1
+}
+
+func blockKey(dims []dim, coord []int) string {
+	parts := make([]string, len(dims))
+	for i := range dims {
+		parts[i] = strconv.Itoa(dims[i].fn) + "/" + strconv.Itoa(dims[i].size) + ":" + strconv.Itoa(coord[i])
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,256 @@
+package hypart_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dcer/internal/datagen"
+	"dcer/internal/hypart"
+	"dcer/internal/relation"
+	"dcer/internal/rule"
+)
+
+// bruteValuations enumerates every valuation of r over d that satisfies
+// the static (constant and equality) predicates, ignoring id and ML
+// predicates — exactly the valuations Lemma 6 requires to be co-located,
+// since id/ML predicates can become true through deduction.
+func bruteValuations(d *relation.Dataset, r *rule.Rule, emit func([]*relation.Tuple)) {
+	binding := make([]*relation.Tuple, len(r.Vars))
+	ok := func(v int, t *relation.Tuple) bool {
+		for i := range r.Body {
+			p := &r.Body[i]
+			switch p.Kind {
+			case rule.PredConst:
+				if p.V1 == v && !t.Values[p.A1].Equal(p.Const) {
+					return false
+				}
+			case rule.PredEq:
+				if p.V1 == v && p.V2 == v {
+					if !t.Values[p.A1].Equal(t.Values[p.A2]) {
+						return false
+					}
+				} else if p.V1 == v && p.V2 < v && binding[p.V2] != nil {
+					if !t.Values[p.A1].Equal(binding[p.V2].Values[p.A2]) {
+						return false
+					}
+				} else if p.V2 == v && p.V1 < v && binding[p.V1] != nil {
+					if !t.Values[p.A2].Equal(binding[p.V1].Values[p.A1]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	var walk func(v int)
+	walk = func(v int) {
+		if v == len(r.Vars) {
+			emit(binding)
+			return
+		}
+		for _, t := range d.Relations[r.Vars[v].RelIdx].Tuples {
+			if !ok(v, t) {
+				continue
+			}
+			binding[v] = t
+			walk(v + 1)
+		}
+	}
+	walk(0)
+}
+
+// TestLemma6Locality checks HyPart's locality property on the paper's
+// running example: every static-satisfying valuation of every rule is
+// fully contained in at least one fragment, for several worker counts and
+// both MQO settings.
+func TestLemma6Locality(t *testing.T) {
+	d, _ := datagen.PaperExample()
+	rules, err := datagen.PaperRules(d.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, share := range []bool{true, false} {
+		for _, n := range []int{2, 3, 4, 8, 16} {
+			res, err := hypart.Partition(d, rules, n, hypart.Options{Share: share})
+			if err != nil {
+				t.Fatalf("share=%v n=%d: %v", share, n, err)
+			}
+			fragSets := make([]map[relation.TID]bool, n)
+			for i, frag := range res.Fragments {
+				fragSets[i] = make(map[relation.TID]bool, len(frag))
+				for _, gid := range frag {
+					fragSets[i][gid] = true
+				}
+			}
+			for _, r := range rules {
+				violations := 0
+				bruteValuations(d, r, func(binding []*relation.Tuple) {
+					for _, fs := range fragSets {
+						all := true
+						for _, b := range binding {
+							if !fs[b.GID] {
+								all = false
+								break
+							}
+						}
+						if all {
+							return
+						}
+					}
+					violations++
+				})
+				if violations > 0 {
+					t.Errorf("share=%v n=%d rule %s: %d valuations not co-located", share, n, r.Name, violations)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma6LocalityRandom repeats the locality check on random datasets
+// and random rule sets (the same generator as the chase oracle tests),
+// asserting per-rule block co-location: every static-satisfying valuation
+// of rule r is contained in some worker's rule-r fragment.
+func TestLemma6LocalityRandom(t *testing.T) {
+	for seed := int64(200); seed < 220; seed++ {
+		d, rules := randomPartitionInstance(t, seed)
+		for _, n := range []int{3, 7} {
+			res, err := hypart.Partition(d, rules, n, hypart.Options{Share: seed%2 == 0})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for ri, r := range rules {
+				scopeSets := make([]map[relation.TID]bool, n)
+				for w := 0; w < n; w++ {
+					scopeSets[w] = make(map[relation.TID]bool)
+					for _, gid := range res.RuleFragments[w][ri] {
+						scopeSets[w][gid] = true
+					}
+				}
+				violations := 0
+				bruteValuations(d, r, func(binding []*relation.Tuple) {
+					for _, fs := range scopeSets {
+						all := true
+						for _, b := range binding {
+							if !fs[b.GID] {
+								all = false
+								break
+							}
+						}
+						if all {
+							return
+						}
+					}
+					violations++
+				})
+				if violations > 0 {
+					t.Errorf("seed %d n=%d rule %s: %d valuations not co-located in any rule fragment",
+						seed, n, r.Name, violations)
+				}
+			}
+		}
+	}
+}
+
+// randomPartitionInstance builds small random datasets and rules for the
+// locality property test (kept narrow: brute-force enumeration must stay
+// cheap).
+func randomPartitionInstance(t *testing.T, seed int64) (*relation.Dataset, []*rule.Rule) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	str := relation.TypeString
+	a := func(n string) relation.Attribute { return relation.Attribute{Name: n, Type: str} }
+	db := relation.MustDatabase(
+		relation.MustSchema("P", "pk", a("pk"), a("x"), a("y"), a("ref")),
+		relation.MustSchema("Q", "qk", a("qk"), a("x"), a("y"), a("ref")),
+	)
+	d := relation.NewDataset(db)
+	vals := []string{"u", "v", "w", "z"}
+	names := []string{"P", "Q"}
+	size := 8 + rng.Intn(8)
+	for _, rel := range names {
+		for i := 0; i < size; i++ {
+			d.MustAppend(rel,
+				relation.S(fmt.Sprintf("%s%d", rel, i)),
+				relation.S(vals[rng.Intn(len(vals))]),
+				relation.S(vals[rng.Intn(len(vals))]),
+				relation.S(fmt.Sprintf("%s%d", names[rng.Intn(2)], rng.Intn(size))))
+		}
+	}
+	var text string
+	for ri := 0; ri < 2+rng.Intn(3); ri++ {
+		ra, rb := names[rng.Intn(2)], names[rng.Intn(2)]
+		body := fmt.Sprintf("a.x = b.%s", []string{"x", "y"}[rng.Intn(2)])
+		switch rng.Intn(3) {
+		case 0:
+			body += fmt.Sprintf(" ^ a.y = %q", vals[rng.Intn(len(vals))])
+		case 1:
+			rc := names[rng.Intn(2)]
+			body += fmt.Sprintf(" ^ %s(c) ^ a.ref = c.%sk ^ c.id = b.id", rc, lower(rc))
+		case 2:
+			body += " ^ lev080(a.y, b.y)"
+		}
+		text += fmt.Sprintf("r%d: %s(a) ^ %s(b) ^ %s -> a.id = b.id\n", ri, ra, rb, body)
+	}
+	rules, err := rule.ParseResolved(text, db)
+	if err != nil {
+		t.Fatalf("seed %d: %v\n%s", seed, err, text)
+	}
+	return d, rules
+}
+
+func lower(s string) string { return string(s[0] + 32) }
+
+// TestPartitionShapes sanity-checks fragment accounting.
+func TestPartitionShapes(t *testing.T) {
+	g := datagen.TPCH(datagen.TPCHOptions{Scale: 0.05, Dup: 0.3, Seed: 2})
+	rules, err := g.Rules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hypart.Partition(g.D, rules, 8, hypart.Options{Share: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 8 {
+		t.Fatalf("got %d fragments", len(res.Fragments))
+	}
+	total := 0
+	for _, f := range res.Fragments {
+		total += len(f)
+	}
+	if total == 0 {
+		t.Fatal("empty partition")
+	}
+	// Replication must stay moderate under the cap.
+	if factor := float64(total) / float64(g.D.Size()); factor > 6 {
+		t.Errorf("replication factor %.1f too high", factor)
+	}
+	if res.Stats.HashFns > res.Stats.HashFnsBaseline {
+		t.Errorf("sharing uses more hash functions (%d) than baseline (%d)",
+			res.Stats.HashFns, res.Stats.HashFnsBaseline)
+	}
+	// The memoizing hasher must be reusing computations across rules.
+	if res.Stats.HashComputations >= res.Stats.HashLookups {
+		t.Errorf("no hash-computation reuse: %d computations, %d lookups",
+			res.Stats.HashComputations, res.Stats.HashLookups)
+	}
+}
+
+// TestSingleWorkerIsWholeDataset checks the n=1 fast path.
+func TestSingleWorkerIsWholeDataset(t *testing.T) {
+	d, _ := datagen.PaperExample()
+	rules, err := datagen.PaperRules(d.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hypart.Partition(d, rules, 1, hypart.Options{Share: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fragments) != 1 || len(res.Fragments[0]) != d.Size() {
+		t.Errorf("n=1 partition should hold all %d tuples, got %d fragments / %d tuples",
+			d.Size(), len(res.Fragments), len(res.Fragments[0]))
+	}
+}

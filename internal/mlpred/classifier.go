@@ -1,0 +1,195 @@
+package mlpred
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dcer/internal/relation"
+)
+
+// Classifier is an embedded ML predicate M(t[Ā], s[B̄]): a binary
+// classifier over two attribute-value vectors. The chase engine treats
+// classifiers as opaque PTIME oracles and memoizes their answers, exactly
+// as the paper assumes for pretrained models.
+type Classifier interface {
+	// Name identifies the classifier within a Registry and in rule text.
+	Name() string
+	// Predict reports whether the two attribute-value vectors match.
+	Predict(left, right []relation.Value) bool
+}
+
+// FlattenValues joins an attribute-value vector into one text for
+// text-similarity classifiers.
+func FlattenValues(vs []relation.Value) string {
+	if len(vs) == 1 {
+		return vs[0].String()
+	}
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// SimClassifier thresholds a string-similarity metric. It is the
+// fasttext-style semantic-similarity stand-in.
+type SimClassifier struct {
+	ClassifierName string
+	Metric         func(a, b string) float64
+	Threshold      float64
+}
+
+// Name implements Classifier.
+func (c *SimClassifier) Name() string { return c.ClassifierName }
+
+// Predict implements Classifier.
+func (c *SimClassifier) Predict(left, right []relation.Value) bool {
+	return c.Metric(FlattenValues(left), FlattenValues(right)) >= c.Threshold
+}
+
+// Score exposes the raw metric value, for baselines that rank candidates.
+func (c *SimClassifier) Score(left, right []relation.Value) float64 {
+	return c.Metric(FlattenValues(left), FlattenValues(right))
+}
+
+// LogisticClassifier wraps a trained LogisticModel as a predicate. It is
+// the supervised-ER (DeepER-style) stand-in.
+type LogisticClassifier struct {
+	ClassifierName string
+	Model          *LogisticModel
+}
+
+// Name implements Classifier.
+func (c *LogisticClassifier) Name() string { return c.ClassifierName }
+
+// Predict implements Classifier.
+func (c *LogisticClassifier) Predict(left, right []relation.Value) bool {
+	return c.Model.PredictPair(FlattenValues(left), FlattenValues(right))
+}
+
+// Func adapts a plain function to a Classifier; handy in tests.
+type Func struct {
+	ClassifierName string
+	Fn             func(left, right []relation.Value) bool
+}
+
+// Name implements Classifier.
+func (c *Func) Name() string { return c.ClassifierName }
+
+// Predict implements Classifier.
+func (c *Func) Predict(left, right []relation.Value) bool { return c.Fn(left, right) }
+
+// Registry resolves classifier names appearing in rule text to
+// implementations. Safe for concurrent reads after setup.
+type Registry struct {
+	mu          sync.RWMutex
+	classifiers map[string]Classifier
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{classifiers: make(map[string]Classifier)}
+}
+
+// Register adds (or replaces) a classifier under its own name.
+func (r *Registry) Register(c Classifier) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.classifiers[c.Name()] = c
+}
+
+// Get resolves a classifier by name.
+func (r *Registry) Get(name string) (Classifier, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.classifiers[name]
+	if !ok {
+		return nil, fmt.Errorf("mlpred: no classifier %q registered", name)
+	}
+	return c, nil
+}
+
+// Names lists registered classifier names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.classifiers))
+	for n := range r.classifiers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultRegistry builds a registry with the stock classifiers used
+// throughout the examples and experiments:
+//
+//	jaccard07, jaccard05  — token Jaccard at 0.7 / 0.5
+//	jaro085               — Jaro-Winkler at 0.85
+//	lev080                — normalized Levenshtein at 0.80
+//	embed080, embed090    — hashed-embedding cosine at 0.80 / 0.90
+//	cosine07              — token cosine at 0.7
+//	nameabbrev            — abbreviated-person-name matcher
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	r.Register(&SimClassifier{ClassifierName: "jaccard07", Metric: Jaccard, Threshold: 0.7})
+	r.Register(&SimClassifier{ClassifierName: "jaccard05", Metric: Jaccard, Threshold: 0.5})
+	r.Register(&SimClassifier{ClassifierName: "jaro085", Metric: JaroWinkler, Threshold: 0.85})
+	r.Register(&SimClassifier{ClassifierName: "lev080", Metric: LevenshteinSim, Threshold: 0.8})
+	r.Register(&SimClassifier{ClassifierName: "lev075", Metric: LevenshteinSim, Threshold: 0.75})
+	r.Register(&SimClassifier{ClassifierName: "cosine07", Metric: CosineTokens, Threshold: 0.7})
+	r.Register(&SimClassifier{ClassifierName: "embed080",
+		Metric: func(a, b string) float64 { return EmbeddingSim(a, b, EmbeddingDim) }, Threshold: 0.8})
+	r.Register(&SimClassifier{ClassifierName: "embed090",
+		Metric: func(a, b string) float64 { return EmbeddingSim(a, b, EmbeddingDim) }, Threshold: 0.9})
+	r.Register(&SimClassifier{ClassifierName: "nameabbrev", Metric: AbbrevNameSim, Threshold: 0.5})
+	r.Register(&SimClassifier{ClassifierName: "surnames06", Metric: SurnameSim, Threshold: 0.6})
+	return r
+}
+
+// Cache memoizes classifier answers by (classifier, left text, right text).
+// Keys include argument order; for known-symmetric classifiers the answer
+// is stored under both orders.
+type Cache struct {
+	mu      sync.RWMutex
+	answers map[string]bool
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewCache creates an empty cache.
+func NewCache() *Cache { return &Cache{answers: make(map[string]bool)} }
+
+func cacheKey(name, a, b string) string {
+	return name + "\x00" + a + "\x00" + b
+}
+
+// Predict answers via the cache, calling the classifier on a miss.
+func (c *Cache) Predict(cl Classifier, left, right []relation.Value) bool {
+	a, b := FlattenValues(left), FlattenValues(right)
+	key := cacheKey(cl.Name(), a, b)
+	c.mu.RLock()
+	ans, ok := c.answers[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return ans
+	}
+	ans = cl.Predict(left, right)
+	c.misses.Add(1)
+	c.mu.Lock()
+	c.answers[key] = ans
+	if _, sym := cl.(*SimClassifier); sym {
+		c.answers[cacheKey(cl.Name(), b, a)] = ans
+	}
+	c.mu.Unlock()
+	return ans
+}
+
+// Stats returns (hits, misses).
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,72 @@
+package mlpred
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// EmbeddingDim is the default dimensionality of hashed n-gram embeddings.
+const EmbeddingDim = 64
+
+// Embed maps text to a dense vector by hashing its character trigrams and
+// word tokens into dim buckets (the "hashing trick"), then L2-normalizing.
+// It is the stand-in for DeepER's distributed tuple representations: texts
+// that share many subword units land close in cosine space, which also
+// captures abbreviation-style semantic similarity ("ThinkPad X1 Carbon 7th
+// Gen 14-Inch" vs "ThinkPad X1 Carbon 7th Gen 14\"").
+func Embed(text string, dim int) []float64 {
+	if dim <= 0 {
+		dim = EmbeddingDim
+	}
+	v := make([]float64, dim)
+	add := func(feature string, w float64) {
+		h := fnv.New32a()
+		h.Write([]byte(feature))
+		x := h.Sum32()
+		idx := int(x % uint32(dim))
+		sign := 1.0
+		if (x>>16)&1 == 1 {
+			sign = -1
+		}
+		v[idx] += sign * w
+	}
+	for _, g := range NGrams(text, 3) {
+		add("g:"+g, 1)
+	}
+	for _, t := range Tokenize(text) {
+		add("t:"+t, 2)
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range v {
+			v[i] /= norm
+		}
+	}
+	return v
+}
+
+// CosineVec computes the cosine similarity of two equal-length vectors.
+func CosineVec(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		if na == 0 && nb == 0 {
+			return 1
+		}
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// EmbeddingSim embeds both texts and returns their cosine similarity.
+func EmbeddingSim(a, b string, dim int) float64 {
+	return CosineVec(Embed(a, dim), Embed(b, dim))
+}

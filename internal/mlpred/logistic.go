@@ -1,0 +1,132 @@
+package mlpred
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PairFeatures extracts a fixed feature vector from a pair of texts. The
+// features are the classic ER similarity battery; a trained LogisticModel
+// over them is the supervised-ER stand-in.
+func PairFeatures(a, b string) []float64 {
+	return []float64{
+		1, // bias
+		LevenshteinSim(a, b),
+		JaroWinkler(a, b),
+		Jaccard(a, b),
+		CosineTokens(a, b),
+		EmbeddingSim(a, b, EmbeddingDim),
+		exactFeature(a, b),
+		prefixFeature(a, b),
+	}
+}
+
+// NumPairFeatures is the length of the vector returned by PairFeatures.
+const NumPairFeatures = 8
+
+func exactFeature(a, b string) float64 {
+	if a == b && a != "" {
+		return 1
+	}
+	return 0
+}
+
+func prefixFeature(a, b string) float64 {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	if max == 0 {
+		return 1
+	}
+	return float64(n) / float64(max)
+}
+
+// LogisticModel is a binary logistic-regression classifier over pair
+// features. The zero value predicts 0.5 everywhere; train with Fit.
+type LogisticModel struct {
+	Weights   []float64
+	Threshold float64 // decision threshold on the probability; default 0.5
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Prob returns the model's match probability for the feature vector x.
+func (m *LogisticModel) Prob(x []float64) float64 {
+	var z float64
+	for i := range m.Weights {
+		if i < len(x) {
+			z += m.Weights[i] * x[i]
+		}
+	}
+	return Sigmoid(z)
+}
+
+// PredictPair classifies a text pair.
+func (m *LogisticModel) PredictPair(a, b string) bool {
+	th := m.Threshold
+	if th == 0 {
+		th = 0.5
+	}
+	return m.Prob(PairFeatures(a, b)) >= th
+}
+
+// Example is a labeled training pair.
+type Example struct {
+	A, B  string
+	Match bool
+}
+
+// Fit trains the model by SGD with L2 regularization. Deterministic for a
+// fixed seed. epochs full passes are made over the shuffled data.
+func (m *LogisticModel) Fit(examples []Example, epochs int, lr, l2 float64, seed int64) {
+	if len(examples) == 0 {
+		return
+	}
+	if m.Weights == nil {
+		m.Weights = make([]float64, NumPairFeatures)
+	}
+	feats := make([][]float64, len(examples))
+	labels := make([]float64, len(examples))
+	for i, e := range examples {
+		feats[i] = PairFeatures(e.A, e.B)
+		if e.Match {
+			labels[i] = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(len(examples))
+	for ep := 0; ep < epochs; ep++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			p := m.Prob(feats[idx])
+			g := p - labels[idx]
+			for j := range m.Weights {
+				grad := g * feats[idx][j]
+				if j > 0 { // don't regularize the bias
+					grad += l2 * m.Weights[j]
+				}
+				m.Weights[j] -= lr * grad
+			}
+		}
+	}
+}
+
+// Accuracy evaluates the model's 0/1 accuracy on labeled pairs.
+func (m *LogisticModel) Accuracy(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, e := range examples {
+		if m.PredictPair(e.A, e.B) == e.Match {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(examples))
+}

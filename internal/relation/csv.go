@@ -1,0 +1,179 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteCSV writes one relation as CSV with a typed header row of the form
+// name:type (e.g. "cno:string,price:float"). The id attribute is marked
+// with a trailing "!id".
+func WriteCSV(w io.Writer, rel *Relation) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, rel.Schema.Arity())
+	for i, a := range rel.Schema.Attrs {
+		h := a.Name + ":" + a.Type.String()
+		if i == rel.Schema.IDAttr {
+			h += "!id"
+		}
+		header[i] = h
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, rel.Schema.Arity())
+	for _, t := range rel.Tuples {
+		for i, v := range t.Values {
+			row[i] = v.String()
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSVSchema parses the typed header row into a schema named name.
+func ReadCSVSchema(name string, header []string) (*Schema, error) {
+	attrs := make([]Attribute, len(header))
+	idAttr := ""
+	for i, h := range header {
+		isID := strings.HasSuffix(h, "!id")
+		h = strings.TrimSuffix(h, "!id")
+		nm, ty, ok := strings.Cut(h, ":")
+		if !ok {
+			nm, ty = h, "string"
+		}
+		t, err := ParseType(ty)
+		if err != nil {
+			return nil, fmt.Errorf("relation: %s header %q: %w", name, header[i], err)
+		}
+		attrs[i] = Attribute{Name: nm, Type: t}
+		if isID {
+			idAttr = nm
+		}
+	}
+	if idAttr == "" {
+		idAttr = attrs[0].Name
+	}
+	return NewSchema(name, idAttr, attrs...)
+}
+
+// LoadCSVInto reads CSV rows (with typed header) into an existing dataset's
+// relation named name. The header must match the relation's schema arity.
+func LoadCSVInto(d *Dataset, name string, r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("relation: %s: empty CSV", name)
+	}
+	s := d.DB.Schema(name)
+	if s == nil {
+		return fmt.Errorf("relation: no relation %q in dataset", name)
+	}
+	if len(rows[0]) != s.Arity() {
+		return fmt.Errorf("relation: %s: header has %d columns, schema %d", name, len(rows[0]), s.Arity())
+	}
+	vals := make([]Value, s.Arity())
+	for rn, row := range rows[1:] {
+		if len(row) != s.Arity() {
+			return fmt.Errorf("relation: %s row %d: %d columns, want %d", name, rn+2, len(row), s.Arity())
+		}
+		for i, cell := range row {
+			v, err := ParseValue(cell, s.Attrs[i].Type)
+			if err != nil {
+				return fmt.Errorf("relation: %s row %d: %w", name, rn+2, err)
+			}
+			vals[i] = v
+		}
+		if _, err := d.Append(name, append([]Value(nil), vals...)...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir loads every *.csv file in dir as one relation (named after the
+// file basename) and assembles them into a dataset. Each file must carry a
+// typed header row.
+func LoadDir(dir string) (*Dataset, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("relation: no *.csv files in %s", dir)
+	}
+	var schemas []*Schema
+	type pending struct {
+		name string
+		path string
+	}
+	var order []pending
+	for _, f := range files {
+		name := strings.TrimSuffix(filepath.Base(f), ".csv")
+		fh, err := os.Open(f)
+		if err != nil {
+			return nil, err
+		}
+		cr := csv.NewReader(fh)
+		header, err := cr.Read()
+		fh.Close()
+		if err != nil {
+			return nil, fmt.Errorf("relation: %s: %w", f, err)
+		}
+		s, err := ReadCSVSchema(name, header)
+		if err != nil {
+			return nil, err
+		}
+		schemas = append(schemas, s)
+		order = append(order, pending{name, f})
+	}
+	db, err := NewDatabase(schemas...)
+	if err != nil {
+		return nil, err
+	}
+	d := NewDataset(db)
+	for _, p := range order {
+		fh, err := os.Open(p.path)
+		if err != nil {
+			return nil, err
+		}
+		err = LoadCSVInto(d, p.name, fh)
+		fh.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// SaveDir writes each relation of d as dir/<name>.csv.
+func SaveDir(d *Dataset, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, rel := range d.Relations {
+		f, err := os.Create(filepath.Join(dir, rel.Schema.Name+".csv"))
+		if err != nil {
+			return err
+		}
+		err = WriteCSV(f, rel)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package relation
+
+import (
+	"fmt"
+)
+
+// TID is a global tuple identifier, unique across an entire Dataset.
+// The chase engine keys its id-equivalence relation on TIDs.
+type TID int32
+
+// Tuple is one row of a relation. Values is aligned with the schema's
+// attributes. GID is assigned by the owning Dataset when the tuple is
+// appended and is unique dataset-wide.
+type Tuple struct {
+	GID    TID
+	Rel    int // index of the relation within the dataset
+	Values []Value
+}
+
+// ID returns the tuple's designated id-attribute value under schema s.
+func (t *Tuple) ID(s *Schema) Value { return t.Values[s.IDAttr] }
+
+// Relation is an instance D_i of a relation schema.
+type Relation struct {
+	Schema *Schema
+	Tuples []*Tuple
+}
+
+// Dataset is an instance D = (D_1, ..., D_m) of a database schema.
+type Dataset struct {
+	DB        *Database
+	Relations []*Relation
+
+	// tuples lists all tuples in insertion order. For a root dataset the
+	// position of a tuple equals its GID; fragments share tuples with
+	// their parent and use byGID for lookup instead.
+	tuples []*Tuple
+	byGID  map[TID]*Tuple
+}
+
+// NewDataset creates an empty dataset over db.
+func NewDataset(db *Database) *Dataset {
+	d := &Dataset{DB: db, Relations: make([]*Relation, len(db.Schemas))}
+	for i, s := range db.Schemas {
+		d.Relations[i] = &Relation{Schema: s}
+	}
+	return d
+}
+
+// Append adds a tuple with the given values to the named relation and
+// returns it. The values must match the schema arity.
+func (d *Dataset) Append(rel string, values ...Value) (*Tuple, error) {
+	ri := d.DB.SchemaIndex(rel)
+	if ri < 0 {
+		return nil, fmt.Errorf("relation: no relation %q", rel)
+	}
+	s := d.DB.Schemas[ri]
+	if len(values) != s.Arity() {
+		return nil, fmt.Errorf("relation: %s expects %d values, got %d", rel, s.Arity(), len(values))
+	}
+	for i, v := range values {
+		if v.Kind != s.Attrs[i].Type {
+			return nil, fmt.Errorf("relation: %s.%s expects %s, got %s",
+				rel, s.Attrs[i].Name, s.Attrs[i].Type, v.Kind)
+		}
+	}
+	t := &Tuple{GID: TID(len(d.tuples)), Rel: ri, Values: values}
+	d.tuples = append(d.tuples, t)
+	d.Relations[ri].Tuples = append(d.Relations[ri].Tuples, t)
+	return t, nil
+}
+
+// MustAppend is Append that panics on error; for tests and fixtures.
+func (d *Dataset) MustAppend(rel string, values ...Value) *Tuple {
+	t, err := d.Append(rel, values...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Tuple returns the tuple with the given global id, or nil. For fragments
+// only tuples hosted by the fragment are found.
+func (d *Dataset) Tuple(id TID) *Tuple {
+	if d.byGID != nil {
+		return d.byGID[id]
+	}
+	if id < 0 || int(id) >= len(d.tuples) {
+		return nil
+	}
+	return d.tuples[id]
+}
+
+// Has reports whether the dataset hosts the tuple with the given GID.
+func (d *Dataset) Has(id TID) bool { return d.Tuple(id) != nil }
+
+// Size returns |D|, the total number of tuples.
+func (d *Dataset) Size() int { return len(d.tuples) }
+
+// Relation returns the instance of the named relation, or nil.
+func (d *Dataset) Relation(name string) *Relation {
+	i := d.DB.SchemaIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return d.Relations[i]
+}
+
+// SchemaOf returns the schema of the given tuple.
+func (d *Dataset) SchemaOf(t *Tuple) *Schema { return d.DB.Schemas[t.Rel] }
+
+// Tuples iterates all tuples in GID order.
+func (d *Dataset) Tuples() []*Tuple { return d.tuples }
+
+// Fragment builds a sub-dataset over the same database schema containing
+// exactly the tuples whose GIDs appear in ids. The tuples are shared (not
+// copied) so their GIDs remain globally meaningful: the parallel engine
+// relies on this to exchange matches between fragments by GID alone.
+func (d *Dataset) Fragment(ids []TID) *Dataset {
+	f := &Dataset{
+		DB:        d.DB,
+		Relations: make([]*Relation, len(d.DB.Schemas)),
+		byGID:     make(map[TID]*Tuple, len(ids)),
+	}
+	for i, s := range d.DB.Schemas {
+		f.Relations[i] = &Relation{Schema: s}
+	}
+	for _, id := range ids {
+		if _, seen := f.byGID[id]; seen {
+			continue
+		}
+		t := d.Tuple(id)
+		if t == nil {
+			continue
+		}
+		f.byGID[id] = t
+		f.Relations[t.Rel].Tuples = append(f.Relations[t.Rel].Tuples, t)
+		f.tuples = append(f.tuples, t)
+	}
+	return f
+}

@@ -1,0 +1,82 @@
+package relation
+
+// Index is an inverted index over one attribute of one relation: it maps
+// each value (by canonical key) to the tuples carrying that value. The
+// chase engine builds one Index per attribute participating in an equality
+// predicate (Section V-A, data structure (1)).
+type Index struct {
+	Rel     int // relation position within the dataset
+	Attr    int // attribute position within the schema
+	entries map[string][]*Tuple
+}
+
+// BuildIndex scans rel and indexes attribute attr.
+func BuildIndex(relIdx int, rel *Relation, attr int) *Index {
+	ix := &Index{Rel: relIdx, Attr: attr, entries: make(map[string][]*Tuple, len(rel.Tuples))}
+	for _, t := range rel.Tuples {
+		k := t.Values[attr].Key()
+		ix.entries[k] = append(ix.entries[k], t)
+	}
+	return ix
+}
+
+// Lookup returns all tuples whose indexed attribute equals v.
+func (ix *Index) Lookup(v Value) []*Tuple { return ix.entries[v.Key()] }
+
+// Add registers a newly appended tuple (incremental ΔD maintenance).
+func (ix *Index) Add(t *Tuple) {
+	k := t.Values[ix.Attr].Key()
+	ix.entries[k] = append(ix.entries[k], t)
+}
+
+// Distinct returns the number of distinct values in the index.
+func (ix *Index) Distinct() int { return len(ix.entries) }
+
+// MaxBucket returns the size of the largest posting list (a skew measure).
+func (ix *Index) MaxBucket() int {
+	max := 0
+	for _, ts := range ix.entries {
+		if len(ts) > max {
+			max = len(ts)
+		}
+	}
+	return max
+}
+
+// IndexSet caches the indexes of a dataset, built lazily per
+// (relation, attribute). It is not safe for concurrent mutation; the
+// parallel engine gives each worker its own IndexSet over its fragment.
+type IndexSet struct {
+	d       *Dataset
+	indexes map[[2]int]*Index
+}
+
+// NewIndexSet creates an empty index cache over d.
+func NewIndexSet(d *Dataset) *IndexSet {
+	return &IndexSet{d: d, indexes: make(map[[2]int]*Index)}
+}
+
+// For returns the index for (relation, attribute), building it on first use.
+func (s *IndexSet) For(rel, attr int) *Index {
+	key := [2]int{rel, attr}
+	if ix, ok := s.indexes[key]; ok {
+		return ix
+	}
+	ix := BuildIndex(rel, s.d.Relations[rel], attr)
+	s.indexes[key] = ix
+	return ix
+}
+
+// Built returns how many indexes have been materialized.
+func (s *IndexSet) Built() int { return len(s.indexes) }
+
+// Add registers a newly appended tuple in every materialized index of its
+// relation (incremental ΔD maintenance). The tuple must already be part
+// of the underlying dataset.
+func (s *IndexSet) Add(t *Tuple) {
+	for key, ix := range s.indexes {
+		if key[0] == t.Rel {
+			ix.Add(t)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute is a named, typed column of a relation schema.
+type Attribute struct {
+	Name string
+	Type Type
+}
+
+// Schema is a relation schema (A_1:τ_1, ..., A_n:τ_n) with a designated
+// id attribute (the paper assumes one w.l.o.g. for every R_i).
+type Schema struct {
+	Name  string
+	Attrs []Attribute
+
+	// IDAttr is the index of the designated id attribute within Attrs.
+	IDAttr int
+
+	byName map[string]int
+}
+
+// NewSchema builds a schema. idAttr names the designated id attribute and
+// must be one of the given attributes.
+func NewSchema(name string, idAttr string, attrs ...Attribute) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relation: schema needs a name")
+	}
+	s := &Schema{Name: name, Attrs: attrs, byName: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := s.byName[a.Name]; dup {
+			return nil, fmt.Errorf("relation: schema %s: duplicate attribute %q", name, a.Name)
+		}
+		s.byName[a.Name] = i
+	}
+	id, ok := s.byName[idAttr]
+	if !ok {
+		return nil, fmt.Errorf("relation: schema %s: id attribute %q not declared", name, idAttr)
+	}
+	s.IDAttr = id
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and fixtures.
+func MustSchema(name string, idAttr string, attrs ...Attribute) *Schema {
+	s, err := NewSchema(name, idAttr, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (s *Schema) AttrIndex(name string) int {
+	i, ok := s.byName[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// AttrType returns the type of the named attribute.
+func (s *Schema) AttrType(name string) (Type, bool) {
+	i, ok := s.byName[name]
+	if !ok {
+		return TypeString, false
+	}
+	return s.Attrs[i].Type, true
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.Attrs) }
+
+// String renders the schema as Name(a:t, b:t, ...).
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('(')
+	for i, a := range s.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+		b.WriteByte(':')
+		b.WriteString(a.Type.String())
+		if i == s.IDAttr {
+			b.WriteString("!id")
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Database is a database schema R = (R_1, ..., R_m).
+type Database struct {
+	Schemas []*Schema
+	byName  map[string]int
+}
+
+// NewDatabase assembles a database schema from relation schemas.
+func NewDatabase(schemas ...*Schema) (*Database, error) {
+	db := &Database{Schemas: schemas, byName: make(map[string]int, len(schemas))}
+	for i, s := range schemas {
+		if _, dup := db.byName[s.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate schema %q", s.Name)
+		}
+		db.byName[s.Name] = i
+	}
+	return db, nil
+}
+
+// MustDatabase is NewDatabase that panics on error.
+func MustDatabase(schemas ...*Schema) *Database {
+	db, err := NewDatabase(schemas...)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Schema returns the schema with the given name, or nil.
+func (db *Database) Schema(name string) *Schema {
+	i, ok := db.byName[name]
+	if !ok {
+		return nil
+	}
+	return db.Schemas[i]
+}
+
+// SchemaIndex returns the position of the named schema, or -1.
+func (db *Database) SchemaIndex(name string) int {
+	i, ok := db.byName[name]
+	if !ok {
+		return -1
+	}
+	return i
+}

@@ -1,0 +1,141 @@
+package soft_test
+
+import (
+	"math"
+	"testing"
+
+	"dcer/internal/chase"
+	"dcer/internal/datagen"
+	"dcer/internal/mlpred"
+	"dcer/internal/relation"
+	"dcer/internal/rule"
+	"dcer/internal/soft"
+)
+
+func softRules(t *testing.T, db *relation.Database, conf float64) []soft.Rule {
+	t.Helper()
+	rules, err := datagen.PaperRules(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []soft.Rule
+	for _, r := range rules {
+		if r.Head.Kind != rule.PredID {
+			continue // soft chase scores id heads only (φ5 is ML-headed)
+		}
+		out = append(out, soft.Rule{Rule: r, Confidence: conf})
+	}
+	return out
+}
+
+// TestConfidenceOneMatchesCrispChase checks the boundary case: with every
+// confidence 1 the soft fixpoint must be the crisp Γ.
+func TestConfidenceOneMatchesCrispChase(t *testing.T) {
+	d, _ := datagen.PaperExample()
+	res, err := soft.Chase(d, softRules(t, d.DB, 1), mlpred.DefaultRegistry(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := datagen.PaperRules(d.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crisp, err := chase.New(d, rules, mlpred.DefaultRegistry(), chase.Options{ShareIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crisp.Run()
+	for i := 0; i < d.Size(); i++ {
+		for j := i + 1; j < d.Size(); j++ {
+			a, b := relation.TID(i), relation.TID(j)
+			hard := crisp.Same(a, b)
+			sc := res.P(a, b)
+			if hard && math.Abs(sc-1) > 1e-9 {
+				t.Errorf("(%d,%d): crisp match but soft score %v", i, j, sc)
+			}
+			if !hard && sc > 1e-9 {
+				t.Errorf("(%d,%d): no crisp match but soft score %v", i, j, sc)
+			}
+		}
+	}
+}
+
+// TestDeepScoresMultiply checks the max-product semantics: the deep φ4
+// match (t1,t3) consumes the φ2 and φ3 matches, so its score is
+// conf(φ4)·conf(φ2)·conf(φ3), and the transitive (t1,t2) further picks up
+// the direct φ1 score of (t2,t3).
+func TestDeepScoresMultiply(t *testing.T) {
+	d, l := datagen.PaperExample()
+	const c = 0.9
+	res, err := soft.Chase(d, softRules(t, d.DB, c), mlpred.DefaultRegistry(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct matches score the rule confidence.
+	if got := res.P(l["t2"].GID, l["t3"].GID); math.Abs(got-c) > 1e-9 {
+		t.Errorf("P(t2,t3) = %v, want %v", got, c)
+	}
+	if got := res.P(l["t12"].GID, l["t13"].GID); math.Abs(got-c) > 1e-9 {
+		t.Errorf("P(t12,t13) = %v, want %v", got, c)
+	}
+	// The deep match multiplies its prerequisites: c (φ4) · c (φ2) · c (φ3).
+	want := c * c * c
+	if got := res.P(l["t1"].GID, l["t3"].GID); math.Abs(got-want) > 1e-9 {
+		t.Errorf("P(t1,t3) = %v, want %v", got, want)
+	}
+	// Transitive (t1,t2): P(t1,t3)·P(t3,t2) = c⁴.
+	if got := res.P(l["t1"].GID, l["t2"].GID); math.Abs(got-want*c) > 1e-9 {
+		t.Errorf("P(t1,t2) = %v, want %v", got, want*c)
+	}
+}
+
+// TestThresholdTradeoff checks that raising the threshold drops the deep
+// (lower-scored) matches first.
+func TestThresholdTradeoff(t *testing.T) {
+	d, l := datagen.PaperExample()
+	res, err := soft.Chase(d, softRules(t, d.DB, 0.9), mlpred.DefaultRegistry(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := res.Matches(0.5)
+	strict := res.Matches(0.85)
+	if len(strict) >= len(all) {
+		t.Errorf("threshold did not prune: %d vs %d", len(strict), len(all))
+	}
+	// The direct (t2,t3) survives 0.85; the deep (t1,t3) does not.
+	has := func(ms []soft.Score, a, b relation.TID) bool {
+		for _, m := range ms {
+			if m.A == a && m.B == b || m.A == b && m.B == a {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(strict, l["t2"].GID, l["t3"].GID) {
+		t.Error("direct match pruned at 0.85")
+	}
+	if has(strict, l["t1"].GID, l["t3"].GID) {
+		t.Error("deep match survived 0.85")
+	}
+	classes := res.Harden(0.5)
+	if len(classes) != 3 {
+		t.Errorf("Harden(0.5) classes = %d, want 3", len(classes))
+	}
+}
+
+// TestValidation checks the input guards.
+func TestValidation(t *testing.T) {
+	d, _ := datagen.PaperExample()
+	rules, err := datagen.PaperRules(d.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := soft.Chase(d, []soft.Rule{{Rule: rules[0], Confidence: 0}},
+		mlpred.DefaultRegistry(), 0); err == nil {
+		t.Error("confidence 0 accepted")
+	}
+	if _, err := soft.Chase(d, []soft.Rule{{Rule: rules[4], Confidence: 0.5}},
+		mlpred.DefaultRegistry(), 0); err == nil {
+		t.Error("ML-headed rule accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Package unionfind implements the id-equivalence relation E_id of the
+// paper (Section V-A, data structure (3)): a disjoint-set forest with path
+// compression and union by rank, keyed by dense integer ids.
+//
+// The chase engine uses one UnionFind over global tuple ids; two tuples
+// match (t.id = s.id holds in Γ) iff they share a root. Transitivity of id
+// predicates is therefore free.
+package unionfind
+
+// UnionFind is a disjoint-set forest over ids 0..n-1. The zero value is
+// unusable; create with New. Grow extends the id space.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	sets   int
+}
+
+// New creates a union-find over n singleton sets.
+func New(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int32, n), rank: make([]int8, n), sets: n}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Len returns the size of the id space.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }
+
+// Grow extends the id space to at least n ids, adding singletons.
+func (u *UnionFind) Grow(n int) {
+	for len(u.parent) < n {
+		u.parent = append(u.parent, int32(len(u.parent)))
+		u.rank = append(u.rank, 0)
+		u.sets++
+	}
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	root := x
+	for int(u.parent[root]) != root {
+		root = int(u.parent[root])
+	}
+	// Path compression.
+	for int(u.parent[x]) != root {
+		x, u.parent[x] = int(u.parent[x]), int32(root)
+	}
+	return root
+}
+
+// Union merges the sets of a and b and reports whether a merge happened
+// (false if they were already in the same set).
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = int32(ra)
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.sets--
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UnionFind) Same(a, b int) bool { return u.Find(a) == u.Find(b) }
+
+// Classes materializes all non-singleton equivalence classes, each sorted
+// by insertion order of ids. Singletons are omitted.
+func (u *UnionFind) Classes() [][]int {
+	groups := make(map[int][]int)
+	for i := range u.parent {
+		r := u.Find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var out [][]int
+	for _, g := range groups {
+		if len(g) > 1 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the structure.
+func (u *UnionFind) Clone() *UnionFind {
+	c := &UnionFind{
+		parent: append([]int32(nil), u.parent...),
+		rank:   append([]int8(nil), u.rank...),
+		sets:   u.sets,
+	}
+	return c
+}

@@ -1,0 +1,111 @@
+package unionfind_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcer/internal/unionfind"
+)
+
+func TestBasics(t *testing.T) {
+	u := unionfind.New(5)
+	if u.Len() != 5 || u.Sets() != 5 {
+		t.Fatalf("fresh: Len=%d Sets=%d", u.Len(), u.Sets())
+	}
+	if !u.Union(0, 1) {
+		t.Error("first union reported no-op")
+	}
+	if u.Union(1, 0) {
+		t.Error("repeat union reported merge")
+	}
+	if !u.Same(0, 1) || u.Same(0, 2) {
+		t.Error("Same wrong")
+	}
+	u.Union(2, 3)
+	u.Union(1, 3) // transitivity 0-1-3-2
+	if !u.Same(0, 2) {
+		t.Error("transitivity broken")
+	}
+	if u.Sets() != 2 { // {0,1,2,3}, {4}
+		t.Errorf("Sets = %d, want 2", u.Sets())
+	}
+	classes := u.Classes()
+	if len(classes) != 1 || len(classes[0]) != 4 {
+		t.Errorf("Classes = %v", classes)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	u := unionfind.New(2)
+	u.Grow(5)
+	if u.Len() != 5 || u.Sets() != 5 {
+		t.Errorf("after Grow: Len=%d Sets=%d", u.Len(), u.Sets())
+	}
+	u.Union(0, 4)
+	if !u.Same(0, 4) {
+		t.Error("grown ids not usable")
+	}
+	u.Grow(3) // shrink is a no-op
+	if u.Len() != 5 {
+		t.Error("Grow shrank")
+	}
+}
+
+func TestClone(t *testing.T) {
+	u := unionfind.New(4)
+	u.Union(0, 1)
+	c := u.Clone()
+	c.Union(2, 3)
+	if u.Same(2, 3) {
+		t.Error("clone mutated the original")
+	}
+	if !c.Same(0, 1) {
+		t.Error("clone lost state")
+	}
+}
+
+// TestEquivalenceProperties checks that a random sequence of unions yields
+// an equivalence relation identical to a naive set-merging reference.
+func TestEquivalenceProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 40
+		u := unionfind.New(n)
+		ref := make([]int, n) // ref[i] = naive set label
+		for i := range ref {
+			ref[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range ref {
+				if ref[i] == from {
+					ref[i] = to
+				}
+			}
+		}
+		for k := 0; k < 60; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			merged := u.Union(a, b)
+			if merged == (ref[a] == ref[b]) {
+				return false // Union's report must match the reference
+			}
+			relabel(ref[a], ref[b])
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if u.Same(i, j) != (ref[i] == ref[j]) {
+					return false
+				}
+			}
+		}
+		// Sets() must equal the number of distinct labels.
+		labels := map[int]bool{}
+		for _, l := range ref {
+			labels[l] = true
+		}
+		return u.Sets() == len(labels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
