@@ -83,12 +83,48 @@ func BenchmarkExp2_Partitioning(b *testing.B) {
 
 func tpchFixture(b *testing.B, scale float64) (*datagen.Generated, []*dcer.Rule) {
 	b.Helper()
+	if testing.Short() && scale > 0.5 {
+		b.Skipf("scale %.1f fixture is heavyweight; run benchmarks without -short", scale)
+	}
 	g := datagen.TPCH(datagen.TPCHOptions{Scale: scale, Dup: 0.3, Seed: 1})
 	rules, err := g.Rules()
 	if err != nil {
 		b.Fatal(err)
 	}
 	return g, rules
+}
+
+// BenchmarkDeduceParallel measures the first-pass Deduce hot path on a
+// multi-rule workload of ≥50k tuples (TPCH scale 2.0 ≈ 57k tuples, 6
+// rules), sequential rule enumeration vs the concurrent
+// snapshot-enumerate-merge pass, and asserts both reach the identical
+// equivalence relation. The seed (pre-optimization) numbers live in
+// BENCH_1.json for trajectory comparisons.
+func BenchmarkDeduceParallel(b *testing.B) {
+	g, rules := tpchFixture(b, 2.0)
+	classes := make(map[string]string)
+	for _, mode := range []struct {
+		name string
+		seq  bool
+	}{{"sequential", true}, {"concurrent", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last *chase.Engine
+			for i := 0; i < b.N; i++ {
+				eng, err := chase.New(g.D, rules, mlpred.DefaultRegistry(),
+					chase.Options{ShareIndexes: true, SequentialDeduce: mode.seq})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Deduce()
+				last = eng
+			}
+			b.StopTimer()
+			classes[mode.name] = dcer.CanonicalClasses(last.Classes())
+		})
+	}
+	if a, c := classes["sequential"], classes["concurrent"]; a != "" && c != "" && a != c {
+		b.Fatal("sequential and concurrent Deduce disagree on the equivalence classes")
+	}
 }
 
 // BenchmarkSequentialMatch measures the sequential Match engine on TPCH.

@@ -1,0 +1,196 @@
+// Command bench is the repo's performance harness: it benchmarks the
+// chase hot path (first-pass Deduce, sequential vs concurrent), the full
+// parallel DMatch run, and the Fig. 6 experiment drivers on the synthetic
+// generators, then writes the results to a JSON file (BENCH_<n>.json by
+// convention, one per perf PR) so the performance trajectory of the
+// engine is tracked in-repo.
+//
+//	go run ./cmd/bench                   # full run, writes BENCH_1.json
+//	go run ./cmd/bench -fig6=false       # hot-path benchmarks only
+//	go run ./cmd/bench -scale 1.0 -out /tmp/bench.json
+//
+// The Deduce benchmarks assert that the sequential and concurrent passes
+// reach byte-identical equivalence classes before reporting numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dcer"
+	"dcer/internal/chase"
+	"dcer/internal/datagen"
+	"dcer/internal/dmatch"
+	"dcer/internal/experiments"
+	"dcer/internal/mlpred"
+)
+
+// entry is one benchmark measurement.
+type entry struct {
+	Name            string `json:"name"`
+	Ops             int    `json:"ops"`
+	NsPerOp         int64  `json:"ns_per_op"`
+	BytesPerOp      int64  `json:"bytes_per_op"`
+	AllocsPerOp     int64  `json:"allocs_per_op"`
+	SimulatedTimeNs int64  `json:"simulated_time_ns,omitempty"`
+}
+
+// report is the BENCH_<n>.json document.
+type report struct {
+	GOOS             string  `json:"goos"`
+	GOARCH           string  `json:"goarch"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Scale            float64 `json:"scale"`
+	Tuples           int     `json:"tuples"`
+	Rules            int     `json:"rules"`
+	ClassesIdentical bool    `json:"classes_identical"`
+	Benchmarks       []entry `json:"benchmarks"`
+	// SeedBaseline carries the measurements taken at the growth seed
+	// (before PR 1), on the same host class, for trajectory comparison.
+	SeedBaseline []entry `json:"seed_baseline"`
+	Notes        string  `json:"notes"`
+}
+
+// seedBaseline was measured at the seed commit (pre PR 1) on the same
+// dataset (TPCH scale 2.0, Dup 0.3, seed 1 → 57336 tuples, 6 rules) and
+// host class (single-core 2.1 GHz Xeon). Deduce had no concurrent mode
+// then, so the sequential number doubles as the seed hot-path number.
+var seedBaseline = []entry{
+	{Name: "Deduce/sequential@seed", Ops: 3, NsPerOp: 2226823835, BytesPerOp: 119643338, AllocsPerOp: 4343969},
+	{Name: "DMatch/workers=8@seed", Ops: 3, NsPerOp: 6390755182, BytesPerOp: 525228584, AllocsPerOp: 14412321},
+}
+
+func toEntry(name string, r testing.BenchmarkResult) entry {
+	return entry{
+		Name:        name,
+		Ops:         r.N,
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func main() {
+	scale := flag.Float64("scale", 2.0, "TPCH scale for the Deduce/DMatch benchmarks (2.0 ≈ 57k tuples)")
+	expScale := flag.Float64("expscale", 0.1, "experiments.Config scale for the Fig. 6 drivers")
+	workers := flag.Int("workers", 8, "DMatch worker count")
+	fig6 := flag.Bool("fig6", true, "also run the Fig. 6 experiment drivers")
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	flag.Parse()
+
+	rep := &report{
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Scale:        *scale,
+		SeedBaseline: seedBaseline,
+		Notes: "ns_per_op are wall-clock on this host; simulated_time_ns is the BSP makespan " +
+			"(max worker time per superstep, summed), the faithful stand-in for an n-machine cluster.",
+	}
+
+	fmt.Fprintf(os.Stderr, "generating TPCH scale %.2f...\n", *scale)
+	g := datagen.TPCH(datagen.TPCHOptions{Scale: *scale, Dup: 0.3, Seed: 1})
+	rules, err := g.Rules()
+	if err != nil {
+		fatal(err)
+	}
+	for _, rel := range g.D.Relations {
+		rep.Tuples += len(rel.Tuples)
+	}
+	rep.Rules = len(rules)
+
+	reg := mlpred.DefaultRegistry()
+	classes := map[bool]string{}
+	for _, seq := range []bool{true, false} {
+		name := "Deduce/concurrent"
+		if seq {
+			name = "Deduce/sequential"
+		}
+		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
+		var last *chase.Engine
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng, err := chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true, SequentialDeduce: seq})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Deduce()
+				last = eng
+			}
+		})
+		classes[seq] = dcer.CanonicalClasses(last.Classes())
+		rep.Benchmarks = append(rep.Benchmarks, toEntry(name, r))
+	}
+	rep.ClassesIdentical = classes[true] == classes[false]
+	if !rep.ClassesIdentical {
+		fatal(fmt.Errorf("sequential and concurrent Deduce disagree on equivalence classes"))
+	}
+
+	for _, n := range []int{1, *workers} {
+		name := fmt.Sprintf("DMatch/workers=%d", n)
+		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
+		var sim time.Duration
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := dmatch.Run(g.D, rules, reg, dmatch.Options{Workers: n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = res.SimulatedTime
+			}
+		})
+		e := toEntry(name, r)
+		e.SimulatedTimeNs = int64(sim)
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+
+	if *fig6 {
+		cfg := experiments.Config{Scale: *expScale, Workers: *workers, Seed: 1}
+		drivers := []struct {
+			name string
+			run  func(experiments.Config) *experiments.Table
+		}{
+			{"Fig6ab", experiments.Fig6AB},
+			{"Fig6cd", experiments.Fig6CD},
+			{"Fig6ef", experiments.Fig6EF},
+			{"Fig6gh", experiments.Fig6GH},
+			{"Fig6ij", experiments.Fig6IJ},
+			{"Fig6kl", experiments.Fig6KL},
+		}
+		for _, d := range drivers {
+			fmt.Fprintf(os.Stderr, "benchmarking %s...\n", d.name)
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d.run(cfg)
+				}
+			})
+			rep.Benchmarks = append(rep.Benchmarks, toEntry(d.name, r))
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	for _, e := range rep.Benchmarks {
+		fmt.Printf("  %-24s %3d ops  %12d ns/op  %10d allocs/op\n", e.Name, e.Ops, e.NsPerOp, e.AllocsPerOp)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

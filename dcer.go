@@ -28,6 +28,10 @@
 package dcer
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"dcer/internal/chase"
 	"dcer/internal/discovery"
 	"dcer/internal/dmatch"
@@ -167,6 +171,35 @@ func Match(d *Dataset, rules []*Rule, reg *ClassifierRegistry) (*Engine, error) 
 // DMatch (Section V-B of the paper).
 func MatchParallel(d *Dataset, rules []*Rule, reg *ClassifierRegistry, opts ParallelOptions) (*ParallelResult, error) {
 	return dmatch.Run(d, rules, reg, opts)
+}
+
+// CanonicalClasses renders equivalence classes in a canonical textual form
+// (ids sorted within each class, classes sorted by first id), so two runs
+// can be compared byte for byte regardless of deduction order.
+func CanonicalClasses(classes [][]TID) string {
+	canon := make([][]TID, len(classes))
+	for i, c := range classes {
+		cc := append([]TID(nil), c...)
+		sort.Slice(cc, func(a, b int) bool { return cc[a] < cc[b] })
+		canon[i] = cc
+	}
+	sort.Slice(canon, func(a, b int) bool {
+		if len(canon[a]) == 0 || len(canon[b]) == 0 {
+			return len(canon[a]) < len(canon[b])
+		}
+		return canon[a][0] < canon[b][0]
+	})
+	var b strings.Builder
+	for _, c := range canon {
+		for i, id := range c {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", id)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // Rule discovery (the paper's experimental setup, Section VI): mine MRLs

@@ -1,9 +1,7 @@
 package chase
 
 import (
-	"strconv"
-	"strings"
-
+	"dcer/internal/fnv"
 	"dcer/internal/relation"
 )
 
@@ -14,19 +12,26 @@ type Literal struct {
 	Model string
 }
 
-func (l Literal) key() string {
-	var b strings.Builder
-	if l.Kind == FactMatch {
-		b.WriteString("m:")
-	} else {
-		b.WriteString("v:")
-		b.WriteString(l.Model)
-		b.WriteByte(':')
+// less orders literals for the normalized dependency bodies.
+func (l Literal) less(o Literal) bool {
+	if l.Kind != o.Kind {
+		return l.Kind < o.Kind
 	}
-	b.WriteString(strconv.Itoa(int(l.A)))
-	b.WriteByte(',')
-	b.WriteString(strconv.Itoa(int(l.B)))
-	return b.String()
+	if l.Model != o.Model {
+		return l.Model < o.Model
+	}
+	if l.A != o.A {
+		return l.A < o.A
+	}
+	return l.B < o.B
+}
+
+// hashInto folds the literal into an FNV-1a state.
+func (l Literal) hashInto(h uint64) uint64 {
+	h = fnv.Byte(h, byte(l.Kind))
+	h = fnv.String(h, l.Model)
+	h = fnv.Uint64(h, uint64(l.A))
+	return fnv.Uint64(h, uint64(l.B))
 }
 
 // Dep is one dependency l1 ∧ ... ∧ ln → l of the store H (Section V-A,
@@ -37,14 +42,19 @@ type Dep struct {
 	Head Literal
 }
 
-func (d *Dep) key() string {
-	parts := make([]string, 0, len(d.Body)+1)
+// key fingerprints the dependency with FNV-1a over its normalized body
+// (the caller sorts) and head. The store treats equal fingerprints as
+// duplicates; in the astronomically unlikely event of a collision the
+// dropped dependency is recovered by the update-driven re-evaluation
+// path, which never relies on H for correctness.
+func (d *Dep) key() uint64 {
+	h := uint64(fnv.Offset64)
 	for _, l := range d.Body {
-		parts = append(parts, l.key())
+		h = l.hashInto(h)
+		h = fnv.Byte(h, ';')
 	}
-	// Body literal order is normalized by the caller (recordDep sorts).
-	parts = append(parts, "->", d.Head.key())
-	return strings.Join(parts, ";")
+	h = fnv.Byte(h, '>')
+	return d.Head.hashInto(h)
 }
 
 // DepStore is the bounded dependency set H. Capacity K bounds memory;
@@ -54,14 +64,14 @@ func (d *Dep) key() string {
 // (it "will no longer be checked later on").
 type DepStore struct {
 	cap     int
-	deps    map[string]*Dep
-	byHead  map[string][]string // head key -> dep keys
+	deps    map[uint64]*Dep
+	byHead  map[Literal][]uint64 // head -> dep keys
 	dropped int
 }
 
 // NewDepStore creates a store with capacity k (k ≤ 0 means unbounded).
 func NewDepStore(k int) *DepStore {
-	return &DepStore{cap: k, deps: make(map[string]*Dep), byHead: make(map[string][]string)}
+	return &DepStore{cap: k, deps: make(map[uint64]*Dep), byHead: make(map[Literal][]uint64)}
 }
 
 // Len returns the number of stored dependencies.
@@ -82,18 +92,16 @@ func (s *DepStore) Add(d *Dep) bool {
 		return false
 	}
 	s.deps[k] = d
-	hk := d.Head.key()
-	s.byHead[hk] = append(s.byHead[hk], k)
+	s.byHead[d.Head] = append(s.byHead[d.Head], k)
 	return true
 }
 
 // RemoveHead discards every dependency whose head is l.
 func (s *DepStore) RemoveHead(l Literal) {
-	hk := l.key()
-	for _, dk := range s.byHead[hk] {
+	for _, dk := range s.byHead[l] {
 		delete(s.deps, dk)
 	}
-	delete(s.byHead, hk)
+	delete(s.byHead, l)
 }
 
 // Fire scans the store and returns the heads of all dependencies whose

@@ -79,8 +79,16 @@ func TestLiteralKeysDistinct(t *testing.T) {
 	a := Literal{Kind: FactMatch, A: 1, B: 2}
 	b := Literal{Kind: FactML, Model: "m", A: 1, B: 2}
 	c := Literal{Kind: FactML, Model: "n", A: 1, B: 2}
-	if a.key() == b.key() || b.key() == c.key() {
-		t.Error("literal keys collide across kinds/models")
+	const basis = 14695981039346656037
+	if a.hashInto(basis) == b.hashInto(basis) || b.hashInto(basis) == c.hashInto(basis) {
+		t.Error("literal hashes collide across kinds/models")
+	}
+	// Dependency fingerprints must separate body from head: l1 → l2 and
+	// l2 → l1 are different dependencies.
+	d1 := &Dep{Body: []Literal{a}, Head: b}
+	d2 := &Dep{Body: []Literal{b}, Head: a}
+	if d1.key() == d2.key() {
+		t.Error("dep keys ignore body/head position")
 	}
 }
 

@@ -2,6 +2,8 @@ package chase
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"dcer/internal/mlpred"
 	"dcer/internal/relation"
@@ -26,10 +28,22 @@ type Options struct {
 	// id-equivalence relation can host remote ids. 0 means the dataset's
 	// own size.
 	IDSpace int
+	// SequentialDeduce disables the concurrent first pass of Deduce, so
+	// rules enumerate strictly one after another on the calling
+	// goroutine. The final Γ is identical either way (the chase is
+	// Church-Rosser); sequential mode exists for deterministic debugging
+	// and undistorted single-thread timings.
+	SequentialDeduce bool
 }
 
 // DefaultMaxDeps is the default capacity of the dependency store.
 const DefaultMaxDeps = 1 << 20
+
+// deduceSem bounds the process-wide fan-out of concurrent rule
+// enumerations: with n parallel dmatch workers × r rules each, up to n·r
+// goroutines contend for these GOMAXPROCS slots, so the chase never
+// oversubscribes the machine no matter how many engines run at once.
+var deduceSem = make(chan struct{}, runtime.GOMAXPROCS(0))
 
 // Stats counts the engine's work, for the efficiency experiments.
 type Stats struct {
@@ -97,6 +111,22 @@ type Engine struct {
 
 	dynamicModels map[string]bool
 
+	// anyIDs records whether any rule carries an id body predicate: when
+	// none does, class-merge events have no consumer and are not queued.
+	anyIDs bool
+
+	// prebuilt marks that every index reachable from the rules' query
+	// plans has been materialized (required before the concurrent pass,
+	// whose goroutines must not mutate the lazy index cache).
+	prebuilt bool
+
+	// ctx is the reusable evaluation context of the sequential paths
+	// (seeded re-enumerations and SequentialDeduce).
+	ctx evalCtx
+
+	// seedBuf is the reusable seed scratch of seedIDPair / seedMLPair.
+	seedBuf []*relation.Tuple
+
 	gamma Gamma
 	stats Stats
 
@@ -108,13 +138,16 @@ type Engine struct {
 	delta []Fact
 }
 
-// event is one unprocessed state change: either a batch of tuple pairs
-// newly made id-equal by a union, or one newly validated ML prediction.
+// event is one unprocessed state change: either a class merge newly made
+// by a union, or one newly validated ML prediction. A merge stores the two
+// classes' member slices; the cross pairs are expanded lazily in
+// processEvent, per id predicate in scope, instead of being materialized
+// O(|Ca|·|Cb|) up front for rules that may not need them.
 type event struct {
-	kind  FactKind
-	pairs [][2]relation.TID // FactMatch: the new cross pairs of the merged classes
-	model string            // FactML
-	a, b  relation.TID      // FactML
+	kind   FactKind
+	ma, mb []relation.TID // FactMatch: members of the two merged classes
+	model  string         // FactML
+	a, b   relation.TID   // FactML
 }
 
 // New prepares an engine over dataset d with resolved rules and the
@@ -152,6 +185,7 @@ func NewScoped(d *relation.Dataset, rules []*rule.Rule, scopes []*relation.Datas
 		cache:         mlpred.NewCache(),
 		dynamicModels: make(map[string]bool),
 	}
+	e.ctx.e = e
 	for _, t := range d.Tuples() {
 		e.members[int(t.GID)] = []relation.TID{t.GID}
 	}
@@ -170,6 +204,9 @@ func NewScoped(d *relation.Dataset, rules []*rule.Rule, scopes []*relation.Datas
 			return nil, err
 		}
 		e.rules = append(e.rules, br)
+		if len(br.ids) > 0 {
+			e.anyIDs = true
+		}
 	}
 	// Tuples sharing a literal id value within a relation denote the same
 	// entity by definition; pre-merge them (these trivial matches are not
@@ -245,6 +282,37 @@ func (e *Engine) indexFor(br *boundRule, rel, attr int) *relation.Index {
 	return br.ix.For(rel, attr)
 }
 
+// prebuildIndexes materializes every index a rule's query plan can reach
+// (one per equality- or constant-predicate attribute), so the concurrent
+// pass never mutates the lazy index caches.
+func (e *Engine) prebuildIndexes() {
+	if e.prebuilt {
+		return
+	}
+	e.prebuilt = true
+	for _, br := range e.rules {
+		for _, p := range br.eqs {
+			br.ix.For(br.r.Vars[p.V1].RelIdx, p.A1)
+			br.ix.For(br.r.Vars[p.V2].RelIdx, p.A2)
+		}
+		for v := range br.consts {
+			for _, p := range br.consts[v] {
+				br.ix.For(br.r.Vars[p.V1].RelIdx, p.A1)
+			}
+		}
+	}
+}
+
+// frozenRoots snapshots the union-find roots so concurrent enumerations
+// can answer Same without path-compressing shared state.
+func (e *Engine) frozenRoots() []int32 {
+	roots := make([]int32, e.uf.Len())
+	for i := range roots {
+		roots[i] = int32(e.uf.Find(i))
+	}
+	return roots
+}
+
 // mlPredict answers an ML predicate through the (possibly rule-private)
 // memoizing cache.
 func (e *Engine) mlPredict(br *boundRule, cl mlpred.Classifier, left, right []relation.Value) bool {
@@ -294,12 +362,6 @@ func (e *Engine) applyFact(f Fact) bool {
 			return false
 		}
 		ma, mb := e.members[ra], e.members[rb]
-		var pairs [][2]relation.TID
-		for _, x := range ma {
-			for _, y := range mb {
-				pairs = append(pairs, [2]relation.TID{x, y})
-			}
-		}
 		e.uf.Union(ra, rb)
 		root := e.uf.Find(ra)
 		merged := append(append(make([]relation.TID, 0, len(ma)+len(mb)), ma...), mb...)
@@ -311,8 +373,10 @@ func (e *Engine) applyFact(f Fact) bool {
 		e.gamma.Matches = append(e.gamma.Matches, f)
 		e.delta = append(e.delta, f)
 		e.stats.MatchesFound++
-		if len(pairs) > 0 {
-			e.queue = append(e.queue, event{kind: FactMatch, pairs: pairs})
+		// The old member slices stay intact (merges build fresh slices),
+		// so the event can reference them without copying.
+		if e.anyIDs && len(ma) > 0 && len(mb) > 0 {
+			e.queue = append(e.queue, event{kind: FactMatch, ma: ma, mb: mb})
 		}
 		return true
 	default:
@@ -329,16 +393,71 @@ func (e *Engine) applyFact(f Fact) bool {
 	}
 }
 
+// enumerateRule runs one seeded (or full, seed == nil) enumeration of br
+// on the engine's sequential context, applying facts directly.
+func (e *Engine) enumerateRule(br *boundRule, seed []*relation.Tuple) {
+	e.ctx.reset(br)
+	e.ctx.enumerate(seed)
+	e.stats.Valuations += e.ctx.valuations
+	e.stats.Extensions += e.ctx.extensions
+	e.ctx.valuations, e.ctx.extensions = 0, 0
+}
+
 // Deduce runs the first full chase pass over all rules (procedure Deduce
 // of Section V-A) and then drains the internal update-driven fixpoint.
-// It returns the facts deduced during the call.
+// The pass enumerates rules concurrently against a frozen snapshot of Γ
+// unless Options.SequentialDeduce is set; either way the final Γ is the
+// same, by the Church-Rosser property of the chase. It returns the facts
+// deduced during the call.
 func (e *Engine) Deduce() []Fact {
 	e.delta = e.delta[:0]
-	for _, br := range e.rules {
-		e.enumerateRule(br, nil)
+	if e.opts.SequentialDeduce || len(e.rules) <= 1 {
+		for _, br := range e.rules {
+			e.enumerateRule(br, nil)
+		}
+	} else {
+		e.deduceConcurrent()
 	}
 	e.drain()
 	return append([]Fact(nil), e.delta...)
+}
+
+// deduceConcurrent is the snapshot-enumerate-merge first pass: every rule
+// enumerates on its own goroutine against the frozen Γ (frozen roots, the
+// read-only validated set, prebuilt indexes and the thread-safe ML cache),
+// buffering candidate facts and dependencies; a single-threaded merge then
+// applies them in rule order, which keeps the engine deterministic.
+func (e *Engine) deduceConcurrent() {
+	e.prebuildIndexes()
+	roots := e.frozenRoots()
+	ctxs := make([]*evalCtx, len(e.rules))
+	var wg sync.WaitGroup
+	for i, br := range e.rules {
+		ctx := &evalCtx{e: e, roots: roots, buffered: true}
+		ctxs[i] = ctx
+		wg.Add(1)
+		go func(ctx *evalCtx, br *boundRule) {
+			defer wg.Done()
+			deduceSem <- struct{}{}
+			defer func() { <-deduceSem }()
+			ctx.reset(br)
+			ctx.enumerate(nil)
+		}(ctx, br)
+	}
+	wg.Wait()
+	for _, ctx := range ctxs {
+		e.stats.Valuations += ctx.valuations
+		e.stats.Extensions += ctx.extensions
+		for _, l := range ctx.facts {
+			e.applyFact(literalFact(l))
+		}
+		for i := range ctx.deps {
+			d := &ctx.deps[i]
+			if e.H.Add(d) {
+				e.stats.DepsRecorded++
+			}
+		}
+	}
 }
 
 // IncDeduce applies externally supplied updates ΔΓ (matches and validated
@@ -402,15 +521,18 @@ func (e *Engine) satisfied(l Literal) bool {
 	return e.validated[mlKey{l.Model, l.A, l.B}]
 }
 
-// processEvent re-inspects only valuations involving the new facts.
+// processEvent re-inspects only valuations involving the new facts. Class
+// merges expand their cross pairs here, lazily per id predicate in scope.
 func (e *Engine) processEvent(ev event) {
 	switch ev.kind {
 	case FactMatch:
 		for _, br := range e.rules {
 			for _, p := range br.ids {
-				for _, pair := range ev.pairs {
-					e.seedIDPair(br, p, pair[0], pair[1])
-					e.seedIDPair(br, p, pair[1], pair[0])
+				for _, x := range ev.ma {
+					for _, y := range ev.mb {
+						e.seedIDPair(br, p, x, y)
+						e.seedIDPair(br, p, y, x)
+					}
 				}
 			}
 		}
@@ -427,6 +549,18 @@ func (e *Engine) processEvent(ev event) {
 	}
 }
 
+// seedScratch clears and returns the reusable seed buffer, sized to n.
+func (e *Engine) seedScratch(n int) []*relation.Tuple {
+	if cap(e.seedBuf) < n {
+		e.seedBuf = make([]*relation.Tuple, n)
+	}
+	e.seedBuf = e.seedBuf[:n]
+	for i := range e.seedBuf {
+		e.seedBuf[i] = nil
+	}
+	return e.seedBuf
+}
+
 // seedIDPair starts a restricted enumeration of br with the id predicate
 // p's variables bound to tuples x and y (both must be in the rule's scope).
 func (e *Engine) seedIDPair(br *boundRule, p *rule.Pred, x, y relation.TID) {
@@ -437,7 +571,7 @@ func (e *Engine) seedIDPair(br *boundRule, p *rule.Pred, x, y relation.TID) {
 	if tx.Rel != br.r.Vars[p.V1].RelIdx || ty.Rel != br.r.Vars[p.V2].RelIdx {
 		return
 	}
-	seed := make([]*relation.Tuple, len(br.r.Vars))
+	seed := e.seedScratch(len(br.r.Vars))
 	seed[p.V1] = tx
 	if p.V1 != p.V2 {
 		seed[p.V2] = ty
@@ -457,7 +591,7 @@ func (e *Engine) seedMLPair(br *boundRule, p *rule.Pred, a, b relation.TID) {
 	if ta.Rel != br.r.Vars[p.V1].RelIdx || tb.Rel != br.r.Vars[p.V2].RelIdx {
 		return
 	}
-	seed := make([]*relation.Tuple, len(br.r.Vars))
+	seed := e.seedScratch(len(br.r.Vars))
 	seed[p.V1] = ta
 	if p.V1 != p.V2 {
 		seed[p.V2] = tb

@@ -5,35 +5,119 @@ import (
 	"dcer/internal/rule"
 )
 
-// enumerateRule enumerates the valuations of br over the dataset, starting
-// from an optional partial binding seed (nil-padded, indexed by variable
+// evalCtx carries the mutable state of one rule enumeration: the scratch
+// buffers reused across valuations and, in the concurrent first pass of
+// Deduce, the per-goroutine result buffers and the frozen view of Γ.
+//
+// The sequential path reuses a single context owned by the engine and
+// applies facts directly; the concurrent pass gives each rule goroutine
+// its own context so the enumerations share no mutable state (the engine
+// structures they read — validated set, indexes, scopes — are frozen for
+// the duration of the pass) and are merged deterministically afterwards.
+type evalCtx struct {
+	e  *Engine
+	br *boundRule
+
+	// roots freezes the id-equivalence relation: when non-nil, Same is
+	// answered from this snapshot instead of the engine's union-find
+	// (whose Find path-compresses and must not run under concurrent
+	// readers).
+	roots []int32
+
+	// buffered redirects emitted facts and dependencies into the context
+	// instead of applying them to the engine, for the post-pass merge.
+	buffered bool
+	facts    []Literal
+	deps     []Dep
+
+	valuations int64
+	extensions int64
+
+	// scratch buffers, reused across valuations to keep the hot path
+	// allocation-free.
+	binding []*relation.Tuple
+	lvals   []relation.Value
+	rvals   []relation.Value
+	unsat   []Literal
+}
+
+// reset points the context at rule br and clears the binding scratch.
+func (c *evalCtx) reset(br *boundRule) {
+	c.br = br
+	n := len(br.r.Vars)
+	if cap(c.binding) < n {
+		c.binding = make([]*relation.Tuple, n)
+	}
+	c.binding = c.binding[:n]
+	for i := range c.binding {
+		c.binding[i] = nil
+	}
+}
+
+// same answers t.id = s.id ∈ Γ from the frozen snapshot if present, else
+// from the live union-find.
+func (c *evalCtx) same(a, b relation.TID) bool {
+	if a == b {
+		return true
+	}
+	if c.roots != nil {
+		return c.roots[a] == c.roots[b]
+	}
+	return c.e.uf.Same(int(a), int(b))
+}
+
+// apply hands a deduced head literal to the engine (sequential mode) or
+// buffers it for the merge step (concurrent mode).
+func (c *evalCtx) apply(l Literal) {
+	if c.buffered {
+		c.facts = append(c.facts, l)
+		return
+	}
+	c.e.applyFact(literalFact(l))
+}
+
+// recordDep stores dependency body → head, copying the body out of the
+// scratch buffer.
+func (c *evalCtx) recordDep(body []Literal, head Literal) {
+	owned := append([]Literal(nil), body...)
+	if c.buffered {
+		c.deps = append(c.deps, Dep{Body: owned, Head: head})
+		return
+	}
+	if c.e.H.Add(&Dep{Body: owned, Head: head}) {
+		c.e.stats.DepsRecorded++
+	}
+}
+
+// enumerate walks the valuations of the context's rule, starting from an
+// optional partial binding seed (nil-padded, indexed by variable
 // position). For every complete valuation that satisfies all static
 // predicates it calls emit, which derives the head or records a
 // dependency in H.
-func (e *Engine) enumerateRule(br *boundRule, seed []*relation.Tuple) {
-	binding := make([]*relation.Tuple, len(br.r.Vars))
+func (c *evalCtx) enumerate(seed []*relation.Tuple) {
 	nbound := 0
 	if seed != nil {
 		for v, t := range seed {
 			if t == nil {
 				continue
 			}
-			if !e.checkNewBinding(br, binding, v, t) {
+			if !c.checkNewBinding(v, t) {
 				return
 			}
-			binding[v] = t
+			c.binding[v] = t
 			nbound++
 		}
 	}
-	e.extend(br, binding, nbound)
+	c.extend(nbound)
 }
 
 // extend recursively binds the remaining variables, greedily choosing the
 // unbound variable with the fewest index-backed candidates (the per-rule
 // "query plan" of Section V-A built on the shared inverted indexes).
-func (e *Engine) extend(br *boundRule, binding []*relation.Tuple, nbound int) {
+func (c *evalCtx) extend(nbound int) {
+	binding := c.binding
 	if nbound == len(binding) {
-		e.emit(br, binding)
+		c.emit()
 		return
 	}
 	bestVar := -1
@@ -42,7 +126,7 @@ func (e *Engine) extend(br *boundRule, binding []*relation.Tuple, nbound int) {
 		if binding[v] != nil {
 			continue
 		}
-		cands := e.candidatesFor(br, binding, v)
+		cands := c.candidatesFor(v)
 		if bestVar < 0 || len(cands) < len(bestCands) {
 			bestVar, bestCands = v, cands
 		}
@@ -51,12 +135,12 @@ func (e *Engine) extend(br *boundRule, binding []*relation.Tuple, nbound int) {
 		}
 	}
 	for _, t := range bestCands {
-		e.stats.Extensions++
-		if !e.checkNewBinding(br, binding, bestVar, t) {
+		c.extensions++
+		if !c.checkNewBinding(bestVar, t) {
 			continue
 		}
 		binding[bestVar] = t
-		e.extend(br, binding, nbound+1)
+		c.extend(nbound + 1)
 		binding[bestVar] = nil
 	}
 }
@@ -65,7 +149,8 @@ func (e *Engine) extend(br *boundRule, binding []*relation.Tuple, nbound int) {
 // variable v: the tightest inverted-index posting list reachable through
 // an equality predicate to an already-bound variable, else a constant
 // predicate's posting list, else a full scan of v's relation.
-func (e *Engine) candidatesFor(br *boundRule, binding []*relation.Tuple, v int) []*relation.Tuple {
+func (c *evalCtx) candidatesFor(v int) []*relation.Tuple {
+	br, binding := c.br, c.binding
 	relIdx := br.r.Vars[v].RelIdx
 	var best []*relation.Tuple
 	found := false
@@ -76,15 +161,15 @@ func (e *Engine) candidatesFor(br *boundRule, binding []*relation.Tuple, v int) 
 	}
 	for _, p := range br.eqs {
 		if p.V1 == v && binding[p.V2] != nil {
-			ix := e.indexFor(br, relIdx, p.A1)
+			ix := c.e.indexFor(br, relIdx, p.A1)
 			consider(ix.Lookup(binding[p.V2].Values[p.A2]))
 		} else if p.V2 == v && binding[p.V1] != nil {
-			ix := e.indexFor(br, relIdx, p.A2)
+			ix := c.e.indexFor(br, relIdx, p.A2)
 			consider(ix.Lookup(binding[p.V1].Values[p.A1]))
 		}
 	}
 	for _, p := range br.consts[v] {
-		ix := e.indexFor(br, relIdx, p.A1)
+		ix := c.e.indexFor(br, relIdx, p.A1)
 		consider(ix.Lookup(p.Const))
 	}
 	if found {
@@ -97,7 +182,8 @@ func (e *Engine) candidatesFor(br *boundRule, binding []*relation.Tuple, v int) 
 // when variable v is set to tuple t, and prunes valuations whose head is
 // already known. Dynamic predicates (id, and ML predicates whose model can
 // be validated by some rule head) are deferred to emit.
-func (e *Engine) checkNewBinding(br *boundRule, binding []*relation.Tuple, v int, t *relation.Tuple) bool {
+func (c *evalCtx) checkNewBinding(v int, t *relation.Tuple) bool {
+	br, binding := c.br, c.binding
 	for _, p := range br.consts[v] {
 		if !t.Values[p.A1].Equal(p.Const) {
 			return false
@@ -136,7 +222,7 @@ func (e *Engine) checkNewBinding(br *boundRule, binding []*relation.Tuple, v int
 		default:
 			continue
 		}
-		if !e.mlPredict(br, m.cl, gather(ta, p.A1Vec), gather(tb, p.A2Vec)) {
+		if !c.predict(m, ta, tb) {
 			return false
 		}
 	}
@@ -153,7 +239,7 @@ func (e *Engine) checkNewBinding(br *boundRule, binding []*relation.Tuple, v int
 		case h.V2 == v && binding[h.V1] != nil:
 			ta, tb = binding[h.V1], t
 		}
-		if ta != nil && (ta == tb || e.Same(ta.GID, tb.GID)) {
+		if ta != nil && (ta == tb || c.same(ta.GID, tb.GID)) {
 			return false
 		}
 	case rule.PredML:
@@ -166,32 +252,43 @@ func (e *Engine) checkNewBinding(br *boundRule, binding []*relation.Tuple, v int
 		case h.V2 == v && binding[h.V1] != nil:
 			ta, tb = binding[h.V1], t
 		}
-		if ta != nil && e.validated[mlKey{h.Model, ta.GID, tb.GID}] {
+		if ta != nil && c.e.validated[mlKey{h.Model, ta.GID, tb.GID}] {
 			return false
 		}
 	}
 	return true
 }
 
-// gather collects an ML predicate's attribute-value vector from a tuple.
-func gather(t *relation.Tuple, attrs []int) []relation.Value {
-	vs := make([]relation.Value, len(attrs))
-	for i, a := range attrs {
-		vs[i] = t.Values[a]
+// predict answers ML predicate m over tuples ta, tb through the memoizing
+// cache, gathering the attribute vectors into the context's scratch
+// buffers (the cache flattens them to strings and never retains them).
+func (c *evalCtx) predict(m *boundMLPred, ta, tb *relation.Tuple) bool {
+	c.lvals = gatherInto(c.lvals, ta, m.pred.A1Vec)
+	c.rvals = gatherInto(c.rvals, tb, m.pred.A2Vec)
+	return c.e.mlPredict(c.br, m.cl, c.lvals, c.rvals)
+}
+
+// gatherInto collects an ML predicate's attribute-value vector from a
+// tuple into a reused buffer.
+func gatherInto(buf []relation.Value, t *relation.Tuple, attrs []int) []relation.Value {
+	buf = buf[:0]
+	for _, a := range attrs {
+		buf = append(buf, t.Values[a])
 	}
-	return vs
+	return buf
 }
 
 // emit processes one complete valuation: if all dynamic predicates hold,
 // the head fact is derived; otherwise a dependency "unsatisfied literals →
 // head" is recorded in H (procedure Deduce of Section V-A).
-func (e *Engine) emit(br *boundRule, binding []*relation.Tuple) {
-	e.stats.Valuations++
+func (c *evalCtx) emit() {
+	c.valuations++
+	br, binding := c.br, c.binding
 	h := &br.r.Head
 	var headLit Literal
 	if h.Kind == rule.PredID {
 		a, b := binding[h.V1], binding[h.V2]
-		if a == b || e.Same(a.GID, b.GID) {
+		if a == b || c.same(a.GID, b.GID) {
 			return // already enforced
 		}
 		x, y := a.GID, b.GID
@@ -201,16 +298,16 @@ func (e *Engine) emit(br *boundRule, binding []*relation.Tuple) {
 		headLit = Literal{Kind: FactMatch, A: x, B: y}
 	} else {
 		a, b := binding[h.V1], binding[h.V2]
-		if a == b || e.validated[mlKey{h.Model, a.GID, b.GID}] {
+		if a == b || c.e.validated[mlKey{h.Model, a.GID, b.GID}] {
 			return // trivial self prediction, or already validated
 		}
 		headLit = Literal{Kind: FactML, Model: h.Model, A: a.GID, B: b.GID}
 	}
 
-	var unsat []Literal
+	unsat := c.unsat[:0]
 	for _, p := range br.ids {
 		a, b := binding[p.V1], binding[p.V2]
-		if a == b || e.Same(a.GID, b.GID) {
+		if a == b || c.same(a.GID, b.GID) {
 			continue
 		}
 		x, y := a.GID, b.GID
@@ -226,29 +323,28 @@ func (e *Engine) emit(br *boundRule, binding []*relation.Tuple) {
 		}
 		p := m.pred
 		a, b := binding[p.V1], binding[p.V2]
-		if e.validated[mlKey{p.Model, a.GID, b.GID}] {
+		if c.e.validated[mlKey{p.Model, a.GID, b.GID}] {
 			continue
 		}
-		if e.mlPredict(br, m.cl, gather(a, p.A1Vec), gather(b, p.A2Vec)) {
+		if c.predict(m, a, b) {
 			continue
 		}
 		unsat = append(unsat, Literal{Kind: FactML, Model: p.Model, A: a.GID, B: b.GID})
 	}
+	c.unsat = unsat
 
 	if len(unsat) == 0 {
-		e.applyFact(literalFact(headLit))
+		c.apply(headLit)
 		return
 	}
 	sortLiterals(unsat)
-	if e.H.Add(&Dep{Body: unsat, Head: headLit}) {
-		e.stats.DepsRecorded++
-	}
+	c.recordDep(unsat, headLit)
 }
 
 func sortLiterals(ls []Literal) {
 	// Insertion sort by key: dependency bodies are tiny.
 	for i := 1; i < len(ls); i++ {
-		for j := i; j > 0 && ls[j].key() < ls[j-1].key(); j-- {
+		for j := i; j > 0 && ls[j].less(ls[j-1]); j-- {
 			ls[j], ls[j-1] = ls[j-1], ls[j]
 		}
 	}

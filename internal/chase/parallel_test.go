@@ -1,0 +1,123 @@
+package chase_test
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dcer/internal/chase"
+	"dcer/internal/dmatch"
+	"dcer/internal/mlpred"
+	"dcer/internal/relation"
+)
+
+// canonClasses renders equivalence classes canonically for comparison.
+func canonClasses(classes [][]relation.TID) string {
+	canon := make([][]relation.TID, len(classes))
+	for i, c := range classes {
+		cc := append([]relation.TID(nil), c...)
+		sort.Slice(cc, func(a, b int) bool { return cc[a] < cc[b] })
+		canon[i] = cc
+	}
+	sort.Slice(canon, func(a, b int) bool { return canon[a][0] < canon[b][0] })
+	var b strings.Builder
+	for _, c := range canon {
+		for _, id := range c {
+			b.WriteString(" ")
+			b.WriteString(strconv.Itoa(int(id)))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// canonValidated renders a validated-prediction set canonically.
+func canonValidated(facts []chase.Fact) string {
+	keys := make([]string, len(facts))
+	for i, f := range facts {
+		keys[i] = f.String()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// TestDeduceParallelEquivalence is the property test for the concurrent
+// first pass of Deduce: on randomized datasets and rule sets, the
+// sequential and concurrent passes of the standalone engine must reach
+// byte-identical equivalence classes and validated sets.
+func TestDeduceParallelEquivalence(t *testing.T) {
+	reg := mlpred.DefaultRegistry()
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := int64(200); seed < 200+seeds; seed++ {
+		d, rules, err := randomInstance(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var classes, validated []string
+		for _, seq := range []bool{true, false} {
+			eng, err := chase.New(d, rules, reg, chase.Options{ShareIndexes: true, SequentialDeduce: seq})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			eng.Run()
+			classes = append(classes, canonClasses(eng.Classes()))
+			validated = append(validated, canonValidated(eng.Gamma().Validated))
+		}
+		if classes[0] != classes[1] {
+			t.Fatalf("seed %d: sequential and concurrent Deduce classes differ:\nseq:\n%s\npar:\n%s",
+				seed, classes[0], classes[1])
+		}
+		if validated[0] != validated[1] {
+			t.Fatalf("seed %d: validated sets differ:\nseq:\n%s\npar:\n%s",
+				seed, validated[0], validated[1])
+		}
+	}
+}
+
+// TestDMatchModesEquivalence is the property test for the three dmatch
+// execution modes: fully sequential supersteps, parallel supersteps with
+// sequential per-worker Deduce, and parallel supersteps with the
+// concurrent per-rule Deduce. All three must produce the same global
+// equivalence classes and validated set on randomized instances.
+func TestDMatchModesEquivalence(t *testing.T) {
+	reg := mlpred.DefaultRegistry()
+	seeds := int64(30)
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(300); seed < 300+seeds; seed++ {
+		d, rules, err := randomInstance(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		workers := 2 + int(seed%5)
+		modes := []dmatch.Options{
+			{Workers: workers, Sequential: true},
+			{Workers: workers, SequentialDeduce: true},
+			{Workers: workers},
+		}
+		var classes, validated []string
+		for _, opts := range modes {
+			res, err := dmatch.Run(d, rules, reg, opts)
+			if err != nil {
+				t.Fatalf("seed %d opts %+v: %v", seed, opts, err)
+			}
+			classes = append(classes, canonClasses(res.Classes()))
+			validated = append(validated, canonValidated(res.Validated))
+		}
+		for i := 1; i < len(modes); i++ {
+			if classes[i] != classes[0] {
+				t.Fatalf("seed %d n=%d: mode %+v classes diverge from sequential:\nseq:\n%s\ngot:\n%s",
+					seed, workers, modes[i], classes[0], classes[i])
+			}
+			if validated[i] != validated[0] {
+				t.Fatalf("seed %d n=%d: mode %+v validated set diverges:\nseq:\n%s\ngot:\n%s",
+					seed, workers, modes[i], validated[0], validated[i])
+			}
+		}
+	}
+}

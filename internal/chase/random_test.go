@@ -78,7 +78,11 @@ func lower(s string) string { return string(s[0] + 32) }
 // final equivalence relations must be identical.
 func TestEngineMatchesNaiveOracle(t *testing.T) {
 	reg := mlpred.DefaultRegistry()
-	for seed := int64(0); seed < 60; seed++ {
+	seeds := int64(60)
+	if testing.Short() {
+		seeds = 15
+	}
+	for seed := int64(0); seed < seeds; seed++ {
 		d, rules, err := randomInstance(seed)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -115,7 +119,11 @@ func TestEngineMatchesNaiveOracle(t *testing.T) {
 // parallel BSP engine with random worker counts.
 func TestParallelMatchesNaiveOracle(t *testing.T) {
 	reg := mlpred.DefaultRegistry()
-	for seed := int64(100); seed < 130; seed++ {
+	seeds := int64(30)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(100); seed < 100+seeds; seed++ {
 		d, rules, err := randomInstance(seed)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)

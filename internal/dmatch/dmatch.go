@@ -15,12 +15,11 @@ package dmatch
 import (
 	"fmt"
 	"runtime"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
 	"dcer/internal/chase"
+	"dcer/internal/fnv"
 	"dcer/internal/hypart"
 	"dcer/internal/mlpred"
 	"dcer/internal/relation"
@@ -41,9 +40,14 @@ type Options struct {
 	ReplicationCap int
 	// MaxSupersteps bounds the BSP loop as a safety net; 0 means 1 << 20.
 	MaxSupersteps int
-	// Sequential forces the supersteps to run workers one at a time;
-	// useful for deterministic debugging.
+	// Sequential forces the supersteps to run workers one at a time (and
+	// each worker's Deduce to enumerate rules sequentially); useful for
+	// deterministic debugging and undistorted per-worker timings.
 	Sequential bool
+	// SequentialDeduce keeps the supersteps parallel across workers but
+	// disables the concurrent per-rule first pass inside each worker's
+	// Deduce (the pre-intra-parallelism behavior, kept for comparison).
+	SequentialDeduce bool
 }
 
 // Result is the outcome of a parallel run.
@@ -94,15 +98,57 @@ func (r *Result) Classes() [][]relation.TID {
 	return out
 }
 
-// scopeKey fingerprints a sorted id list for scope deduplication.
-func scopeKey(ids []relation.TID) string {
-	var b strings.Builder
-	b.Grow(len(ids) * 4)
+// scopeKey fingerprints a sorted id list for scope deduplication with
+// 64-bit FNV-1a — no per-id string building. Callers confirm candidate
+// hits with sameIDs, so a hash collision costs a duplicate scope dataset,
+// never a wrong one.
+func scopeKey(ids []relation.TID) uint64 {
+	h := uint64(fnv.Offset64)
+	h = fnv.Uint64(h, uint64(len(ids)))
 	for _, id := range ids {
-		b.WriteString(strconv.Itoa(int(id)))
-		b.WriteByte(',')
+		h = fnv.Uint64(h, uint64(id))
 	}
-	return b.String()
+	return h
+}
+
+// sameIDs reports whether two sorted id lists are identical.
+func sameIDs(a, b []relation.TID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recipientSet accumulates the distinct workers a fact must be routed to,
+// using a generation-stamped membership array and a reusable list instead
+// of a fresh map per fact.
+type recipientSet struct {
+	stamp []int
+	gen   int
+	list  []int
+}
+
+func newRecipientSet(n int) *recipientSet {
+	return &recipientSet{stamp: make([]int, n)}
+}
+
+func (r *recipientSet) reset() {
+	r.gen++
+	r.list = r.list[:0]
+}
+
+func (r *recipientSet) add(hosts []int) {
+	for _, h := range hosts {
+		if r.stamp[h] != r.gen {
+			r.stamp[h] = r.gen
+			r.list = append(r.list, h)
+		}
+	}
 }
 
 // Run partitions d with HyPart and executes the BSP fixpoint with n
@@ -140,29 +186,41 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 	// (hypercube semantics: a rule is checked within its own blocks).
 	// Identical rule scopes are deduplicated so MQO index sharing applies.
 	workers := make([]*chase.Engine, n)
-	hosts := make(map[relation.TID][]int)
+	hosts := make([][]int, idSpace)
+	type scopeEntry struct {
+		ids []relation.TID
+		sc  *relation.Dataset
+	}
 	for i, frag := range part.Fragments {
 		fd := d.Fragment(frag)
 		scopes := make([]*relation.Dataset, len(rules))
-		byContent := map[string]*relation.Dataset{}
+		byContent := map[uint64][]scopeEntry{}
 		for ri, ids := range part.RuleFragments[i] {
 			if len(ids) == len(frag) {
 				scopes[ri] = fd
 				continue
 			}
 			key := scopeKey(ids)
-			if sc, ok := byContent[key]; ok {
-				scopes[ri] = sc
+			found := false
+			for _, ent := range byContent[key] {
+				if sameIDs(ent.ids, ids) {
+					scopes[ri] = ent.sc
+					found = true
+					break
+				}
+			}
+			if found {
 				continue
 			}
 			sc := d.Fragment(ids)
-			byContent[key] = sc
+			byContent[key] = append(byContent[key], scopeEntry{ids, sc})
 			scopes[ri] = sc
 		}
 		eng, err := chase.NewScoped(fd, rules, scopes, reg, chase.Options{
-			MaxDeps:      opts.MaxDeps,
-			ShareIndexes: !opts.NoMQO,
-			IDSpace:      idSpace,
+			MaxDeps:          opts.MaxDeps,
+			ShareIndexes:     !opts.NoMQO,
+			IDSpace:          idSpace,
+			SequentialDeduce: opts.Sequential || opts.SequentialDeduce,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("dmatch: worker %d: %w", i, err)
@@ -239,10 +297,13 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		res.SimulatedTime += stepMax
 		// Master: take the union of the workers' new facts, record them
 		// in the global Γ, and route each to the other hosts of its
-		// tuples (the ΔΓ_i of the fixpoint equations).
+		// tuples (the ΔΓ_i of the fixpoint equations). The recipient set
+		// is rebuilt per fact in reusable scratch (generation stamps)
+		// instead of a fresh map allocation.
 		next := make([][]chase.Fact, n)
-		route := func(f chase.Fact, from int, recipients map[int]bool) {
-			for host := range recipients {
+		rec := newRecipientSet(n)
+		route := func(f chase.Fact, from int) {
+			for _, host := range rec.list {
 				if host == from {
 					continue
 				}
@@ -258,16 +319,12 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 					if ra == rb {
 						continue // globally redundant
 					}
-					recipients := make(map[int]bool)
+					rec.reset()
 					for _, gid := range members[ra] {
-						for _, h := range hosts[gid] {
-							recipients[h] = true
-						}
+						rec.add(hosts[gid])
 					}
 					for _, gid := range members[rb] {
-						for _, h := range hosts[gid] {
-							recipients[h] = true
-						}
+						rec.add(hosts[gid])
 					}
 					merged := append(members[ra], members[rb]...)
 					guf.Union(ra, rb)
@@ -276,21 +333,17 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 					delete(members, rb)
 					members[root] = merged
 					res.Matches = append(res.Matches, f)
-					route(f, w, recipients)
+					route(f, w)
 				} else {
 					if seenML[f] {
 						continue
 					}
 					seenML[f] = true
 					res.Validated = append(res.Validated, f)
-					recipients := make(map[int]bool)
-					for _, h := range hosts[f.A] {
-						recipients[h] = true
-					}
-					for _, h := range hosts[f.B] {
-						recipients[h] = true
-					}
-					route(f, w, recipients)
+					rec.reset()
+					rec.add(hosts[f.A])
+					rec.add(hosts[f.B])
+					route(f, w)
 				}
 			}
 		}

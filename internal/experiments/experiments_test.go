@@ -23,6 +23,9 @@ func parseF(t *testing.T, cell string) float64 {
 // TestTableVIShape checks the Table VI driver emits five Dup rows with
 // plausible accuracy on both datasets.
 func TestTableVIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver (TableVI) is minutes-long; run without -short")
+	}
 	tb := experiments.TableVI(tiny)
 	if len(tb.Rows) != 5 {
 		t.Fatalf("rows = %d", len(tb.Rows))
@@ -43,6 +46,9 @@ func TestTableVIShape(t *testing.T) {
 // beats both DMatch_C and DMatch_D, which beat nothing in particular but
 // the full engine must also beat the distributed baselines.
 func TestFig6ABShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver (Fig6AB) is minutes-long; run without -short")
+	}
 	tb := experiments.Fig6AB(tiny)
 	f := map[string][2]float64{}
 	for _, row := range tb.Rows {
@@ -67,6 +73,9 @@ func TestFig6ABShape(t *testing.T) {
 // TestPartitioningShape checks the Exp-2 driver emits one row per worker
 // count with positive message counts.
 func TestPartitioningShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver (Partitioning) is minutes-long; run without -short")
+	}
 	tb := experiments.Partitioning(tiny)
 	if len(tb.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tb.Rows))
@@ -81,6 +90,9 @@ func TestPartitioningShape(t *testing.T) {
 // TestCaseStudyShape checks the Exp-4 driver reports one row per rule and
 // at least one derivation deeper than two levels (genuine recursion).
 func TestCaseStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver (CaseStudy) is minutes-long; run without -short")
+	}
 	tb := experiments.CaseStudy(experiments.Config{Scale: 0.2, Workers: 4, Seed: 1})
 	if len(tb.Rows) < 6 {
 		t.Fatalf("rows = %d", len(tb.Rows))
@@ -101,6 +113,9 @@ func TestCaseStudyShape(t *testing.T) {
 // TestDenormShape checks the Exp-1(5) driver: the join is materialized and
 // DMatch's order accuracy beats the universal-relation baselines.
 func TestDenormShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver (Denorm) is minutes-long; run without -short")
+	}
 	tb := experiments.Denorm(tiny)
 	if len(tb.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tb.Rows))

@@ -4,28 +4,31 @@ package relation
 // each value (by canonical key) to the tuples carrying that value. The
 // chase engine builds one Index per attribute participating in an equality
 // predicate (Section V-A, data structure (1)).
+// Values are comparable structs whose equality coincides with Value.Equal
+// (kinds are part of the key, so I(1) and S("1") do not collide), so they
+// key the posting map directly — no canonical string is built on the
+// Lookup hot path.
 type Index struct {
 	Rel     int // relation position within the dataset
 	Attr    int // attribute position within the schema
-	entries map[string][]*Tuple
+	entries map[Value][]*Tuple
 }
 
 // BuildIndex scans rel and indexes attribute attr.
 func BuildIndex(relIdx int, rel *Relation, attr int) *Index {
-	ix := &Index{Rel: relIdx, Attr: attr, entries: make(map[string][]*Tuple, len(rel.Tuples))}
+	ix := &Index{Rel: relIdx, Attr: attr, entries: make(map[Value][]*Tuple, len(rel.Tuples))}
 	for _, t := range rel.Tuples {
-		k := t.Values[attr].Key()
-		ix.entries[k] = append(ix.entries[k], t)
+		ix.entries[t.Values[attr]] = append(ix.entries[t.Values[attr]], t)
 	}
 	return ix
 }
 
 // Lookup returns all tuples whose indexed attribute equals v.
-func (ix *Index) Lookup(v Value) []*Tuple { return ix.entries[v.Key()] }
+func (ix *Index) Lookup(v Value) []*Tuple { return ix.entries[v] }
 
 // Add registers a newly appended tuple (incremental ΔD maintenance).
 func (ix *Index) Add(t *Tuple) {
-	k := t.Values[ix.Attr].Key()
+	k := t.Values[ix.Attr]
 	ix.entries[k] = append(ix.entries[k], t)
 }
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: static analysis, build, the short test suite, and the
+# race-enabled run of the concurrent packages. The concurrent first pass
+# of Deduce (internal/chase) and the parallel BSP supersteps
+# (internal/dmatch) make the race detector mandatory for those packages.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -short ./..."
+go test -short ./...
+
+echo "== go test -race -short ./internal/chase ./internal/dmatch"
+go test -race -short ./internal/chase ./internal/dmatch
+
+echo "CI OK"
