@@ -127,6 +127,47 @@ func BenchmarkDeduceParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkIncDeduce measures the incremental algorithm A_Δ: a full
+// chase's facts are replayed through IncDeduce into a fresh engine, which
+// exercises the update-driven drain that dominates the Fig. 6 drivers —
+// with the batched parallel drain (default) and the sequential drain as
+// A/B. Both must converge to the full chase's equivalence classes.
+func BenchmarkIncDeduce(b *testing.B) {
+	g, rules := tpchFixture(b, 0.2)
+	reg := mlpred.DefaultRegistry()
+	base, err := chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	facts := base.Deduce()
+	want := dcer.CanonicalClasses(base.Classes())
+	for _, mode := range []struct {
+		name string
+		opts chase.Options
+	}{
+		// An explicit DrainParallelMin forces the batched path even where
+		// the default would fall back to sequential (GOMAXPROCS=1 hosts).
+		{"parallel", chase.Options{ShareIndexes: true, DrainParallelMin: chase.DefaultDrainParallelMin}},
+		{"sequential", chase.Options{ShareIndexes: true, SequentialDrain: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last *chase.Engine
+			for i := 0; i < b.N; i++ {
+				eng, err := chase.New(g.D, rules, reg, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.IncDeduce(facts)
+				last = eng
+			}
+			b.StopTimer()
+			if got := dcer.CanonicalClasses(last.Classes()); got != want {
+				b.Fatal("IncDeduce classes diverge from the full chase")
+			}
+		})
+	}
+}
+
 // BenchmarkSequentialMatch measures the sequential Match engine on TPCH.
 func BenchmarkSequentialMatch(b *testing.B) {
 	g, rules := tpchFixture(b, 0.2)

@@ -1,16 +1,26 @@
 // Command bench is the repo's performance harness: it benchmarks the
-// chase hot path (first-pass Deduce, sequential vs concurrent), the full
-// parallel DMatch run, and the Fig. 6 experiment drivers on the synthetic
-// generators, then writes the results to a JSON file (BENCH_<n>.json by
-// convention, one per perf PR) so the performance trajectory of the
-// engine is tracked in-repo.
+// chase hot path (first-pass Deduce, sequential vs concurrent), the
+// incremental IncDeduce drain, the ML caches, the full parallel DMatch
+// run, and the Fig. 6 experiment drivers on the synthetic generators,
+// then writes the results to a JSON file (BENCH_<n>.json by convention,
+// one per perf PR) so the performance trajectory of the engine is
+// tracked in-repo.
 //
-//	go run ./cmd/bench                   # full run, writes BENCH_1.json
+//	go run ./cmd/bench                   # full run, writes BENCH_2.json
 //	go run ./cmd/bench -fig6=false       # hot-path benchmarks only
 //	go run ./cmd/bench -scale 1.0 -out /tmp/bench.json
+//	go run ./cmd/bench -cpuprofile cpu.out -memprofile mem.out
+//	go run ./cmd/bench -repeat 5         # more noise suppression
 //
-// The Deduce benchmarks assert that the sequential and concurrent passes
-// reach byte-identical equivalence classes before reporting numbers.
+// The host class these artifacts are measured on (a shared single-core
+// VM) shows ±20% run-to-run variance under external load, so the
+// harness measures every benchmark -repeat times (default 3) and
+// records the per-benchmark minimum — the least noise-contaminated
+// sample, the same rationale as benchstat's use of repeated runs.
+//
+// The Deduce and IncDeduce benchmarks assert that the sequential and
+// parallel paths reach byte-identical equivalence classes before
+// reporting numbers.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -28,6 +39,7 @@ import (
 	"dcer/internal/dmatch"
 	"dcer/internal/experiments"
 	"dcer/internal/mlpred"
+	"dcer/internal/relation"
 )
 
 // entry is one benchmark measurement.
@@ -46,13 +58,21 @@ type report struct {
 	GOARCH           string  `json:"goarch"`
 	GOMAXPROCS       int     `json:"gomaxprocs"`
 	Scale            float64 `json:"scale"`
+	Repeat           int     `json:"repeat"`
 	Tuples           int     `json:"tuples"`
 	Rules            int     `json:"rules"`
 	ClassesIdentical bool    `json:"classes_identical"`
 	Benchmarks       []entry `json:"benchmarks"`
+	// IncDeduceStats snapshots the engine counters of the best parallel
+	// IncDeduce run: ML pair-cache hits/misses/size and feature-store
+	// hits/misses/entries, so the cache effectiveness is tracked in-repo
+	// next to the timings.
+	IncDeduceStats *chase.Stats `json:"incdeduce_stats,omitempty"`
 	// SeedBaseline carries the measurements taken at the growth seed
-	// (before PR 1), on the same host class, for trajectory comparison.
+	// (before PR 1), on the same host class, for trajectory comparison;
+	// PR1Baseline carries the BENCH_1.json numbers forward the same way.
 	SeedBaseline []entry `json:"seed_baseline"`
+	PR1Baseline  []entry `json:"pr1_baseline"`
 	Notes        string  `json:"notes"`
 }
 
@@ -65,6 +85,23 @@ var seedBaseline = []entry{
 	{Name: "DMatch/workers=8@seed", Ops: 3, NsPerOp: 6390755182, BytesPerOp: 525228584, AllocsPerOp: 14412321},
 }
 
+// pr1Baseline carries the BENCH_1.json measurements (PR 1: parallel
+// Deduce + benchmark harness) forward, same dataset and host class.
+// BENCH_1.json was a single-shot run, so each number carries the full
+// run-to-run variance of the host.
+var pr1Baseline = []entry{
+	{Name: "Deduce/sequential@pr1", Ops: 1, NsPerOp: 1015453634, BytesPerOp: 68800568, AllocsPerOp: 642886},
+	{Name: "Deduce/concurrent@pr1", Ops: 2, NsPerOp: 910244517, BytesPerOp: 106206800, AllocsPerOp: 592040},
+	{Name: "DMatch/workers=1@pr1", Ops: 2, NsPerOp: 935345041, BytesPerOp: 127518144, AllocsPerOp: 765996, SimulatedTimeNs: 934009951},
+	{Name: "DMatch/workers=8@pr1", Ops: 1, NsPerOp: 3097758138, BytesPerOp: 492571408, AllocsPerOp: 8590142, SimulatedTimeNs: 1239973263},
+	{Name: "Fig6ab@pr1", Ops: 1, NsPerOp: 1668058948, BytesPerOp: 303708960, AllocsPerOp: 7323815},
+	{Name: "Fig6cd@pr1", Ops: 1, NsPerOp: 7763902213, BytesPerOp: 1655836248, AllocsPerOp: 31746956},
+	{Name: "Fig6ef@pr1", Ops: 1, NsPerOp: 1858777470, BytesPerOp: 524741304, AllocsPerOp: 11647929},
+	{Name: "Fig6gh@pr1", Ops: 1, NsPerOp: 21496055151, BytesPerOp: 4197169360, AllocsPerOp: 102110321},
+	{Name: "Fig6ij@pr1", Ops: 1, NsPerOp: 34271023613, BytesPerOp: 6302184392, AllocsPerOp: 146772635},
+	{Name: "Fig6kl@pr1", Ops: 1, NsPerOp: 58820695233, BytesPerOp: 9841052352, AllocsPerOp: 143923008},
+}
+
 func toEntry(name string, r testing.BenchmarkResult) entry {
 	return entry{
 		Name:        name,
@@ -75,36 +112,18 @@ func toEntry(name string, r testing.BenchmarkResult) entry {
 	}
 }
 
-func main() {
-	scale := flag.Float64("scale", 2.0, "TPCH scale for the Deduce/DMatch benchmarks (2.0 ≈ 57k tuples)")
-	expScale := flag.Float64("expscale", 0.1, "experiments.Config scale for the Fig. 6 drivers")
-	workers := flag.Int("workers", 8, "DMatch worker count")
-	fig6 := flag.Bool("fig6", true, "also run the Fig. 6 experiment drivers")
-	out := flag.String("out", "BENCH_1.json", "output JSON path")
-	flag.Parse()
+// pass is one full measurement of every benchmark; the merge over
+// repeated passes keeps, per benchmark name, the entry with the minimum
+// ns/op.
+type pass struct {
+	entries        []entry
+	incDeduceStats *chase.Stats
+}
 
-	rep := &report{
-		GOOS:         runtime.GOOS,
-		GOARCH:       runtime.GOARCH,
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		Scale:        *scale,
-		SeedBaseline: seedBaseline,
-		Notes: "ns_per_op are wall-clock on this host; simulated_time_ns is the BSP makespan " +
-			"(max worker time per superstep, summed), the faithful stand-in for an n-machine cluster.",
-	}
-
-	fmt.Fprintf(os.Stderr, "generating TPCH scale %.2f...\n", *scale)
-	g := datagen.TPCH(datagen.TPCHOptions{Scale: *scale, Dup: 0.3, Seed: 1})
-	rules, err := g.Rules()
-	if err != nil {
-		fatal(err)
-	}
-	for _, rel := range g.D.Relations {
-		rep.Tuples += len(rel.Tuples)
-	}
-	rep.Rules = len(rules)
-
+func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, expScale float64) *pass {
 	reg := mlpred.DefaultRegistry()
+	p := &pass{}
+
 	classes := map[bool]string{}
 	for _, seq := range []bool{true, false} {
 		name := "Deduce/concurrent"
@@ -125,14 +144,87 @@ func main() {
 			}
 		})
 		classes[seq] = dcer.CanonicalClasses(last.Classes())
-		rep.Benchmarks = append(rep.Benchmarks, toEntry(name, r))
+		p.entries = append(p.entries, toEntry(name, r))
 	}
-	rep.ClassesIdentical = classes[true] == classes[false]
-	if !rep.ClassesIdentical {
+	if classes[true] != classes[false] {
 		fatal(fmt.Errorf("sequential and concurrent Deduce disagree on equivalence classes"))
 	}
 
-	for _, n := range []int{1, *workers} {
+	// IncDeduce: replay a full chase's facts into a fresh engine through
+	// the incremental path A_Δ. The run is pure update-driven drain — the
+	// component that dominates the Fig. 6 drivers — A/B'd between the
+	// sequential and the batched parallel drain.
+	base, err := chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true})
+	if err != nil {
+		fatal(err)
+	}
+	facts := base.Deduce()
+	wantClasses := dcer.CanonicalClasses(base.Classes())
+	for _, seq := range []bool{true, false} {
+		name := "IncDeduce/parallel"
+		// An explicit DrainParallelMin forces the batched path even where
+		// the default would fall back to sequential (GOMAXPROCS=1 hosts).
+		opts := chase.Options{ShareIndexes: true, DrainParallelMin: chase.DefaultDrainParallelMin}
+		if seq {
+			name = "IncDeduce/sequential"
+			opts = chase.Options{ShareIndexes: true, SequentialDrain: true}
+		}
+		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
+		var last *chase.Engine
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng, err := chase.New(g.D, rules, reg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.IncDeduce(facts)
+				last = eng
+			}
+		})
+		if got := dcer.CanonicalClasses(last.Classes()); got != wantClasses {
+			fatal(fmt.Errorf("%s classes diverge from the full chase", name))
+		}
+		p.entries = append(p.entries, toEntry(name, r))
+		if !seq {
+			st := last.Stats()
+			p.incDeduceStats = &st
+		}
+	}
+
+	// Cache microbenchmarks: the packed-key hit path of the sharded pair
+	// cache, and the feature store's bundle reuse over generated records.
+	fmt.Fprintf(os.Stderr, "benchmarking MLCache/paircache...\n")
+	pc := mlpred.NewPairCache()
+	pcID := pc.ClassifierID("bench")
+	rPC := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x := relation.TID(i % (1 << 16))
+			y := relation.TID((i * 7) % (1 << 16))
+			if _, ok := pc.Lookup(pcID, x, y); !ok {
+				pc.Store(pcID, x, y, true)
+			}
+		}
+	})
+	p.entries = append(p.entries, toEntry("MLCache/paircache", rPC))
+
+	fmt.Fprintf(os.Stderr, "benchmarking MLCache/featurestore...\n")
+	fs := mlpred.NewFeatureStore(0)
+	fsAttrs := fs.AttrsID([]int{1})
+	tuples := g.D.Tuples()
+	rFS := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var vals []relation.Value
+		for i := 0; i < b.N; i++ {
+			t := tuples[i%len(tuples)]
+			vals = append(vals[:0], t.Values[1])
+			fs.Get(t.GID, fsAttrs, vals)
+		}
+	})
+	p.entries = append(p.entries, toEntry("MLCache/featurestore", rFS))
+
+	for _, n := range []int{1, workers} {
 		name := fmt.Sprintf("DMatch/workers=%d", n)
 		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
 		var sim time.Duration
@@ -148,11 +240,11 @@ func main() {
 		})
 		e := toEntry(name, r)
 		e.SimulatedTimeNs = int64(sim)
-		rep.Benchmarks = append(rep.Benchmarks, e)
+		p.entries = append(p.entries, e)
 	}
 
-	if *fig6 {
-		cfg := experiments.Config{Scale: *expScale, Workers: *workers, Seed: 1}
+	if fig6 {
+		cfg := experiments.Config{Scale: expScale, Workers: workers, Seed: 1}
 		drivers := []struct {
 			name string
 			run  func(experiments.Config) *experiments.Table
@@ -172,8 +264,103 @@ func main() {
 					d.run(cfg)
 				}
 			})
-			rep.Benchmarks = append(rep.Benchmarks, toEntry(d.name, r))
+			p.entries = append(p.entries, toEntry(d.name, r))
 		}
+	}
+	return p
+}
+
+func main() {
+	scale := flag.Float64("scale", 2.0, "TPCH scale for the Deduce/DMatch benchmarks (2.0 ≈ 57k tuples)")
+	expScale := flag.Float64("expscale", 0.1, "experiments.Config scale for the Fig. 6 drivers")
+	workers := flag.Int("workers", 8, "DMatch worker count")
+	fig6 := flag.Bool("fig6", true, "also run the Fig. 6 experiment drivers")
+	repeat := flag.Int("repeat", 3, "measure every benchmark this many times and keep the per-benchmark minimum")
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
+	flag.Parse()
+	if *repeat < 1 {
+		*repeat = 1
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := &report{
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Scale:        *scale,
+		Repeat:       *repeat,
+		SeedBaseline: seedBaseline,
+		PR1Baseline:  pr1Baseline,
+		Notes: "ns_per_op are wall-clock on this host; simulated_time_ns is the BSP makespan " +
+			"(max worker time per superstep, summed), the faithful stand-in for an n-machine cluster. " +
+			"The host is a shared single-core VM with ±20% run-to-run variance under external load; " +
+			"every benchmark is measured `repeat` times and the per-benchmark minimum recorded " +
+			"(the pr1/seed baselines were single-shot and carry the full variance).",
+	}
+
+	fmt.Fprintf(os.Stderr, "generating TPCH scale %.2f...\n", *scale)
+	g := datagen.TPCH(datagen.TPCHOptions{Scale: *scale, Dup: 0.3, Seed: 1})
+	rules, err := g.Rules()
+	if err != nil {
+		fatal(err)
+	}
+	for _, rel := range g.D.Relations {
+		rep.Tuples += len(rel.Tuples)
+	}
+	rep.Rules = len(rules)
+
+	// Measure `repeat` full passes and keep, per benchmark, the entry with
+	// the minimum ns/op (and the engine stats of the best parallel
+	// IncDeduce pass). The merge preserves first-pass ordering. Every pass
+	// re-asserts the sequential/parallel class identity, so the flag below
+	// reports the conjunction over all passes.
+	best := map[string]entry{}
+	var order []string
+	for r := 0; r < *repeat; r++ {
+		if *repeat > 1 {
+			fmt.Fprintf(os.Stderr, "--- pass %d/%d ---\n", r+1, *repeat)
+		}
+		p := runPass(g, rules, *workers, *fig6, *expScale)
+		for _, e := range p.entries {
+			prev, seen := best[e.Name]
+			if !seen {
+				order = append(order, e.Name)
+			}
+			if !seen || e.NsPerOp < prev.NsPerOp {
+				best[e.Name] = e
+				if e.Name == "IncDeduce/parallel" {
+					rep.IncDeduceStats = p.incDeduceStats
+				}
+			}
+		}
+	}
+	rep.ClassesIdentical = true // runPass fatals on any divergence
+	for _, name := range order {
+		rep.Benchmarks = append(rep.Benchmarks, best[name])
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -184,7 +371,7 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	fmt.Printf("wrote %s (%d benchmarks, best of %d)\n", *out, len(rep.Benchmarks), *repeat)
 	for _, e := range rep.Benchmarks {
 		fmt.Printf("  %-24s %3d ops  %12d ns/op  %10d allocs/op\n", e.Name, e.Ops, e.NsPerOp, e.AllocsPerOp)
 	}

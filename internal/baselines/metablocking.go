@@ -68,9 +68,15 @@ func (m *SparkERLike) Match(d *relation.Dataset) [][2]relation.TID {
 		}
 		cands = append(cands, cs...)
 	}
+	// Each record is tokenized once into the store (thread-safe, shared by
+	// the parallel filter workers); pairs then score by a linear merge.
+	fs := mlpred.NewFeatureStore(0)
+	aid := fs.AttrsID(nil)
 	decide := func(c [2]*relation.Tuple) bool {
 		s := schemaOf[c[0].GID]
-		return mlpred.CosineTokens(recordText(s, c[0]), recordText(s, c[1])) >= th
+		fa := fs.GetText(c[0].GID, aid, recordText(s, c[0]))
+		fb := fs.GetText(c[1].GID, aid, recordText(s, c[1]))
+		return mlpred.CosineTokensFeatures(fa, fb) >= th
 	}
 	out := parallelFilter(cands, m.Workers, decide)
 	sortPairs(out)

@@ -12,7 +12,14 @@ import (
 type MLMatcher struct {
 	MatcherName string
 	MaxBlock    int
-	Decide      func(a, b string) bool
+	// Decide classifies a candidate record-text pair; used when
+	// DecideFeatures is nil.
+	Decide func(a, b string) bool
+	// DecideFeatures classifies a candidate pair of precomputed feature
+	// bundles served from a per-run FeatureStore, so each record is
+	// tokenized and embedded once instead of once per candidate pair it
+	// appears in.
+	DecideFeatures func(a, b *mlpred.Features) bool
 }
 
 // Name implements Matcher.
@@ -24,6 +31,12 @@ func (m *MLMatcher) Match(d *relation.Dataset) [][2]relation.TID {
 	if maxBlock <= 0 {
 		maxBlock = 50
 	}
+	var fs *mlpred.FeatureStore
+	var aid uint32
+	if m.DecideFeatures != nil {
+		fs = mlpred.NewFeatureStore(0)
+		aid = fs.AttrsID(nil)
+	}
 	var out [][2]relation.TID
 	for _, rel := range d.Relations {
 		blocks := tokenBlocks(rel, maxBlock)
@@ -32,7 +45,15 @@ func (m *MLMatcher) Match(d *relation.Dataset) [][2]relation.TID {
 			bl = append(bl, b)
 		}
 		for _, c := range candidatesFromBlocks(bl) {
-			if m.Decide(recordText(rel.Schema, c[0]), recordText(rel.Schema, c[1])) {
+			var match bool
+			if fs != nil {
+				fa := fs.GetText(c[0].GID, aid, recordText(rel.Schema, c[0]))
+				fb := fs.GetText(c[1].GID, aid, recordText(rel.Schema, c[1]))
+				match = m.DecideFeatures(fa, fb)
+			} else {
+				match = m.Decide(recordText(rel.Schema, c[0]), recordText(rel.Schema, c[1]))
+			}
+			if match {
 				out = append(out, pair(c[0], c[1]))
 			}
 		}
@@ -46,8 +67,9 @@ func (m *MLMatcher) Match(d *relation.Dataset) [][2]relation.TID {
 // standing in for LSH blocking.
 func DeepERLike(model *mlpred.LogisticModel) *MLMatcher {
 	return &MLMatcher{
-		MatcherName: "DeepER",
-		Decide:      model.PredictPair,
+		MatcherName:    "DeepER",
+		Decide:         model.PredictPair,
+		DecideFeatures: model.PredictPairFeatures,
 	}
 }
 
@@ -55,8 +77,9 @@ func DeepERLike(model *mlpred.LogisticModel) *MLMatcher {
 // family trained longer with a stricter decision threshold.
 func DeepMatcherLike(model *mlpred.LogisticModel) *MLMatcher {
 	return &MLMatcher{
-		MatcherName: "DeepMatcher",
-		Decide:      model.PredictPair,
+		MatcherName:    "DeepMatcher",
+		Decide:         model.PredictPair,
+		DecideFeatures: model.PredictPairFeatures,
 	}
 }
 
@@ -68,6 +91,9 @@ func DittoLike(threshold float64) *MLMatcher {
 		MatcherName: "Ditto",
 		Decide: func(a, b string) bool {
 			return mlpred.EmbeddingSim(a, b, mlpred.EmbeddingDim) >= threshold
+		},
+		DecideFeatures: func(a, b *mlpred.Features) bool {
+			return mlpred.EmbeddingSimFeatures(a, b) >= threshold
 		},
 	}
 }

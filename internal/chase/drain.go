@@ -1,0 +1,243 @@
+package chase
+
+// The update-driven drain loop of algorithm Match: every drain round fires
+// the satisfied dependencies of H and re-inspects the valuations involving
+// the round's new facts. This file batches each round's event queue into
+// explicit re-enumeration jobs and fans large batches out across
+// goroutines with the same snapshot-enumerate-merge discipline as the
+// concurrent first pass of Deduce (engine.go): frozen union-find roots,
+// per-goroutine buffered contexts, deterministic event-order merge, fan-out
+// bounded by the process-wide deduceSem. The final Γ is identical to the
+// sequential drain by the Church-Rosser property of the chase.
+
+import (
+	"runtime"
+	"sync"
+
+	"dcer/internal/rule"
+
+	"dcer/internal/relation"
+)
+
+// minDrainJobsPerWorker is the smallest job chunk worth a goroutine of its
+// own; batches fan out over at most ceil(jobs/minDrainJobsPerWorker)
+// workers.
+const minDrainJobsPerWorker = 8
+
+// drainBatchCap bounds how many jobs a drain round materializes at once.
+// Merging two large classes expands |Ca|·|Cb| cross pairs per id predicate;
+// the sequential loop visited them in O(1) space, so the batched path must
+// not hold them all either — it flushes full batches (in event order)
+// before expanding further.
+const drainBatchCap = 1 << 15
+
+// drainJob is one seeded re-enumeration: rule br restarted with the
+// seeding predicate p's variables bound to tuples tx and ty. Scope and
+// relation compatibility are checked at expansion time, so every
+// materialized job is real work.
+type drainJob struct {
+	br     *boundRule
+	p      *rule.Pred
+	tx, ty *relation.Tuple
+}
+
+// drain alternates dependency firing and update-driven re-evaluation until
+// no new facts appear (the while-loop of algorithm Match).
+func (e *Engine) drain() {
+	for {
+		progressed := false
+		// Lines 2-3 of IncDeduce: fire satisfied dependencies.
+		heads := e.H.Fire(e.satisfied)
+		for _, h := range heads {
+			e.stats.DepsFired++
+			if e.applyFact(literalFact(h)) {
+				progressed = true
+			}
+		}
+		// Lines 4-7: update-driven re-evaluation of valuations that
+		// involve a new match or validated prediction.
+		if len(e.queue) > 0 {
+			progressed = true
+			q := e.queue
+			e.queue = nil
+			e.processEvents(q)
+		}
+		if !progressed {
+			return
+		}
+		e.stats.Rounds++
+	}
+}
+
+// processEvents expands a round's events into re-enumeration jobs and runs
+// them batch-wise. Class merges expand their cross pairs here, lazily per
+// id predicate in scope, instead of being materialized O(|Ca|·|Cb|) inside
+// the event.
+func (e *Engine) processEvents(q []event) {
+	jobs := e.jobBuf[:0]
+	for _, ev := range q {
+		switch ev.kind {
+		case FactMatch:
+			for _, br := range e.rules {
+				for _, p := range br.ids {
+					for _, x := range ev.ma {
+						for _, y := range ev.mb {
+							jobs = e.addJob(jobs, br, p, x, y)
+							jobs = e.addJob(jobs, br, p, y, x)
+							if len(jobs) >= drainBatchCap {
+								e.runJobs(jobs)
+								jobs = jobs[:0]
+							}
+						}
+					}
+				}
+			}
+		case FactML:
+			for _, br := range e.rules {
+				for i := range br.mls {
+					m := &br.mls[i]
+					if !m.dynamic || m.pred.Model != ev.model {
+						continue
+					}
+					jobs = e.addJob(jobs, br, m.pred, ev.a, ev.b)
+					if len(jobs) >= drainBatchCap {
+						e.runJobs(jobs)
+						jobs = jobs[:0]
+					}
+				}
+			}
+		}
+	}
+	e.runJobs(jobs)
+	e.jobBuf = jobs[:0]
+}
+
+// addJob appends the job (br, p, x, y) if it is viable: both tuples in the
+// rule's scope, on the predicate's relations, and not a self pair under a
+// single-variable predicate.
+func (e *Engine) addJob(jobs []drainJob, br *boundRule, p *rule.Pred, x, y relation.TID) []drainJob {
+	tx, ty := br.scope.Tuple(x), br.scope.Tuple(y)
+	if tx == nil || ty == nil {
+		return jobs
+	}
+	if tx.Rel != br.r.Vars[p.V1].RelIdx || ty.Rel != br.r.Vars[p.V2].RelIdx {
+		return jobs
+	}
+	if p.V1 == p.V2 && x != y {
+		return jobs
+	}
+	return append(jobs, drainJob{br: br, p: p, tx: tx, ty: ty})
+}
+
+// runJobs executes one batch, sequentially for small batches (or under
+// Options.SequentialDrain), in parallel otherwise.
+func (e *Engine) runJobs(jobs []drainJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	min := e.opts.DrainParallelMin
+	if min <= 0 {
+		// By default the batched path is only taken when there is real
+		// parallelism to buy: a buffered chunk cannot see the facts of
+		// earlier jobs in its own batch and re-derives them, which a lone
+		// processor pays for without any fan-out to show for it. An
+		// explicit DrainParallelMin forces the batched path regardless
+		// (A/B runs and the equivalence tests).
+		if runtime.GOMAXPROCS(0) <= 1 {
+			e.runJobsSequential(jobs)
+			return
+		}
+		min = DefaultDrainParallelMin
+	}
+	if e.opts.SequentialDrain || len(jobs) < min {
+		e.runJobsSequential(jobs)
+		return
+	}
+	e.drainConcurrent(jobs)
+}
+
+// runJobsSequential runs the batch on the engine's live context, each job
+// seeing the facts applied by the previous — the original drain order.
+func (e *Engine) runJobsSequential(jobs []drainJob) {
+	for i := range jobs {
+		e.ctx.runSeed(&jobs[i])
+	}
+	e.stats.Valuations += e.ctx.valuations
+	e.stats.Extensions += e.ctx.extensions
+	e.ctx.valuations, e.ctx.extensions = 0, 0
+}
+
+// drainConcurrent is the snapshot-enumerate-merge path: the batch is split
+// into contiguous chunks, each enumerated by a goroutine holding its own
+// buffered context against the frozen Γ; the buffered facts and
+// dependencies are then merged in batch order, which keeps the engine
+// deterministic. A chunk may buffer a dependency where the sequential
+// drain (seeing an earlier chunk's fact) would have emitted the head
+// directly; the merged facts queue their own events, so the update-driven
+// path re-derives such heads in the next round even if H drops the
+// dependency — the same invariant the bounded store relies on everywhere.
+func (e *Engine) drainConcurrent(jobs []drainJob) {
+	e.prebuildIndexes()
+	nw := (len(jobs) + minDrainJobsPerWorker - 1) / minDrainJobsPerWorker
+	if g := runtime.GOMAXPROCS(0); nw > g {
+		nw = g
+	}
+	if nw <= 1 {
+		// One slot: run buffered on the engine's reusable context against
+		// the live union-find — a buffered pass never mutates Γ, so live
+		// reads equal a snapshot — then merge. Same semantics as the
+		// multi-worker path without the snapshot and goroutine overhead.
+		for i := range jobs {
+			e.bctx.runSeed(&jobs[i])
+		}
+		e.mergeCtx(&e.bctx)
+		return
+	}
+	roots := e.frozenRoots()
+	ctxs := make([]*evalCtx, 0, nw)
+	chunk := (len(jobs) + nw - 1) / nw
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(jobs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		ctx := &evalCtx{e: e, roots: roots, buffered: true}
+		ctxs = append(ctxs, ctx)
+		wg.Add(1)
+		go func(ctx *evalCtx, part []drainJob) {
+			defer wg.Done()
+			deduceSem <- struct{}{}
+			defer func() { <-deduceSem }()
+			for i := range part {
+				ctx.runSeed(&part[i])
+			}
+		}(ctx, jobs[lo:hi])
+	}
+	wg.Wait()
+	for _, ctx := range ctxs {
+		e.mergeCtx(ctx)
+	}
+}
+
+// mergeCtx applies a buffered context's facts and dependencies to the
+// engine and resets the context for reuse. Duplicate facts (deduced by
+// several chunks against the same snapshot) coalesce in applyFact.
+func (e *Engine) mergeCtx(ctx *evalCtx) {
+	e.stats.Valuations += ctx.valuations
+	e.stats.Extensions += ctx.extensions
+	ctx.valuations, ctx.extensions = 0, 0
+	for _, l := range ctx.facts {
+		e.applyFact(literalFact(l))
+	}
+	for i := range ctx.deps {
+		// H retains the *Dep it is handed; copy out of the buffer so the
+		// context can be reused.
+		d := ctx.deps[i]
+		if e.H.Add(&d) {
+			e.stats.DepsRecorded++
+		}
+	}
+	ctx.facts = ctx.facts[:0]
+	ctx.deps = ctx.deps[:0]
+}

@@ -3,6 +3,7 @@ package chase
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"dcer/internal/mlpred"
@@ -34,10 +35,30 @@ type Options struct {
 	// Church-Rosser); sequential mode exists for deterministic debugging
 	// and undistorted single-thread timings.
 	SequentialDeduce bool
+	// SequentialDrain disables the batched parallel update-driven pass:
+	// every drain round seeds its re-enumerations strictly one after
+	// another on the calling goroutine, each seeing the facts of the
+	// previous. The final Γ is identical either way (Church-Rosser);
+	// sequential mode exists for A/B timing and deterministic debugging.
+	SequentialDrain bool
+	// DrainParallelMin is the minimum number of seeded re-enumerations a
+	// drain batch must contain before it fans out across goroutines; 0
+	// means DefaultDrainParallelMin on multi-processor hosts and a fully
+	// sequential drain when GOMAXPROCS is 1 (buffered chunks re-derive
+	// facts of their own batch, which a lone processor pays for with no
+	// fan-out in return). Small batches stay sequential either way — the
+	// fan-out overhead (root snapshot, buffered merge) only pays off on
+	// bulk batches like the event floods behind IncDeduce. Setting the
+	// field explicitly forces the batched path even on one processor.
+	DrainParallelMin int
 }
 
 // DefaultMaxDeps is the default capacity of the dependency store.
 const DefaultMaxDeps = 1 << 20
+
+// DefaultDrainParallelMin is the default parallelism threshold of a drain
+// batch (Options.DrainParallelMin).
+const DefaultDrainParallelMin = 16
 
 // deduceSem bounds the process-wide fan-out of concurrent rule
 // enumerations: with n parallel dmatch workers × r rules each, up to n·r
@@ -56,8 +77,12 @@ type Stats struct {
 	DepsDropped  int64
 	Rounds       int64 // internal incremental rounds
 	IndexBuilds  int   // inverted indexes materialized
-	MLCacheHits  int64
-	MLCacheMiss  int64
+	MLCacheHits  int64 // answers served from the id-keyed pair cache
+	MLCacheMiss  int64 // classifier invocations (pair-cache misses)
+	MLCacheSize  int   // memoized (classifier, pair) answers retained
+	FeatHits     int64 // feature-store lookups served from the store
+	FeatMisses   int64 // feature bundles computed (one per miss)
+	FeatEntries  int   // (tuple, attr-list) feature bundles retained
 }
 
 // boundMLPred is an ML body predicate resolved to its classifier.
@@ -65,6 +90,19 @@ type boundMLPred struct {
 	pred    *rule.Pred
 	cl      mlpred.Classifier
 	dynamic bool // the model appears in some rule head, so validation can flip it
+
+	// fc is cl's feature-scoring interface, nil when cl cannot score
+	// precomputed Features (then the gathered-value path is used).
+	fc mlpred.FeatureClassifier
+	// clID is the pair-cache id of (model, A1Vec, A2Vec): two predicates
+	// share answers iff classifier and both attribute lists agree.
+	clID uint32
+	// aID / bID are the feature-store ids of the two attribute lists.
+	aID, bID uint32
+	// canonical marks that (a, b) and (b, a) provably share an answer
+	// (symmetric classifier, identical attribute lists), so the cache key
+	// is ordered a ≤ b and each unordered pair is stored once.
+	canonical bool
 }
 
 // boundRule is a rule prepared for enumeration.
@@ -87,8 +125,11 @@ type boundRule struct {
 	// ix indexes the rule's scope. With MQO sharing, rules with the same
 	// scope share one index set; without, every rule gets its own.
 	ix *relation.IndexSet
-	// cache is the rule-private ML cache used when MQO sharing is off.
-	cache *mlpred.Cache
+	// cache and feats are the rule-private ML answer cache and feature
+	// store used when MQO sharing is off (the noMQO ablation shares no
+	// intermediate results between rules).
+	cache *mlpred.PairCache
+	feats *mlpred.FeatureStore
 }
 
 // Engine is the sequential Match engine of Section V-A. It owns the
@@ -107,7 +148,14 @@ type Engine struct {
 	validated map[mlKey]bool
 	H         *DepStore
 	ixSets    map[*relation.Dataset]*relation.IndexSet // shared per scope
-	cache     *mlpred.Cache
+	pairCache *mlpred.PairCache
+	feats     *mlpred.FeatureStore
+
+	// idIndex maps, per relation, the canonical key of a literal id value
+	// to the first tuple carrying it, so setup pre-merging and the ΔD path
+	// of InsertTuples find duplicate ids in O(1) instead of scanning the
+	// relation per tuple.
+	idIndex []map[string]relation.TID
 
 	dynamicModels map[string]bool
 
@@ -124,14 +172,19 @@ type Engine struct {
 	// (seeded re-enumerations and SequentialDeduce).
 	ctx evalCtx
 
-	// seedBuf is the reusable seed scratch of seedIDPair / seedMLPair.
-	seedBuf []*relation.Tuple
+	// bctx is the reusable buffered context of the single-slot parallel
+	// drain path (see drainConcurrent).
+	bctx evalCtx
 
 	gamma Gamma
 	stats Stats
 
 	// queue of unprocessed events driving the update-driven path.
 	queue []event
+
+	// jobBuf is the reusable scratch the drain rounds expand their event
+	// batches into (see drain.go).
+	jobBuf []drainJob
 
 	// delta accumulates the facts deduced during the current Deduce or
 	// IncDeduce call.
@@ -182,10 +235,13 @@ func NewScoped(d *relation.Dataset, rules []*rule.Rule, scopes []*relation.Datas
 		validated:     make(map[mlKey]bool),
 		H:             NewDepStore(opts.MaxDeps),
 		ixSets:        make(map[*relation.Dataset]*relation.IndexSet),
-		cache:         mlpred.NewCache(),
+		pairCache:     mlpred.NewPairCache(),
+		feats:         mlpred.NewFeatureStore(0),
 		dynamicModels: make(map[string]bool),
 	}
 	e.ctx.e = e
+	e.bctx.e = e
+	e.bctx.buffered = true
 	for _, t := range d.Tuples() {
 		e.members[int(t.GID)] = []relation.TID{t.GID}
 	}
@@ -210,9 +266,11 @@ func NewScoped(d *relation.Dataset, rules []*rule.Rule, scopes []*relation.Datas
 	}
 	// Tuples sharing a literal id value within a relation denote the same
 	// entity by definition; pre-merge them (these trivial matches are not
-	// reported in Γ).
-	for _, rel := range d.Relations {
-		byID := make(map[string]relation.TID)
+	// reported in Γ). The id index is retained so InsertTuples can find
+	// later duplicates without re-scanning the relation.
+	e.idIndex = make([]map[string]relation.TID, len(d.Relations))
+	for ri, rel := range d.Relations {
+		byID := make(map[string]relation.TID, len(rel.Tuples))
 		for _, t := range rel.Tuples {
 			k := t.Values[rel.Schema.IDAttr].Key()
 			if first, ok := byID[k]; ok {
@@ -221,6 +279,7 @@ func NewScoped(d *relation.Dataset, rules []*rule.Rule, scopes []*relation.Datas
 				byID[k] = t.GID
 			}
 		}
+		e.idIndex[ri] = byID
 	}
 	return e, nil
 }
@@ -272,9 +331,55 @@ func (e *Engine) bindRule(r *rule.Rule, scope *relation.Dataset) (*boundRule, er
 		br.ix = ix
 	} else {
 		br.ix = relation.NewIndexSet(scope)
-		br.cache = mlpred.NewCache()
+		br.cache = mlpred.NewPairCache()
+		br.feats = mlpred.NewFeatureStore(0)
+	}
+	// Resolve the cache and feature-store ids of the ML predicates against
+	// whichever cache pair this rule will consult at prediction time, so the
+	// hot path works with small interned integers only.
+	cache, feats := e.pairCache, e.feats
+	if br.cache != nil {
+		cache, feats = br.cache, br.feats
+	}
+	for i := range br.mls {
+		m := &br.mls[i]
+		p := m.pred
+		m.fc, _ = m.cl.(mlpred.FeatureClassifier)
+		m.clID = cache.ClassifierID(predSignature(p))
+		m.aID = feats.AttrsID(p.A1Vec)
+		m.bID = feats.AttrsID(p.A2Vec)
+		m.canonical = m.fc != nil && m.fc.Symmetric() && sameInts(p.A1Vec, p.A2Vec)
 	}
 	return br, nil
+}
+
+// predSignature identifies an ML predicate for answer sharing: two bound
+// predicates may share cached answers iff they agree on the classifier and
+// on both attribute lists — the same model over different attribute lists
+// is a different function of the tuple pair.
+func predSignature(p *rule.Pred) string {
+	var sb strings.Builder
+	sb.WriteString(p.Model)
+	for _, a := range p.A1Vec {
+		fmt.Fprintf(&sb, "|%d", a)
+	}
+	sb.WriteByte('~')
+	for _, a := range p.A2Vec {
+		fmt.Fprintf(&sb, "|%d", a)
+	}
+	return sb.String()
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // indexFor returns the rule's (scope-local) index.
@@ -311,16 +416,6 @@ func (e *Engine) frozenRoots() []int32 {
 		roots[i] = int32(e.uf.Find(i))
 	}
 	return roots
-}
-
-// mlPredict answers an ML predicate through the (possibly rule-private)
-// memoizing cache.
-func (e *Engine) mlPredict(br *boundRule, cl mlpred.Classifier, left, right []relation.Value) bool {
-	c := e.cache
-	if br != nil && br.cache != nil {
-		c = br.cache
-	}
-	return c.Predict(cl, left, right)
 }
 
 // Same reports whether two tuples are currently matched (t.id = s.id ∈ Γ).
@@ -446,17 +541,7 @@ func (e *Engine) deduceConcurrent() {
 	}
 	wg.Wait()
 	for _, ctx := range ctxs {
-		e.stats.Valuations += ctx.valuations
-		e.stats.Extensions += ctx.extensions
-		for _, l := range ctx.facts {
-			e.applyFact(literalFact(l))
-		}
-		for i := range ctx.deps {
-			d := &ctx.deps[i]
-			if e.H.Add(d) {
-				e.stats.DepsRecorded++
-			}
-		}
+		e.mergeCtx(ctx)
 	}
 }
 
@@ -476,36 +561,6 @@ func (e *Engine) IncDeduce(external []Fact) []Fact {
 	return append([]Fact(nil), e.delta[skip:]...)
 }
 
-// drain alternates dependency firing and update-driven re-evaluation until
-// no new facts appear (the while-loop of algorithm Match).
-func (e *Engine) drain() {
-	for {
-		progressed := false
-		// Lines 2-3 of IncDeduce: fire satisfied dependencies.
-		heads := e.H.Fire(e.satisfied)
-		for _, h := range heads {
-			e.stats.DepsFired++
-			if e.applyFact(literalFact(h)) {
-				progressed = true
-			}
-		}
-		// Lines 4-7: update-driven re-evaluation of valuations that
-		// involve a new match or validated prediction.
-		if len(e.queue) > 0 {
-			progressed = true
-			q := e.queue
-			e.queue = nil
-			for _, ev := range q {
-				e.processEvent(ev)
-			}
-		}
-		if !progressed {
-			return
-		}
-		e.stats.Rounds++
-	}
-}
-
 func literalFact(l Literal) Fact {
 	if l.Kind == FactMatch {
 		return MatchFact(l.A, l.B)
@@ -519,86 +574,6 @@ func (e *Engine) satisfied(l Literal) bool {
 		return e.Same(l.A, l.B)
 	}
 	return e.validated[mlKey{l.Model, l.A, l.B}]
-}
-
-// processEvent re-inspects only valuations involving the new facts. Class
-// merges expand their cross pairs here, lazily per id predicate in scope.
-func (e *Engine) processEvent(ev event) {
-	switch ev.kind {
-	case FactMatch:
-		for _, br := range e.rules {
-			for _, p := range br.ids {
-				for _, x := range ev.ma {
-					for _, y := range ev.mb {
-						e.seedIDPair(br, p, x, y)
-						e.seedIDPair(br, p, y, x)
-					}
-				}
-			}
-		}
-	case FactML:
-		for _, br := range e.rules {
-			for i := range br.mls {
-				m := &br.mls[i]
-				if !m.dynamic || m.pred.Model != ev.model {
-					continue
-				}
-				e.seedMLPair(br, m.pred, ev.a, ev.b)
-			}
-		}
-	}
-}
-
-// seedScratch clears and returns the reusable seed buffer, sized to n.
-func (e *Engine) seedScratch(n int) []*relation.Tuple {
-	if cap(e.seedBuf) < n {
-		e.seedBuf = make([]*relation.Tuple, n)
-	}
-	e.seedBuf = e.seedBuf[:n]
-	for i := range e.seedBuf {
-		e.seedBuf[i] = nil
-	}
-	return e.seedBuf
-}
-
-// seedIDPair starts a restricted enumeration of br with the id predicate
-// p's variables bound to tuples x and y (both must be in the rule's scope).
-func (e *Engine) seedIDPair(br *boundRule, p *rule.Pred, x, y relation.TID) {
-	tx, ty := br.scope.Tuple(x), br.scope.Tuple(y)
-	if tx == nil || ty == nil {
-		return
-	}
-	if tx.Rel != br.r.Vars[p.V1].RelIdx || ty.Rel != br.r.Vars[p.V2].RelIdx {
-		return
-	}
-	seed := e.seedScratch(len(br.r.Vars))
-	seed[p.V1] = tx
-	if p.V1 != p.V2 {
-		seed[p.V2] = ty
-	} else if x != y {
-		return
-	}
-	e.enumerateRule(br, seed)
-}
-
-// seedMLPair starts a restricted enumeration of br with the ML predicate
-// p's variables bound to tuples a and b.
-func (e *Engine) seedMLPair(br *boundRule, p *rule.Pred, a, b relation.TID) {
-	ta, tb := br.scope.Tuple(a), br.scope.Tuple(b)
-	if ta == nil || tb == nil {
-		return
-	}
-	if ta.Rel != br.r.Vars[p.V1].RelIdx || tb.Rel != br.r.Vars[p.V2].RelIdx {
-		return
-	}
-	seed := e.seedScratch(len(br.r.Vars))
-	seed[p.V1] = ta
-	if p.V1 != p.V2 {
-		seed[p.V2] = tb
-	} else if a != b {
-		return
-	}
-	e.enumerateRule(br, seed)
 }
 
 // Run executes the full sequential algorithm Match and returns Γ.
@@ -639,14 +614,19 @@ func (e *Engine) Stats() Stats {
 			s.IndexBuilds += br.ix.Built()
 		}
 	}
-	h, m := e.cache.Stats()
+	h, m := e.pairCache.Stats()
+	size := e.pairCache.Len()
+	fh, fm := e.feats.Stats()
+	fe := e.feats.Len()
 	for _, br := range e.rules {
 		if br.cache != nil {
 			bh, bm := br.cache.Stats()
-			h += bh
-			m += bm
+			h, m, size = h+bh, m+bm, size+br.cache.Len()
+			bh, bm = br.feats.Stats()
+			fh, fm, fe = fh+bh, fm+bm, fe+br.feats.Len()
 		}
 	}
-	s.MLCacheHits, s.MLCacheMiss = h, m
+	s.MLCacheHits, s.MLCacheMiss, s.MLCacheSize = h, m, size
+	s.FeatHits, s.FeatMisses, s.FeatEntries = fh, fm, fe
 	return s
 }

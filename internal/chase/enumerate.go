@@ -39,6 +39,7 @@ type evalCtx struct {
 	lvals   []relation.Value
 	rvals   []relation.Value
 	unsat   []Literal
+	seedBuf []*relation.Tuple
 }
 
 // reset points the context at rule br and clears the binding scratch.
@@ -259,13 +260,53 @@ func (c *evalCtx) checkNewBinding(v int, t *relation.Tuple) bool {
 	return true
 }
 
-// predict answers ML predicate m over tuples ta, tb through the memoizing
-// cache, gathering the attribute vectors into the context's scratch
-// buffers (the cache flattens them to strings and never retains them).
+// predict answers ML predicate m over tuples ta, tb through the id-keyed
+// pair cache, scoring misses over precomputed feature bundles when the
+// classifier supports it. The attribute vectors are gathered into the
+// context's scratch buffers only on a miss (the stores never retain them).
 func (c *evalCtx) predict(m *boundMLPred, ta, tb *relation.Tuple) bool {
+	cache, feats := c.e.pairCache, c.e.feats
+	if c.br.cache != nil {
+		cache, feats = c.br.cache, c.br.feats
+	}
+	ka, kb := ta.GID, tb.GID
+	if m.canonical && kb < ka {
+		ka, kb = kb, ka
+	}
+	if ans, ok := cache.Lookup(m.clID, ka, kb); ok {
+		return ans
+	}
 	c.lvals = gatherInto(c.lvals, ta, m.pred.A1Vec)
 	c.rvals = gatherInto(c.rvals, tb, m.pred.A2Vec)
-	return c.e.mlPredict(c.br, m.cl, c.lvals, c.rvals)
+	var ans bool
+	if m.fc != nil {
+		fa := feats.Get(ta.GID, m.aID, c.lvals)
+		fb := feats.Get(tb.GID, m.bID, c.rvals)
+		ans = m.fc.PredictFeatures(fa, fb)
+	} else {
+		ans = m.cl.Predict(c.lvals, c.rvals)
+	}
+	cache.Store(m.clID, ka, kb, ans)
+	return ans
+}
+
+// runSeed runs one drain job: a restricted enumeration of the job's rule
+// with the seeding predicate's variables bound to the job's tuples.
+func (c *evalCtx) runSeed(j *drainJob) {
+	c.reset(j.br)
+	n := len(j.br.r.Vars)
+	if cap(c.seedBuf) < n {
+		c.seedBuf = make([]*relation.Tuple, n)
+	}
+	seed := c.seedBuf[:n]
+	for i := range seed {
+		seed[i] = nil
+	}
+	seed[j.p.V1] = j.tx
+	if j.p.V1 != j.p.V2 {
+		seed[j.p.V2] = j.ty
+	}
+	c.enumerate(seed)
 }
 
 // gatherInto collects an ML predicate's attribute-value vector from a

@@ -51,16 +51,18 @@ func (e *Engine) InsertTuples(tuples []*relation.Tuple) ([]Fact, error) {
 	}
 	// A new tuple sharing a literal id value with an existing one denotes
 	// the same entity; merge through the regular fact path so dependent
-	// valuations are re-inspected.
+	// valuations are re-inspected. The engine's id index answers the
+	// duplicate probe in O(1) per tuple instead of scanning the relation.
 	e.delta = e.delta[:0]
 	for _, t := range tuples {
 		s := e.d.SchemaOf(t)
-		idVal := t.Values[s.IDAttr]
-		for _, other := range e.d.Relations[t.Rel].Tuples {
-			if other != t && other.Values[s.IDAttr].Equal(idVal) {
-				e.applyFact(MatchFact(other.GID, t.GID))
-				break
+		k := t.Values[s.IDAttr].Key()
+		if first, ok := e.idIndex[t.Rel][k]; ok {
+			if first != t.GID {
+				e.applyFact(MatchFact(first, t.GID))
 			}
+		} else {
+			e.idIndex[t.Rel][k] = t.GID
 		}
 	}
 	// Update-driven pass: only valuations involving a new tuple are new,

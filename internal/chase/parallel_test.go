@@ -78,11 +78,121 @@ func TestDeduceParallelEquivalence(t *testing.T) {
 	}
 }
 
-// TestDMatchModesEquivalence is the property test for the three dmatch
-// execution modes: fully sequential supersteps, parallel supersteps with
-// sequential per-worker Deduce, and parallel supersteps with the
-// concurrent per-rule Deduce. All three must produce the same global
-// equivalence classes and validated set on randomized instances.
+// TestDrainParallelEquivalence is the property test for the batched
+// parallel drain: on randomized instances, the sequential drain, the
+// default-threshold drain, and a forced parallel drain (every batch fans
+// out) must reach byte-identical equivalence classes and validated sets.
+func TestDrainParallelEquivalence(t *testing.T) {
+	reg := mlpred.DefaultRegistry()
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := int64(400); seed < 400+seeds; seed++ {
+		d, rules, err := randomInstance(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opts := []chase.Options{
+			{ShareIndexes: true, SequentialDrain: true},
+			{ShareIndexes: true},
+			{ShareIndexes: true, DrainParallelMin: 1},
+		}
+		var classes, validated []string
+		for _, o := range opts {
+			eng, err := chase.New(d, rules, reg, o)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			eng.Run()
+			classes = append(classes, canonClasses(eng.Classes()))
+			validated = append(validated, canonValidated(eng.Gamma().Validated))
+		}
+		for i := 1; i < len(opts); i++ {
+			if classes[i] != classes[0] {
+				t.Fatalf("seed %d: drain mode %+v classes diverge from sequential:\nseq:\n%s\ngot:\n%s",
+					seed, opts[i], classes[0], classes[i])
+			}
+			if validated[i] != validated[0] {
+				t.Fatalf("seed %d: drain mode %+v validated set diverges:\nseq:\n%s\ngot:\n%s",
+					seed, opts[i], validated[0], validated[i])
+			}
+		}
+	}
+}
+
+// TestInsertTuplesRandomSplitEquivalence is the property test for the
+// incremental ΔD path: withholding a random slice of a random instance and
+// inserting it later (with the parallel drain forced on) must reach
+// exactly the Γ of a full chase over the whole dataset.
+func TestInsertTuplesRandomSplitEquivalence(t *testing.T) {
+	reg := mlpred.DefaultRegistry()
+	seeds := int64(25)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(500); seed < 500+seeds; seed++ {
+		d, rules, err := randomInstance(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		scratch, err := chase.New(d, rules, reg, chase.Options{ShareIndexes: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		scratch.Run()
+
+		// Rebuild withholding every k-th tuple, chase, then insert them.
+		k := 3 + int(seed%4)
+		d2 := relation.NewDataset(d.DB)
+		gidMap := make(map[relation.TID]relation.TID) // src gid -> new gid
+		var heldSrc []*relation.Tuple
+		for i, tt := range d.Tuples() {
+			if i%k == 1 {
+				heldSrc = append(heldSrc, tt)
+				continue
+			}
+			nt := d2.MustAppend(d.DB.Schemas[tt.Rel].Name, tt.Values...)
+			gidMap[tt.GID] = nt.GID
+		}
+		eng, err := chase.New(d2, rules, reg, chase.Options{ShareIndexes: true, DrainParallelMin: 1})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eng.Run()
+		var held []*relation.Tuple
+		for _, tt := range heldSrc {
+			nt := d2.MustAppend(d.DB.Schemas[tt.Rel].Name, tt.Values...)
+			gidMap[tt.GID] = nt.GID
+			held = append(held, nt)
+		}
+		if _, err := eng.InsertTuples(held); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := 0; i < d.Size(); i++ {
+			for j := i + 1; j < d.Size(); j++ {
+				a, b := relation.TID(i), relation.TID(j)
+				if scratch.Same(a, b) != eng.Same(gidMap[a], gidMap[b]) {
+					t.Fatalf("seed %d: scratch and incremental disagree on (%d,%d)", seed, i, j)
+				}
+			}
+		}
+		want := make([]chase.Fact, 0, len(scratch.Gamma().Validated))
+		for _, f := range scratch.Gamma().Validated {
+			want = append(want, chase.MLFact(f.Model, gidMap[f.A], gidMap[f.B]))
+		}
+		if wv, gv := canonValidated(want), canonValidated(eng.Gamma().Validated); wv != gv {
+			t.Fatalf("seed %d: validated sets differ:\nscratch:\n%s\nincremental:\n%s", seed, wv, gv)
+		}
+	}
+}
+
+// TestDMatchModesEquivalence is the property test for the dmatch execution
+// modes: fully sequential supersteps, parallel supersteps with sequential
+// per-worker Deduce, parallel supersteps with the sequential (and the
+// always-parallel) per-worker drain, and the fully parallel default. All
+// must produce the same global equivalence classes and validated set on
+// randomized instances.
 func TestDMatchModesEquivalence(t *testing.T) {
 	reg := mlpred.DefaultRegistry()
 	seeds := int64(30)
@@ -98,6 +208,8 @@ func TestDMatchModesEquivalence(t *testing.T) {
 		modes := []dmatch.Options{
 			{Workers: workers, Sequential: true},
 			{Workers: workers, SequentialDeduce: true},
+			{Workers: workers, SequentialDrain: true},
+			{Workers: workers, DrainParallelMin: 1},
 			{Workers: workers},
 		}
 		var classes, validated []string

@@ -48,6 +48,13 @@ type Options struct {
 	// disables the concurrent per-rule first pass inside each worker's
 	// Deduce (the pre-intra-parallelism behavior, kept for comparison).
 	SequentialDeduce bool
+	// SequentialDrain disables the batched parallel drain inside each
+	// worker's Deduce/IncDeduce (see chase.Options.SequentialDrain), so
+	// every superstep's incremental pass runs single-threaded per worker.
+	SequentialDrain bool
+	// DrainParallelMin overrides the per-worker parallel-drain batch
+	// threshold (see chase.Options.DrainParallelMin); 0 keeps the default.
+	DrainParallelMin int
 }
 
 // Result is the outcome of a parallel run.
@@ -221,6 +228,8 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			ShareIndexes:     !opts.NoMQO,
 			IDSpace:          idSpace,
 			SequentialDeduce: opts.Sequential || opts.SequentialDeduce,
+			SequentialDrain:  opts.Sequential || opts.SequentialDrain,
+			DrainParallelMin: opts.DrainParallelMin,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("dmatch: worker %d: %w", i, err)

@@ -34,12 +34,30 @@ func FlattenValues(vs []relation.Value) string {
 	return strings.Join(parts, " ")
 }
 
+// FeatureClassifier is a Classifier that can additionally score
+// precomputed Features bundles directly, so engines holding a FeatureStore
+// skip re-tokenizing, re-embedding and re-joining strings on every call.
+type FeatureClassifier interface {
+	Classifier
+	// PredictFeatures reports whether two precomputed feature bundles
+	// match. Must agree with Predict on the same underlying texts.
+	PredictFeatures(a, b *Features) bool
+	// Symmetric reports whether Predict(x, y) == Predict(y, x) always
+	// holds, so caches may canonicalize the argument order.
+	Symmetric() bool
+}
+
 // SimClassifier thresholds a string-similarity metric. It is the
 // fasttext-style semantic-similarity stand-in.
 type SimClassifier struct {
 	ClassifierName string
 	Metric         func(a, b string) float64
-	Threshold      float64
+	// FeatureMetric, when set, scores precomputed feature bundles (e.g.
+	// JaccardFeatures) instead of re-deriving tokens/embeddings from the
+	// flattened text; it must agree with Metric on the same texts. When
+	// nil, PredictFeatures falls back to Metric over the cached texts.
+	FeatureMetric func(a, b *Features) float64
+	Threshold     float64
 }
 
 // Name implements Classifier.
@@ -55,6 +73,23 @@ func (c *SimClassifier) Score(left, right []relation.Value) float64 {
 	return c.Metric(FlattenValues(left), FlattenValues(right))
 }
 
+// ScoreFeatures is Score over precomputed feature bundles.
+func (c *SimClassifier) ScoreFeatures(a, b *Features) float64 {
+	if c.FeatureMetric != nil {
+		return c.FeatureMetric(a, b)
+	}
+	return c.Metric(a.Text, b.Text)
+}
+
+// PredictFeatures implements FeatureClassifier.
+func (c *SimClassifier) PredictFeatures(a, b *Features) bool {
+	return c.ScoreFeatures(a, b) >= c.Threshold
+}
+
+// Symmetric implements FeatureClassifier: similarity metrics are
+// symmetric (the string Cache has always assumed this for SimClassifier).
+func (c *SimClassifier) Symmetric() bool { return true }
+
 // LogisticClassifier wraps a trained LogisticModel as a predicate. It is
 // the supervised-ER (DeepER-style) stand-in.
 type LogisticClassifier struct {
@@ -69,6 +104,17 @@ func (c *LogisticClassifier) Name() string { return c.ClassifierName }
 func (c *LogisticClassifier) Predict(left, right []relation.Value) bool {
 	return c.Model.PredictPair(FlattenValues(left), FlattenValues(right))
 }
+
+// PredictFeatures implements FeatureClassifier: the similarity-feature
+// battery is computed from the precomputed bundles (token merges and dot
+// products) instead of re-deriving every feature from raw strings.
+func (c *LogisticClassifier) PredictFeatures(a, b *Features) bool {
+	return c.Model.PredictPairFeatures(a, b)
+}
+
+// Symmetric implements FeatureClassifier: every pair feature is symmetric
+// in its arguments, so the model's decision is too.
+func (c *LogisticClassifier) Symmetric() bool { return true }
 
 // Func adapts a plain function to a Classifier; handy in tests.
 type Func struct {
@@ -133,26 +179,36 @@ func (r *Registry) Names() []string {
 //	embed080, embed090    — hashed-embedding cosine at 0.80 / 0.90
 //	cosine07              — token cosine at 0.7
 //	nameabbrev            — abbreviated-person-name matcher
+//
+// Classifiers whose metric decomposes over per-text features carry a
+// FeatureMetric so engines with a FeatureStore score by token merges and
+// dot products; the rest (edit-distance-style metrics) still skip the
+// per-call value flattening by reading the cached Features.Text.
 func DefaultRegistry() *Registry {
 	r := NewRegistry()
-	r.Register(&SimClassifier{ClassifierName: "jaccard07", Metric: Jaccard, Threshold: 0.7})
-	r.Register(&SimClassifier{ClassifierName: "jaccard05", Metric: Jaccard, Threshold: 0.5})
+	r.Register(&SimClassifier{ClassifierName: "jaccard07", Metric: Jaccard, FeatureMetric: JaccardFeatures, Threshold: 0.7})
+	r.Register(&SimClassifier{ClassifierName: "jaccard05", Metric: Jaccard, FeatureMetric: JaccardFeatures, Threshold: 0.5})
 	r.Register(&SimClassifier{ClassifierName: "jaro085", Metric: JaroWinkler, Threshold: 0.85})
 	r.Register(&SimClassifier{ClassifierName: "lev080", Metric: LevenshteinSim, Threshold: 0.8})
 	r.Register(&SimClassifier{ClassifierName: "lev075", Metric: LevenshteinSim, Threshold: 0.75})
-	r.Register(&SimClassifier{ClassifierName: "cosine07", Metric: CosineTokens, Threshold: 0.7})
+	r.Register(&SimClassifier{ClassifierName: "cosine07", Metric: CosineTokens, FeatureMetric: CosineTokensFeatures, Threshold: 0.7})
 	r.Register(&SimClassifier{ClassifierName: "embed080",
-		Metric: func(a, b string) float64 { return EmbeddingSim(a, b, EmbeddingDim) }, Threshold: 0.8})
+		Metric:        func(a, b string) float64 { return EmbeddingSim(a, b, EmbeddingDim) },
+		FeatureMetric: EmbeddingSimFeatures, Threshold: 0.8})
 	r.Register(&SimClassifier{ClassifierName: "embed090",
-		Metric: func(a, b string) float64 { return EmbeddingSim(a, b, EmbeddingDim) }, Threshold: 0.9})
+		Metric:        func(a, b string) float64 { return EmbeddingSim(a, b, EmbeddingDim) },
+		FeatureMetric: EmbeddingSimFeatures, Threshold: 0.9})
 	r.Register(&SimClassifier{ClassifierName: "nameabbrev", Metric: AbbrevNameSim, Threshold: 0.5})
 	r.Register(&SimClassifier{ClassifierName: "surnames06", Metric: SurnameSim, Threshold: 0.6})
 	return r
 }
 
 // Cache memoizes classifier answers by (classifier, left text, right text).
-// Keys include argument order; for known-symmetric classifiers the answer
-// is stored under both orders.
+// Keys include argument order; for known-symmetric classifiers the key is
+// canonicalized (smaller text first) so each unordered pair is stored
+// once. The chase engine's hot path uses the id-keyed sharded PairCache
+// instead; this string-keyed cache serves callers without stable tuple
+// ids (naive oracle, proofs, discovery, soft chase).
 type Cache struct {
 	mu      sync.RWMutex
 	answers map[string]bool
@@ -167,9 +223,21 @@ func cacheKey(name, a, b string) string {
 	return name + "\x00" + a + "\x00" + b
 }
 
+// symmetricClassifier reports whether cl's answer is argument-order
+// independent, so the cache key may be canonicalized.
+func symmetricClassifier(cl Classifier) bool {
+	if fc, ok := cl.(FeatureClassifier); ok {
+		return fc.Symmetric()
+	}
+	return false
+}
+
 // Predict answers via the cache, calling the classifier on a miss.
 func (c *Cache) Predict(cl Classifier, left, right []relation.Value) bool {
 	a, b := FlattenValues(left), FlattenValues(right)
+	if b < a && symmetricClassifier(cl) {
+		a, b = b, a
+	}
 	key := cacheKey(cl.Name(), a, b)
 	c.mu.RLock()
 	ans, ok := c.answers[key]
@@ -182,9 +250,6 @@ func (c *Cache) Predict(cl Classifier, left, right []relation.Value) bool {
 	c.misses.Add(1)
 	c.mu.Lock()
 	c.answers[key] = ans
-	if _, sym := cl.(*SimClassifier); sym {
-		c.answers[cacheKey(cl.Name(), b, a)] = ans
-	}
 	c.mu.Unlock()
 	return ans
 }

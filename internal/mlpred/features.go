@@ -1,0 +1,316 @@
+package mlpred
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dcer/internal/fnv"
+	"dcer/internal/relation"
+)
+
+// TokenCount is one distinct lowercase token of a text with its
+// multiplicity, kept sorted by token inside Features so set and vector
+// operations run as linear merges instead of map probes.
+type TokenCount struct {
+	Tok string
+	N   float64
+}
+
+// Features is the precomputed feature bundle of one attribute-value vector
+// (one tuple projected on one ML predicate's attribute list). Classifiers
+// that implement FeatureClassifier score pairs of these by merges and dot
+// products instead of re-tokenizing, re-embedding, and re-joining strings
+// on every Predict call.
+//
+// Only the flattened text is materialized up front; the token multiset and
+// the trigram embedding are each derived on first use and memoized, so a
+// bundle scored only by an edit-distance classifier never tokenizes, and
+// one scored only by token metrics never embeds.
+type Features struct {
+	// Text is the flattened attribute text (FlattenValues of the vector).
+	Text string
+
+	dim int
+
+	tokOnce   sync.Once
+	tokens    []TokenCount
+	tokenNorm float64
+
+	embOnce sync.Once
+	embed   []float64
+}
+
+// ComputeFeatures builds the feature bundle of one attribute-value vector.
+func ComputeFeatures(vals []relation.Value, dim int) *Features {
+	return computeFeaturesText(FlattenValues(vals), dim)
+}
+
+func computeFeaturesText(text string, dim int) *Features {
+	if dim <= 0 {
+		dim = EmbeddingDim
+	}
+	return &Features{Text: text, dim: dim}
+}
+
+// Tokens returns the distinct lowercase tokens of the text with counts,
+// sorted by token; computed on first call. Safe for concurrent use.
+func (f *Features) Tokens() []TokenCount {
+	f.tokOnce.Do(f.computeTokens)
+	return f.tokens
+}
+
+// TokenNorm returns the L2 norm of the token-count vector.
+func (f *Features) TokenNorm() float64 {
+	f.tokOnce.Do(f.computeTokens)
+	return f.tokenNorm
+}
+
+// Embedding returns the hashed character-trigram embedding, L2-normalized
+// so the cosine of two bundles is a plain dot product; computed on first
+// call. Safe for concurrent use.
+func (f *Features) Embedding() []float64 {
+	f.embOnce.Do(func() { f.embed = Embed(f.Text, f.dim) })
+	return f.embed
+}
+
+func (f *Features) computeTokens() {
+	toks := Tokenize(f.Text)
+	if len(toks) == 0 {
+		return
+	}
+	sort.Strings(toks)
+	f.tokens = make([]TokenCount, 0, len(toks))
+	for _, t := range toks {
+		if n := len(f.tokens); n > 0 && f.tokens[n-1].Tok == t {
+			f.tokens[n-1].N++
+		} else {
+			f.tokens = append(f.tokens, TokenCount{Tok: t, N: 1})
+		}
+	}
+	var norm float64
+	for _, tc := range f.tokens {
+		norm += tc.N * tc.N
+	}
+	f.tokenNorm = math.Sqrt(norm)
+}
+
+// JaccardFeatures is token-set Jaccard over precomputed sorted token lists
+// (a linear merge; no maps, no re-tokenization).
+func JaccardFeatures(a, b *Features) float64 {
+	ta, tb := a.Tokens(), b.Tokens()
+	la, lb := len(ta), len(tb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	inter := 0
+	for i, j := 0, 0; i < la && j < lb; {
+		switch {
+		case ta[i].Tok == tb[j].Tok:
+			inter++
+			i++
+			j++
+		case ta[i].Tok < tb[j].Tok:
+			i++
+		default:
+			j++
+		}
+	}
+	return float64(inter) / float64(la+lb-inter)
+}
+
+// CosineTokensFeatures is token-frequency cosine over precomputed sorted
+// token lists.
+func CosineTokensFeatures(a, b *Features) float64 {
+	ta, tb := a.Tokens(), b.Tokens()
+	if len(ta) == 0 || len(tb) == 0 {
+		if len(ta) == 0 && len(tb) == 0 {
+			return 1
+		}
+		return 0
+	}
+	var dot float64
+	for i, j := 0, 0; i < len(ta) && j < len(tb); {
+		switch {
+		case ta[i].Tok == tb[j].Tok:
+			dot += ta[i].N * tb[j].N
+			i++
+			j++
+		case ta[i].Tok < tb[j].Tok:
+			i++
+		default:
+			j++
+		}
+	}
+	if a.TokenNorm() == 0 || b.TokenNorm() == 0 {
+		return 0
+	}
+	return dot / (a.TokenNorm() * b.TokenNorm())
+}
+
+// EmbeddingSimFeatures is embedding cosine over the precomputed vectors —
+// the expensive Embed pass runs once per bundle, only the dot product
+// remains per pair.
+func EmbeddingSimFeatures(a, b *Features) float64 {
+	return CosineVec(a.Embedding(), b.Embedding())
+}
+
+// featStoreShards is the shard count of a FeatureStore (a power of two so
+// shard selection is a mask).
+const featStoreShards = 64
+
+type featShard struct {
+	mu sync.RWMutex
+	m  map[featKey]*Features
+}
+
+// featKey addresses one tuple's feature bundle for one attribute list.
+type featKey struct {
+	gid   relation.TID
+	attrs uint32
+}
+
+// FeatureStore computes and retains the Features of each (tuple,
+// attribute-list) pair exactly once, indexed by the tuple's global id.
+// Attribute lists are interned to small ids (AttrsID) at rule-bind time so
+// the hot path never hashes slices or builds strings. The store is sharded
+// for concurrent access from parallel enumerations.
+type FeatureStore struct {
+	dim    int
+	shards [featStoreShards]featShard
+
+	mu      sync.Mutex // guards attrs interning (bind time only)
+	attrIDs map[uint64][]attrsEntry
+	nAttrs  uint32
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type attrsEntry struct {
+	attrs []int
+	id    uint32
+}
+
+// NewFeatureStore creates an empty store producing embeddings of the given
+// dimensionality (0 means EmbeddingDim).
+func NewFeatureStore(dim int) *FeatureStore {
+	if dim <= 0 {
+		dim = EmbeddingDim
+	}
+	s := &FeatureStore{dim: dim, attrIDs: make(map[uint64][]attrsEntry)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[featKey]*Features)
+	}
+	return s
+}
+
+// AttrsID interns an attribute-index list to a small id. Call once per
+// bound predicate at setup, not on the scoring path.
+func (s *FeatureStore) AttrsID(attrs []int) uint32 {
+	h := uint64(fnv.Offset64)
+	for _, a := range attrs {
+		h = fnv.Uint64(h, uint64(a))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.attrIDs[h] {
+		if equalInts(e.attrs, attrs) {
+			return e.id
+		}
+	}
+	id := s.nAttrs
+	s.nAttrs++
+	s.attrIDs[h] = append(s.attrIDs[h], attrsEntry{attrs: append([]int(nil), attrs...), id: id})
+	return id
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *FeatureStore) shardFor(k featKey) *featShard {
+	h := fnv.Uint64(fnv.Uint64(fnv.Offset64, uint64(k.gid)), uint64(k.attrs))
+	return &s.shards[h&(featStoreShards-1)]
+}
+
+// Get returns the feature bundle of tuple gid projected on the interned
+// attribute list, computing and caching it on first use. vals is the
+// tuple's attribute-value vector for that list; it is only read on a miss.
+func (s *FeatureStore) Get(gid relation.TID, attrsID uint32, vals []relation.Value) *Features {
+	k := featKey{gid: gid, attrs: attrsID}
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	f, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+		return f
+	}
+	// Compute outside the lock; a concurrent duplicate costs one redundant
+	// computation, never a wrong answer (features are deterministic).
+	f = ComputeFeatures(vals, s.dim)
+	s.misses.Add(1)
+	sh.mu.Lock()
+	if prev, ok := sh.m[k]; ok {
+		f = prev
+	} else {
+		sh.m[k] = f
+	}
+	sh.mu.Unlock()
+	return f
+}
+
+// GetText is Get for callers that already hold the flattened text (the
+// baselines' record view).
+func (s *FeatureStore) GetText(gid relation.TID, attrsID uint32, text string) *Features {
+	k := featKey{gid: gid, attrs: attrsID}
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	f, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+		return f
+	}
+	f = computeFeaturesText(text, s.dim)
+	s.misses.Add(1)
+	sh.mu.Lock()
+	if prev, ok := sh.m[k]; ok {
+		f = prev
+	} else {
+		sh.m[k] = f
+	}
+	sh.mu.Unlock()
+	return f
+}
+
+// Len returns the number of retained feature bundles.
+func (s *FeatureStore) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats returns (hits, misses); a miss creates and retains one bundle
+// (whose token and embedding parts are then derived lazily on first use).
+func (s *FeatureStore) Stats() (hits, misses int64) {
+	return s.hits.Load(), s.misses.Load()
+}

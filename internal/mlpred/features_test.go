@@ -1,0 +1,287 @@
+package mlpred_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dcer/internal/mlpred"
+	"dcer/internal/relation"
+)
+
+// randomTexts builds short random token sequences over a tiny vocabulary,
+// so token overlaps (and empty texts) are frequent.
+func randomTexts(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := []string{"alice", "smith", "bob", "jones", "acme", "corp", "12", "ltd"}
+	out := make([]string, n)
+	for i := range out {
+		k := rng.Intn(5)
+		s := ""
+		for j := 0; j < k; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += vocab[rng.Intn(len(vocab))]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestFeatureMetricsParity checks that every feature-based metric computes
+// the same value as its string-based original on random text pairs — the
+// precomputation must be a pure optimization.
+func TestFeatureMetricsParity(t *testing.T) {
+	texts := randomTexts(40, 7)
+	fs := mlpred.NewFeatureStore(0)
+	aid := fs.AttrsID(nil)
+	feats := make([]*mlpred.Features, len(texts))
+	for i, s := range texts {
+		feats[i] = fs.GetText(relation.TID(i), aid, s)
+	}
+	close := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+	for i := range texts {
+		for j := range texts {
+			a, b := texts[i], texts[j]
+			fa, fb := feats[i], feats[j]
+			if got, want := mlpred.JaccardFeatures(fa, fb), mlpred.Jaccard(a, b); !close(got, want) {
+				t.Fatalf("Jaccard(%q,%q): features %v, strings %v", a, b, got, want)
+			}
+			if got, want := mlpred.CosineTokensFeatures(fa, fb), mlpred.CosineTokens(a, b); !close(got, want) {
+				t.Fatalf("CosineTokens(%q,%q): features %v, strings %v", a, b, got, want)
+			}
+			if got, want := mlpred.EmbeddingSimFeatures(fa, fb), mlpred.EmbeddingSim(a, b, mlpred.EmbeddingDim); !close(got, want) {
+				t.Fatalf("EmbeddingSim(%q,%q): features %v, strings %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestPairFeaturesOfParity checks the logistic feature battery over
+// precomputed bundles against the string-based battery.
+func TestPairFeaturesOfParity(t *testing.T) {
+	texts := randomTexts(20, 11)
+	fs := mlpred.NewFeatureStore(0)
+	aid := fs.AttrsID(nil)
+	for i := range texts {
+		for j := range texts {
+			fa := fs.GetText(relation.TID(i), aid, texts[i])
+			fb := fs.GetText(relation.TID(j), aid, texts[j])
+			want := mlpred.PairFeatures(texts[i], texts[j])
+			got := mlpred.PairFeaturesOf(fa, fb)
+			if len(got) != len(want) {
+				t.Fatalf("feature count %d, want %d", len(got), len(want))
+			}
+			for k := range want {
+				if math.Abs(got[k]-want[k]) > 1e-12 {
+					t.Fatalf("feature %d of (%q,%q) = %v, want %v", k, texts[i], texts[j], got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestFeatureClassifierParity checks PredictFeatures against Predict for
+// every stock classifier of the default registry.
+func TestFeatureClassifierParity(t *testing.T) {
+	reg := mlpred.DefaultRegistry()
+	texts := randomTexts(25, 13)
+	fs := mlpred.NewFeatureStore(0)
+	aid := fs.AttrsID(nil)
+	for _, name := range reg.Names() {
+		cl, err := reg.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, ok := cl.(mlpred.FeatureClassifier)
+		if !ok {
+			t.Fatalf("stock classifier %s does not score features", name)
+		}
+		for i := range texts {
+			for j := range texts {
+				l := []relation.Value{relation.S(texts[i])}
+				r := []relation.Value{relation.S(texts[j])}
+				fa := fs.GetText(relation.TID(i), aid, texts[i])
+				fb := fs.GetText(relation.TID(j), aid, texts[j])
+				if got, want := fc.PredictFeatures(fa, fb), cl.Predict(l, r); got != want {
+					t.Fatalf("%s(%q,%q): features %v, strings %v", name, texts[i], texts[j], got, want)
+				}
+				if fc.Symmetric() {
+					if fc.PredictFeatures(fa, fb) != fc.PredictFeatures(fb, fa) {
+						t.Fatalf("%s claims symmetry but differs on (%q,%q)", name, texts[i], texts[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFeatureStoreMemoization checks that bundles are computed once per
+// (tuple, attribute list) and that attribute lists intern stably.
+func TestFeatureStoreMemoization(t *testing.T) {
+	fs := mlpred.NewFeatureStore(0)
+	a1 := fs.AttrsID([]int{1, 2})
+	a2 := fs.AttrsID([]int{2, 1})
+	if a1 == a2 {
+		t.Fatal("distinct attribute lists interned to the same id")
+	}
+	if fs.AttrsID([]int{1, 2}) != a1 {
+		t.Fatal("re-interning the same list changed its id")
+	}
+	vals := []relation.Value{relation.S("alice"), relation.S("smith")}
+	f1 := fs.Get(7, a1, vals)
+	f2 := fs.Get(7, a1, vals)
+	if f1 != f2 {
+		t.Fatal("second Get did not return the cached bundle")
+	}
+	if fs.Get(7, a2, vals) == f1 {
+		t.Fatal("different attribute list shared a bundle")
+	}
+	if fs.Get(8, a1, vals) == f1 {
+		t.Fatal("different tuple shared a bundle")
+	}
+	hits, misses := fs.Stats()
+	if hits != 1 || misses != 3 {
+		t.Errorf("stats = %d hits / %d misses, want 1/3", hits, misses)
+	}
+	if fs.Len() != 3 {
+		t.Errorf("Len = %d, want 3", fs.Len())
+	}
+	if f1.Text != "alice smith" || len(f1.Tokens()) != 2 {
+		t.Errorf("bundle content wrong: text %q, %d tokens", f1.Text, len(f1.Tokens()))
+	}
+}
+
+// TestPairCache checks lookup/store/stats and that distinct classifier ids
+// do not collide.
+func TestPairCache(t *testing.T) {
+	c := mlpred.NewPairCache()
+	id1 := c.ClassifierID("lev080|1~1")
+	id2 := c.ClassifierID("lev080|2~2")
+	if id1 == id2 {
+		t.Fatal("distinct signatures interned to the same id")
+	}
+	if c.ClassifierID("lev080|1~1") != id1 {
+		t.Fatal("re-interning changed the id")
+	}
+	if _, ok := c.Lookup(id1, 3, 5); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Store(id1, 3, 5, true)
+	if ans, ok := c.Lookup(id1, 3, 5); !ok || !ans {
+		t.Fatal("stored answer not found")
+	}
+	if _, ok := c.Lookup(id2, 3, 5); ok {
+		t.Fatal("answer leaked across classifier ids")
+	}
+	if _, ok := c.Lookup(id1, 5, 3); ok {
+		t.Fatal("ordered key matched the swapped pair")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 3 {
+		t.Errorf("stats = %d hits / %d misses, want 1/3", hits, misses)
+	}
+}
+
+// TestPairCacheConcurrent hammers one cache from several goroutines under
+// the race detector.
+func TestPairCacheConcurrent(t *testing.T) {
+	c := mlpred.NewPairCache()
+	id := c.ClassifierID("x")
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				a := relation.TID((g*37 + i) % 50)
+				b := relation.TID(i % 50)
+				if ans, ok := c.Lookup(id, a, b); ok && !ans {
+					t.Errorf("false answer for (%d,%d)", a, b)
+				}
+				c.Store(id, a, b, true)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}
+
+// TestCacheSymmetricCanonicalization checks that the string cache stores
+// one entry per unordered pair for symmetric classifiers and keeps ordered
+// keys for asymmetric ones.
+func TestCacheSymmetricCanonicalization(t *testing.T) {
+	sym := &mlpred.SimClassifier{ClassifierName: "sym", Threshold: 0.5,
+		Metric: func(a, b string) float64 { return 1 }}
+	cache := mlpred.NewCache()
+	l := []relation.Value{relation.S("x")}
+	r := []relation.Value{relation.S("y")}
+	cache.Predict(sym, l, r)
+	cache.Predict(sym, r, l)
+	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("symmetric: stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+
+	calls := 0
+	asym := &mlpred.Func{ClassifierName: "asym", Fn: func(l, r []relation.Value) bool {
+		calls++
+		return l[0].Str < r[0].Str
+	}}
+	cache2 := mlpred.NewCache()
+	if !cache2.Predict(asym, l, r) || cache2.Predict(asym, r, l) {
+		t.Error("asymmetric answers wrong")
+	}
+	if calls != 2 {
+		t.Errorf("asymmetric classifier called %d times, want 2 (no canonicalization)", calls)
+	}
+}
+
+// TestFeatureStoreConcurrent hammers one store from several goroutines;
+// all goroutines must converge on the same bundle pointers, and the lazily
+// derived token/embedding parts must be safe to race on.
+func TestFeatureStoreConcurrent(t *testing.T) {
+	fs := mlpred.NewFeatureStore(0)
+	aid := fs.AttrsID(nil)
+	texts := randomTexts(30, 17)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			var prev *mlpred.Features
+			for i, s := range texts {
+				f := fs.GetText(relation.TID(i), aid, s)
+				if f.Text != s {
+					t.Errorf("bundle for %q carries text %q", s, f.Text)
+				}
+				if prev != nil {
+					mlpred.JaccardFeatures(prev, f)
+					mlpred.EmbeddingSimFeatures(prev, f)
+				}
+				prev = f
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if fs.Len() != len(texts) {
+		t.Errorf("Len = %d, want %d", fs.Len(), len(texts))
+	}
+}
+
+// BenchmarkPairCacheLookup measures the hot-path hit cost.
+func BenchmarkPairCacheLookup(b *testing.B) {
+	c := mlpred.NewPairCache()
+	id := c.ClassifierID("bench")
+	for i := 0; i < 1024; i++ {
+		c.Store(id, relation.TID(i), relation.TID(i+1), i%2 == 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(id, relation.TID(i%1024), relation.TID(i%1024+1))
+	}
+}

@@ -24,6 +24,24 @@ func PairFeatures(a, b string) []float64 {
 // NumPairFeatures is the length of the vector returned by PairFeatures.
 const NumPairFeatures = 8
 
+// PairFeaturesOf is PairFeatures over precomputed feature bundles: the
+// token- and embedding-based features become linear merges and dot
+// products over per-bundle memoized parts, and the string-based ones reuse
+// the cached flattened text. It computes the same values as PairFeatures
+// on the underlying texts.
+func PairFeaturesOf(a, b *Features) []float64 {
+	return []float64{
+		1, // bias
+		LevenshteinSim(a.Text, b.Text),
+		JaroWinkler(a.Text, b.Text),
+		JaccardFeatures(a, b),
+		CosineTokensFeatures(a, b),
+		EmbeddingSimFeatures(a, b),
+		exactFeature(a.Text, b.Text),
+		prefixFeature(a.Text, b.Text),
+	}
+}
+
 func exactFeature(a, b string) float64 {
 	if a == b && a != "" {
 		return 1
@@ -74,6 +92,15 @@ func (m *LogisticModel) PredictPair(a, b string) bool {
 		th = 0.5
 	}
 	return m.Prob(PairFeatures(a, b)) >= th
+}
+
+// PredictPairFeatures classifies a pair of precomputed feature bundles.
+func (m *LogisticModel) PredictPairFeatures(a, b *Features) bool {
+	th := m.Threshold
+	if th == 0 {
+		th = 0.5
+	}
+	return m.Prob(PairFeaturesOf(a, b)) >= th
 }
 
 // Example is a labeled training pair.

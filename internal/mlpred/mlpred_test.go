@@ -245,7 +245,7 @@ func TestCacheMemoization(t *testing.T) {
 	r := []relation.Value{relation.S("y")}
 	cache.Predict(cl, l, r)
 	cache.Predict(cl, l, r)
-	cache.Predict(cl, r, l) // symmetric classifier: stored both ways
+	cache.Predict(cl, r, l) // symmetric classifier: canonical key order
 	if calls != 1 {
 		t.Errorf("classifier called %d times, want 1", calls)
 	}

@@ -1,0 +1,128 @@
+package mlpred
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dcer/internal/relation"
+)
+
+// pairCacheShards is the per-classifier shard count of a PairCache (a
+// power of two so shard selection is a mask). 16 shards keep lock
+// contention negligible even with every GOMAXPROCS goroutine of the
+// parallel drain predicting at once.
+const pairCacheShards = 16
+
+func packPair(a, b relation.TID) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+type pairCacheShard struct {
+	mu sync.RWMutex
+	m  map[uint64]bool // created on first Store
+}
+
+// pairCacheCl holds the shards of one interned classifier. Keying each
+// classifier's maps by the packed pair alone (a plain uint64, the runtime's
+// fast map path) instead of one (classifier, pair) struct key measurably
+// beats the generic hasher on the prediction hot path.
+type pairCacheCl struct {
+	shards [pairCacheShards]pairCacheShard
+}
+
+// PairCache memoizes classifier answers by (classifier, tuple id, tuple
+// id). It replaces the string-keyed Cache on the engine's hot path: tuple
+// values are immutable once appended, so the pair of global ids fully
+// determines the answer, and the packed integer key avoids the per-call
+// string building and single-lock contention of the old cache. Symmetric
+// classifiers store one canonical (min, max) entry.
+type PairCache struct {
+	// byCl is indexed by interned classifier id; the slice only grows, at
+	// bind time, and is republished copy-on-write so the lookup path reads
+	// it with one atomic load.
+	byCl atomic.Pointer[[]*pairCacheCl]
+
+	mu  sync.Mutex // guards classifier-id interning (bind time only)
+	ids map[string]uint32
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewPairCache creates an empty cache.
+func NewPairCache() *PairCache {
+	c := &PairCache{ids: make(map[string]uint32)}
+	empty := []*pairCacheCl(nil)
+	c.byCl.Store(&empty)
+	return c
+}
+
+// ClassifierID interns a classifier name to a small id. Call at rule-bind
+// time, not on the prediction path.
+func (c *PairCache) ClassifierID(name string) uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.ids[name]; ok {
+		return id
+	}
+	id := uint32(len(c.ids))
+	c.ids[name] = id
+	cur := *c.byCl.Load()
+	next := make([]*pairCacheCl, len(cur)+1)
+	copy(next, cur)
+	next[id] = &pairCacheCl{}
+	c.byCl.Store(&next)
+	return id
+}
+
+func (pc *pairCacheCl) shardFor(ab uint64) *pairCacheShard {
+	return &pc.shards[(ab^ab>>32)&(pairCacheShards-1)]
+}
+
+// Lookup reports a memoized answer for (cl, a, b). Callers canonicalize
+// symmetric pairs (a ≤ b) before calling.
+func (c *PairCache) Lookup(cl uint32, a, b relation.TID) (ans, ok bool) {
+	ab := packPair(a, b)
+	sh := (*c.byCl.Load())[cl].shardFor(ab)
+	sh.mu.RLock()
+	ans, ok = sh.m[ab]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return ans, ok
+}
+
+// Store memoizes the answer for (cl, a, b). Callers canonicalize symmetric
+// pairs (a ≤ b) before calling, so each unordered pair is stored once.
+func (c *PairCache) Store(cl uint32, a, b relation.TID, ans bool) {
+	ab := packPair(a, b)
+	sh := (*c.byCl.Load())[cl].shardFor(ab)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[uint64]bool)
+	}
+	sh.m[ab] = ans
+	sh.mu.Unlock()
+}
+
+// Len returns the number of memoized answers.
+func (c *PairCache) Len() int {
+	n := 0
+	for _, pc := range *c.byCl.Load() {
+		for i := range pc.shards {
+			sh := &pc.shards[i]
+			sh.mu.RLock()
+			n += len(sh.m)
+			sh.mu.RUnlock()
+		}
+	}
+	return n
+}
+
+// Stats returns (hits, misses). Lookups count; Store does not.
+func (c *PairCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
-# CI entry point: static analysis, build, the short test suite, and the
-# race-enabled run of the concurrent packages. The concurrent first pass
-# of Deduce (internal/chase) and the parallel BSP supersteps
-# (internal/dmatch) make the race detector mandatory for those packages.
+# CI entry point: formatting and static analysis, build, the short test
+# suite, the race-enabled run of the concurrent packages, and a one-shot
+# bench smoke. The concurrent first pass of Deduce and the batched
+# parallel drain (internal/chase), and the parallel BSP supersteps
+# (internal/dmatch), make the race detector mandatory for those packages.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -19,5 +28,8 @@ go test -short ./...
 
 echo "== go test -race -short ./internal/chase ./internal/dmatch"
 go test -race -short ./internal/chase ./internal/dmatch
+
+echo "== bench smoke (IncDeduce, 1 iteration)"
+go test -run=NONE -bench=IncDeduce -benchtime=1x -short .
 
 echo "CI OK"
