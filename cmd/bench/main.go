@@ -6,11 +6,19 @@
 // one per perf PR) so the performance trajectory of the engine is
 // tracked in-repo.
 //
-//	go run ./cmd/bench                   # full run, writes BENCH_2.json
+//	go run ./cmd/bench                   # full run, writes BENCH_3.json
 //	go run ./cmd/bench -fig6=false       # hot-path benchmarks only
 //	go run ./cmd/bench -scale 1.0 -out /tmp/bench.json
 //	go run ./cmd/bench -cpuprofile cpu.out -memprofile mem.out
 //	go run ./cmd/bench -repeat 5         # more noise suppression
+//	go run ./cmd/bench -telemetry :9090  # live /metrics + pprof while it runs
+//
+// Besides the timings the report embeds the per-stage latency histograms
+// of a telemetry-enabled pass (rule enumeration/merge, drain batches, BSP
+// routing and worker busy time) and the measured overhead of running
+// Deduce with instrumentation attached; after writing the JSON it prints
+// a stage-attribution table and a delta table against the previous
+// BENCH_<n>.json (-prev).
 //
 // The host class these artifacts are measured on (a shared single-core
 // VM) shows ±20% run-to-run variance under external load, so the
@@ -29,18 +37,26 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"dcer"
 	"dcer/internal/chase"
+	"dcer/internal/cliutil"
 	"dcer/internal/datagen"
 	"dcer/internal/dmatch"
 	"dcer/internal/experiments"
 	"dcer/internal/mlpred"
 	"dcer/internal/relation"
+	"dcer/internal/telemetry"
 )
+
+// logg is the progress logger, configured in main (DCER_LOG / -log).
+var logg *telemetry.Logger
 
 // entry is one benchmark measurement.
 type entry struct {
@@ -50,6 +66,19 @@ type entry struct {
 	BytesPerOp      int64  `json:"bytes_per_op"`
 	AllocsPerOp     int64  `json:"allocs_per_op"`
 	SimulatedTimeNs int64  `json:"simulated_time_ns,omitempty"`
+}
+
+// stageHist is one per-stage latency histogram snapshot from the
+// telemetry-enabled pass, embedded in the report so stage attribution
+// travels with the timings.
+type stageHist struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Count  uint64  `json:"count"`
+	Sum    float64 `json:"sum"`
+	P50    uint64  `json:"p50"`
+	P99    uint64  `json:"p99"`
+	Max    uint64  `json:"max"`
 }
 
 // report is the BENCH_<n>.json document.
@@ -68,6 +97,18 @@ type report struct {
 	// hits/misses/entries, so the cache effectiveness is tracked in-repo
 	// next to the timings.
 	IncDeduceStats *chase.Stats `json:"incdeduce_stats,omitempty"`
+	// TelemetryOverheadPct is ns/op of Deduce/telemetry relative to
+	// Deduce/telemetry_base, its paired uninstrumented arm: the cost of
+	// running the same chase with the metrics registry, per-rule
+	// histograms, and tracer attached. The arms interleave chase by
+	// chase within a pass (each run after a forced GC) and the pct
+	// compares same-pass sums from the least-loaded pass, so it is not
+	// swamped by the host's run-to-run variance.
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+	// StageHistograms are the per-stage latency histograms of the
+	// telemetry-enabled pass (chase rule enumeration/merge, drain
+	// batches, DMatch routing and worker busy time, HyPart shape).
+	StageHistograms []stageHist `json:"stage_histograms,omitempty"`
 	// SeedBaseline carries the measurements taken at the growth seed
 	// (before PR 1), on the same host class, for trajectory comparison;
 	// PR1Baseline carries the BENCH_1.json numbers forward the same way.
@@ -118,6 +159,36 @@ func toEntry(name string, r testing.BenchmarkResult) entry {
 type pass struct {
 	entries        []entry
 	incDeduceStats *chase.Stats
+	stageHists     []stageHist
+	// pairBaseNs/pairTelNs are this pass's interleaved overhead arms
+	// (mean ns per chase); the overhead pct must come from one pass so
+	// both arms saw the same external load.
+	pairBaseNs, pairTelNs int64
+}
+
+// stageSnapshot flattens a registry's populated histograms into the
+// report's embedded form.
+func stageSnapshot(reg *telemetry.Registry) []stageHist {
+	var out []stageHist
+	for _, s := range reg.Snapshot() {
+		if s.Histogram == nil || s.Histogram.Count == 0 {
+			continue
+		}
+		var lbls []string
+		for _, l := range s.Labels {
+			lbls = append(lbls, l.Key+"="+l.Value)
+		}
+		out = append(out, stageHist{
+			Name:   s.Name,
+			Labels: strings.Join(lbls, ","),
+			Count:  s.Histogram.Count,
+			Sum:    s.Histogram.Sum,
+			P50:    s.Histogram.Quantile(0.5),
+			P99:    s.Histogram.Quantile(0.99),
+			Max:    s.Histogram.Max,
+		})
+	}
+	return out
 }
 
 func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, expScale float64) *pass {
@@ -130,7 +201,7 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 		if seq {
 			name = "Deduce/sequential"
 		}
-		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
+		logg.Infof("benchmarking %s...", name)
 		var last *chase.Engine
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -149,6 +220,71 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 	if classes[true] != classes[false] {
 		fatal(fmt.Errorf("sequential and concurrent Deduce disagree on equivalence classes"))
 	}
+
+	// The same concurrent Deduce with the registry live: per-rule
+	// histograms, drain instruments, gauge views, tracer. A single ~1s
+	// sample on this host class is dominated by GC-cycle boundary luck
+	// and neighbor steal (±10-30%), far above the instrumentation cost,
+	// so the overhead is measured with tightly interleaved pairs — one
+	// uninstrumented chase, one instrumented chase, each after a forced
+	// GC, deducePairs times — and compared as same-pass sums: adjacent
+	// runs see the same external load, so drift cancels, and the ±1 GC
+	// boundary jitter amortizes across the pairs. The report keeps the
+	// pct from the least-loaded pass (lowest combined pair time) rather
+	// than mixing per-arm minima from different load regimes.
+	logg.Infof("benchmarking Deduce/telemetry (paired overhead samples)...")
+	treg := telemetry.NewRegistry()
+	const deducePairs = 6
+	// Each instrumented run gets a throwaway registry: the engine's
+	// gauge views close over engine state, so a registry shared across
+	// runs would keep the previous engine reachable — ~100MB of GC
+	// ballast that skews the pacing of whichever arm runs next. With a
+	// fresh registry both arms allocate and drop the same object graph.
+	// GC is disabled inside the timed region (a single chase allocates
+	// ~50MB, well within budget): whether a run catches 1 or 2 GC
+	// cycles moves it ±10%, two orders above the instrumentation cost,
+	// while instrumentation's own GC pressure is visible in the
+	// bytes/allocs columns (~200 allocs per chase).
+	oneDeduce := func(instrumented bool) (time.Duration, int64, int64) {
+		runtime.GC()
+		var m *telemetry.Registry
+		if instrumented {
+			m = telemetry.NewRegistry()
+		}
+		gcOld := debug.SetGCPercent(-1)
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		eng, err := chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true, Metrics: m})
+		if err != nil {
+			fatal(err)
+		}
+		eng.Deduce()
+		el := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		debug.SetGCPercent(gcOld)
+		return el, int64(ms1.TotalAlloc - ms0.TotalAlloc), int64(ms1.Mallocs - ms0.Mallocs)
+	}
+	pairBase := entry{Name: "Deduce/telemetry_base", Ops: deducePairs}
+	pairTel := entry{Name: "Deduce/telemetry", Ops: deducePairs}
+	for r := 0; r < deducePairs; r++ {
+		bns, bby, bal := oneDeduce(false)
+		tns, tby, tal := oneDeduce(true)
+		pairBase.NsPerOp += bns.Nanoseconds()
+		pairBase.BytesPerOp += bby
+		pairBase.AllocsPerOp += bal
+		pairTel.NsPerOp += tns.Nanoseconds()
+		pairTel.BytesPerOp += tby
+		pairTel.AllocsPerOp += tal
+	}
+	pairBase.NsPerOp /= deducePairs
+	pairBase.BytesPerOp /= deducePairs
+	pairBase.AllocsPerOp /= deducePairs
+	pairTel.NsPerOp /= deducePairs
+	pairTel.BytesPerOp /= deducePairs
+	pairTel.AllocsPerOp /= deducePairs
+	p.pairBaseNs, p.pairTelNs = pairBase.NsPerOp, pairTel.NsPerOp
+	p.entries = append(p.entries, pairTel, pairBase)
 
 	// IncDeduce: replay a full chase's facts into a fresh engine through
 	// the incremental path A_Δ. The run is pure update-driven drain — the
@@ -169,7 +305,7 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 			name = "IncDeduce/sequential"
 			opts = chase.Options{ShareIndexes: true, SequentialDrain: true}
 		}
-		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
+		logg.Infof("benchmarking %s...", name)
 		var last *chase.Engine
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -194,7 +330,7 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 
 	// Cache microbenchmarks: the packed-key hit path of the sharded pair
 	// cache, and the feature store's bundle reuse over generated records.
-	fmt.Fprintf(os.Stderr, "benchmarking MLCache/paircache...\n")
+	logg.Infof("benchmarking MLCache/paircache...")
 	pc := mlpred.NewPairCache()
 	pcID := pc.ClassifierID("bench")
 	rPC := testing.Benchmark(func(b *testing.B) {
@@ -209,7 +345,7 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 	})
 	p.entries = append(p.entries, toEntry("MLCache/paircache", rPC))
 
-	fmt.Fprintf(os.Stderr, "benchmarking MLCache/featurestore...\n")
+	logg.Infof("benchmarking MLCache/featurestore...")
 	fs := mlpred.NewFeatureStore(0)
 	fsAttrs := fs.AttrsID([]int{1})
 	tuples := g.D.Tuples()
@@ -226,7 +362,7 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 
 	for _, n := range []int{1, workers} {
 		name := fmt.Sprintf("DMatch/workers=%d", n)
-		fmt.Fprintf(os.Stderr, "benchmarking %s...\n", name)
+		logg.Infof("benchmarking %s...", name)
 		var sim time.Duration
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -243,6 +379,14 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 		p.entries = append(p.entries, e)
 	}
 
+	// One instrumented DMatch run adds the BSP stage histograms (routing,
+	// per-worker busy time) and the HyPart shape to the same registry,
+	// then the combined snapshot is embedded in the report.
+	if _, err := dmatch.Run(g.D, rules, reg, dmatch.Options{Workers: workers, Metrics: treg}); err != nil {
+		fatal(err)
+	}
+	p.stageHists = stageSnapshot(treg)
+
 	if fig6 {
 		cfg := experiments.Config{Scale: expScale, Workers: workers, Seed: 1}
 		drivers := []struct {
@@ -257,7 +401,7 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 			{"Fig6kl", experiments.Fig6KL},
 		}
 		for _, d := range drivers {
-			fmt.Fprintf(os.Stderr, "benchmarking %s...\n", d.name)
+			logg.Infof("benchmarking %s...", d.name)
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -276,13 +420,22 @@ func main() {
 	workers := flag.Int("workers", 8, "DMatch worker count")
 	fig6 := flag.Bool("fig6", true, "also run the Fig. 6 experiment drivers")
 	repeat := flag.Int("repeat", 3, "measure every benchmark this many times and keep the per-benchmark minimum")
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_3.json", "output JSON path")
+	prev := flag.String("prev", "BENCH_2.json", "previous report to print the delta table against (empty or missing = skip)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
+	obs := cliutil.Register()
 	flag.Parse()
 	if *repeat < 1 {
 		*repeat = 1
 	}
+	var stopTel func()
+	var err error
+	logg, stopTel, err = obs.Init("bench")
+	if err != nil {
+		fatal(err)
+	}
+	defer stopTel()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -307,10 +460,14 @@ func main() {
 			"(max worker time per superstep, summed), the faithful stand-in for an n-machine cluster. " +
 			"The host is a shared single-core VM with ±20% run-to-run variance under external load; " +
 			"every benchmark is measured `repeat` times and the per-benchmark minimum recorded " +
-			"(the pr1/seed baselines were single-shot and carry the full variance).",
+			"(the pr1/seed baselines were single-shot and carry the full variance). " +
+			"telemetry_overhead_pct compares Deduce with the metrics registry attached against an " +
+			"interleaved uninstrumented arm (same-pass sums, GC quiesced inside the timed region, " +
+			"least-loaded pass); stage_histograms are the per-stage latency distributions of the " +
+			"telemetry-enabled pass.",
 	}
 
-	fmt.Fprintf(os.Stderr, "generating TPCH scale %.2f...\n", *scale)
+	logg.Infof("generating TPCH scale %.2f...", *scale)
 	g := datagen.TPCH(datagen.TPCHOptions{Scale: *scale, Dup: 0.3, Seed: 1})
 	rules, err := g.Rules()
 	if err != nil {
@@ -328,22 +485,31 @@ func main() {
 	// reports the conjunction over all passes.
 	best := map[string]entry{}
 	var order []string
+	var bestPairCombined int64
 	for r := 0; r < *repeat; r++ {
 		if *repeat > 1 {
-			fmt.Fprintf(os.Stderr, "--- pass %d/%d ---\n", r+1, *repeat)
+			logg.Infof("--- pass %d/%d ---", r+1, *repeat)
 		}
 		p := runPass(g, rules, *workers, *fig6, *expScale)
 		for _, e := range p.entries {
-			prev, seen := best[e.Name]
+			prevBest, seen := best[e.Name]
 			if !seen {
 				order = append(order, e.Name)
 			}
-			if !seen || e.NsPerOp < prev.NsPerOp {
+			if !seen || e.NsPerOp < prevBest.NsPerOp {
 				best[e.Name] = e
 				if e.Name == "IncDeduce/parallel" {
 					rep.IncDeduceStats = p.incDeduceStats
 				}
+				if e.Name == "Deduce/telemetry" {
+					rep.StageHistograms = p.stageHists
+				}
 			}
+		}
+		if combined := p.pairBaseNs + p.pairTelNs; p.pairBaseNs > 0 &&
+			(bestPairCombined == 0 || combined < bestPairCombined) {
+			bestPairCombined = combined
+			rep.TelemetryOverheadPct = 100 * float64(p.pairTelNs-p.pairBaseNs) / float64(p.pairBaseNs)
 		}
 	}
 	rep.ClassesIdentical = true // runPass fatals on any divergence
@@ -374,6 +540,64 @@ func main() {
 	fmt.Printf("wrote %s (%d benchmarks, best of %d)\n", *out, len(rep.Benchmarks), *repeat)
 	for _, e := range rep.Benchmarks {
 		fmt.Printf("  %-24s %3d ops  %12d ns/op  %10d allocs/op\n", e.Name, e.Ops, e.NsPerOp, e.AllocsPerOp)
+	}
+	fmt.Printf("telemetry overhead: %+.2f%% (Deduce/telemetry vs its interleaved uninstrumented arm, least-loaded pass)\n",
+		rep.TelemetryOverheadPct)
+	printAttribution(rep)
+	printDelta(rep, *prev)
+}
+
+// printAttribution breaks the instrumented time down by stage: each
+// duration histogram's share of the total time the telemetry pass saw.
+func printAttribution(rep *report) {
+	sums := map[string]float64{}
+	var total float64
+	for _, h := range rep.StageHistograms {
+		if !strings.HasSuffix(h.Name, "_ns") {
+			continue
+		}
+		sums[h.Name] += h.Sum
+		total += h.Sum
+	}
+	if total == 0 {
+		return
+	}
+	names := make([]string, 0, len(sums))
+	for n := range sums {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return sums[names[i]] > sums[names[j]] })
+	fmt.Println("stage attribution (telemetry pass, summed over instrumented regions):")
+	for _, n := range names {
+		fmt.Printf("  %-32s %12s  %5.1f%%\n", n, time.Duration(sums[n]).Round(time.Millisecond), 100*sums[n]/total)
+	}
+}
+
+// printDelta compares the run against a previous BENCH_<n>.json report.
+func printDelta(rep *report, path string) {
+	if path == "" {
+		return
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		logg.Warnf("no previous report %s: %v", path, err)
+		return
+	}
+	var old report
+	if err := json.Unmarshal(buf, &old); err != nil {
+		logg.Warnf("unreadable previous report %s: %v", path, err)
+		return
+	}
+	prevNs := make(map[string]int64, len(old.Benchmarks))
+	for _, e := range old.Benchmarks {
+		prevNs[e.Name] = e.NsPerOp
+	}
+	fmt.Printf("vs %s:\n", path)
+	for _, e := range rep.Benchmarks {
+		if p, ok := prevNs[e.Name]; ok && p > 0 {
+			fmt.Printf("  %-24s %12d -> %12d ns/op  %+6.1f%%\n",
+				e.Name, p, e.NsPerOp, 100*float64(e.NsPerOp-p)/float64(p))
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 
 	"dcer"
+	"dcer/internal/cliutil"
 	"dcer/internal/datagen"
 )
 
@@ -30,11 +31,18 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "scale factor")
 	dup := flag.Float64("dup", 0.3, "duplication rate")
 	seed := flag.Int64("seed", 1, "generator seed")
+	obs := cliutil.Register()
 	flag.Parse()
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	logg, stopTel, err := obs.Init("datagen")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopTel()
+	logg.Debugf("generating %s (scale %.2f, dup %.2f, seed %d)", *kind, *scale, *dup, *seed)
 
 	var g *datagen.Generated
 	switch *kind {
@@ -74,6 +82,6 @@ func main() {
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %s: %d tuples, %d relations, %d truth pairs",
+	logg.Infof("wrote %s: %d tuples, %d relations, %d truth pairs",
 		*out, g.D.Size(), len(g.D.Relations), len(g.Truth))
 }

@@ -5,6 +5,12 @@
 //
 //	dmatch -data ./data -rules rules.mrl [-workers 8] [-v]
 //	       [-out matches.csv] [-explain "Rel:id1,Rel:id2"]
+//	       [-telemetry :9090] [-timeline] [-log debug]
+//
+// With -telemetry the run serves live Prometheus-style metrics at
+// /metrics, the trace ring and BSP timeline as JSON at /debug/dcer, and
+// the standard pprof handlers. -timeline prints the superstep Gantt chart
+// of a parallel run to stderr when it finishes.
 //
 // Each data/<name>.csv becomes relation <name>; the header row is typed
 // ("attr:type", with "!id" marking the designated id attribute). The rule
@@ -24,6 +30,7 @@ import (
 	"strings"
 
 	"dcer"
+	"dcer/internal/cliutil"
 )
 
 func main() {
@@ -35,11 +42,18 @@ func main() {
 	verbose := flag.Bool("v", false, "print engine statistics")
 	explain := flag.String("explain", "", `explain one match: "Rel:idvalue,Rel:idvalue"`)
 	outFile := flag.String("out", "", "also write the matches as CSV (relation,id,entity columns)")
+	timeline := flag.Bool("timeline", false, "print the BSP superstep Gantt chart after a parallel run")
+	obs := cliutil.Register()
 	flag.Parse()
 	if *dataDir == "" || *rulesFile == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	logg, stopTel, err := obs.Init("dmatch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopTel()
 
 	d, err := dcer.LoadDir(*dataDir)
 	if err != nil {
@@ -74,25 +88,35 @@ func main() {
 
 	var classes [][]dcer.TID
 	if *workers <= 1 {
-		eng, err := dcer.Match(d, rules, reg)
+		eng, err := dcer.NewEngine(d, rules, reg, dcer.EngineOptions{
+			ShareIndexes: true,
+			Metrics:      obs.Registry(),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		eng.Run()
 		classes = eng.Classes()
 		if *verbose {
 			st := eng.Stats()
-			fmt.Fprintf(os.Stderr, "valuations=%d matches=%d validated=%d deps=%d rounds=%d\n",
+			logg.Infof("valuations=%d matches=%d validated=%d deps=%d rounds=%d",
 				st.Valuations, st.MatchesFound, st.MLValidated, st.DepsRecorded, st.Rounds)
 		}
 	} else {
-		res, err := dcer.MatchParallel(d, rules, reg, dcer.ParallelOptions{Workers: *workers})
+		res, err := dcer.MatchParallel(d, rules, reg, dcer.ParallelOptions{
+			Workers: *workers,
+			Metrics: obs.Registry(),
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		classes = res.Classes()
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "workers=%d supersteps=%d messages=%d partition=%v er=%v sim=%v\n",
+			logg.Infof("workers=%d supersteps=%d messages=%d partition=%v er=%v sim=%v",
 				*workers, res.Supersteps, res.MessagesRouted, res.PartitionTime, res.ERTime, res.SimulatedTime)
+		}
+		if *timeline {
+			fmt.Fprint(os.Stderr, res.Timeline().Gantt())
 		}
 	}
 

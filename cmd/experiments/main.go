@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"dcer/internal/cliutil"
 	"dcer/internal/experiments"
 )
 
@@ -20,7 +21,14 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "dataset scale factor (1.0 ≈ 25k TPC-H tuples)")
 	workers := flag.Int("workers", 8, "default number of workers n")
 	seed := flag.Int64("seed", 1, "generator seed")
+	obs := cliutil.Register()
 	flag.Parse()
+	logg, stopTel, err := obs.Init("experiments")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	defer stopTel()
 
 	cfg := experiments.Config{Scale: *scale, Workers: *workers, Seed: *seed}
 	drivers := map[string]func(experiments.Config) *experiments.Table{
@@ -40,6 +48,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range order {
+			logg.Debugf("running %s...", name)
 			drivers[name](cfg).Fprint(os.Stdout)
 		}
 		return

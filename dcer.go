@@ -40,6 +40,7 @@ import (
 	"dcer/internal/relation"
 	"dcer/internal/rule"
 	"dcer/internal/soft"
+	"dcer/internal/telemetry"
 )
 
 // Core relational types.
@@ -172,6 +173,36 @@ func Match(d *Dataset, rules []*Rule, reg *ClassifierRegistry) (*Engine, error) 
 func MatchParallel(d *Dataset, rules []*Rule, reg *ClassifierRegistry, opts ParallelOptions) (*ParallelResult, error) {
 	return dmatch.Run(d, rules, reg, opts)
 }
+
+// Observability (the telemetry layer): a dependency-free metrics
+// registry (counters, gauges, log-scale histograms), a bounded span
+// tracer, and an opt-in HTTP exposition endpoint. Attach a registry via
+// EngineOptions.Metrics or ParallelOptions.Metrics; a nil registry makes
+// every instrument a no-op.
+type (
+	// TelemetryRegistry names, stores, and exposes metric series.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryServer is the live /metrics + /debug/dcer + pprof endpoint.
+	TelemetryServer = telemetry.Server
+	// TelemetryLabel is one key=value dimension of a series.
+	TelemetryLabel = telemetry.Label
+	// Logger is the leveled stderr logger of the command-line tools.
+	Logger = telemetry.Logger
+	// SuperstepTimeline is the BSP execution profile of a DMatch run
+	// (ParallelResult.Timeline): per-worker busy/idle time, routing
+	// time, message counts, and skew per superstep.
+	SuperstepTimeline = dmatch.Timeline
+)
+
+var (
+	// Telemetry is the process-wide default registry (what -telemetry
+	// serves in the bundled commands).
+	Telemetry = telemetry.Default
+	// NewTelemetry creates a private registry.
+	NewTelemetry = telemetry.NewRegistry
+	// ServeTelemetry starts the exposition endpoint for a registry.
+	ServeTelemetry = telemetry.Serve
+)
 
 // CanonicalClasses renders equivalence classes in a canonical textual form
 // (ids sorted within each class, classes sorted by first id), so two runs

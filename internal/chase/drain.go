@@ -13,6 +13,7 @@ package chase
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"dcer/internal/rule"
 
@@ -49,7 +50,7 @@ func (e *Engine) drain() {
 		// Lines 2-3 of IncDeduce: fire satisfied dependencies.
 		heads := e.H.Fire(e.satisfied)
 		for _, h := range heads {
-			e.stats.DepsFired++
+			e.cnt.depsFired.Add(1)
 			if e.applyFact(literalFact(h)) {
 				progressed = true
 			}
@@ -58,6 +59,9 @@ func (e *Engine) drain() {
 		// involve a new match or validated prediction.
 		if len(e.queue) > 0 {
 			progressed = true
+			if e.tel != nil {
+				e.tel.queueDepth.Observe(uint64(len(e.queue)))
+			}
 			q := e.queue
 			e.queue = nil
 			e.processEvents(q)
@@ -65,7 +69,7 @@ func (e *Engine) drain() {
 		if !progressed {
 			return
 		}
-		e.stats.Rounds++
+		e.cnt.rounds.Add(1)
 	}
 }
 
@@ -135,6 +139,13 @@ func (e *Engine) runJobs(jobs []drainJob) {
 	if len(jobs) == 0 {
 		return
 	}
+	if e.tel != nil {
+		t0 := time.Now()
+		defer func() {
+			e.tel.drainBatchNs.ObserveDuration(time.Since(t0))
+			e.tel.drainBatchJobs.Observe(uint64(len(jobs)))
+		}()
+	}
 	min := e.opts.DrainParallelMin
 	if min <= 0 {
 		// By default the batched path is only taken when there is real
@@ -162,8 +173,8 @@ func (e *Engine) runJobsSequential(jobs []drainJob) {
 	for i := range jobs {
 		e.ctx.runSeed(&jobs[i])
 	}
-	e.stats.Valuations += e.ctx.valuations
-	e.stats.Extensions += e.ctx.extensions
+	e.cnt.valuations.Add(e.ctx.valuations)
+	e.cnt.extensions.Add(e.ctx.extensions)
 	e.ctx.valuations, e.ctx.extensions = 0, 0
 }
 
@@ -224,8 +235,8 @@ func (e *Engine) drainConcurrent(jobs []drainJob) {
 // engine and resets the context for reuse. Duplicate facts (deduced by
 // several chunks against the same snapshot) coalesce in applyFact.
 func (e *Engine) mergeCtx(ctx *evalCtx) {
-	e.stats.Valuations += ctx.valuations
-	e.stats.Extensions += ctx.extensions
+	e.cnt.valuations.Add(ctx.valuations)
+	e.cnt.extensions.Add(ctx.extensions)
 	ctx.valuations, ctx.extensions = 0, 0
 	for _, l := range ctx.facts {
 		e.applyFact(literalFact(l))
@@ -235,7 +246,7 @@ func (e *Engine) mergeCtx(ctx *evalCtx) {
 		// context can be reused.
 		d := ctx.deps[i]
 		if e.H.Add(&d) {
-			e.stats.DepsRecorded++
+			e.cnt.depsRecorded.Add(1)
 		}
 	}
 	ctx.facts = ctx.facts[:0]

@@ -5,10 +5,12 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"dcer/internal/mlpred"
 	"dcer/internal/relation"
 	"dcer/internal/rule"
+	"dcer/internal/telemetry"
 	"dcer/internal/unionfind"
 )
 
@@ -51,6 +53,15 @@ type Options struct {
 	// bulk batches like the event floods behind IncDeduce. Setting the
 	// field explicitly forces the batched path even on one processor.
 	DrainParallelMin int
+	// Metrics attaches the engine to a telemetry registry: per-rule
+	// enumeration and merge timings, drain batch histograms, queue
+	// depths, and gauge views over the Stats counters (so /metrics and
+	// Stats() expose the same numbers). nil disables all instrumentation;
+	// the disabled overhead is one branch per timed region.
+	Metrics *telemetry.Registry
+	// MetricsLabels is attached to every series the engine registers
+	// (the parallel engine labels each worker's engine with its id).
+	MetricsLabels []telemetry.Label
 }
 
 // DefaultMaxDeps is the default capacity of the dependency store.
@@ -66,7 +77,13 @@ const DefaultDrainParallelMin = 16
 // oversubscribes the machine no matter how many engines run at once.
 var deduceSem = make(chan struct{}, runtime.GOMAXPROCS(0))
 
-// Stats counts the engine's work, for the efficiency experiments.
+// Stats is a point-in-time snapshot of the engine's work counters, for
+// the efficiency experiments. The counters live in atomics and the cache
+// and feature-store triples are each taken in one locked pass
+// (mlpred.Snapshot), so a snapshot taken while a drain is in flight is
+// coherent — hits, misses, and sizes never tear against each other. When
+// Options.Metrics is set the same counters back the registry's gauge
+// series, so Stats() and /metrics cannot disagree.
 type Stats struct {
 	Valuations   int64 // complete valuations inspected (emit calls)
 	Extensions   int64 // partial-binding extension steps
@@ -130,6 +147,12 @@ type boundRule struct {
 	// intermediate results between rules).
 	cache *mlpred.PairCache
 	feats *mlpred.FeatureStore
+
+	// enumHist and mergeHist time this rule's enumerations and merge
+	// passes; nil when telemetry is off (Observe on nil is a no-op, and
+	// the timed regions skip the clock reads entirely).
+	enumHist  *telemetry.Histogram
+	mergeHist *telemetry.Histogram
 }
 
 // Engine is the sequential Match engine of Section V-A. It owns the
@@ -177,7 +200,10 @@ type Engine struct {
 	bctx evalCtx
 
 	gamma Gamma
-	stats Stats
+	cnt   engineCounters
+	// tel is the engine's telemetry wiring; nil when Options.Metrics is
+	// unset (every instrumented site nil-checks before reading the clock).
+	tel *chaseMetrics
 
 	// queue of unprocessed events driving the update-driven path.
 	queue []event
@@ -242,6 +268,9 @@ func NewScoped(d *relation.Dataset, rules []*rule.Rule, scopes []*relation.Datas
 	e.ctx.e = e
 	e.bctx.e = e
 	e.bctx.buffered = true
+	if opts.Metrics != nil {
+		e.initMetrics(opts.Metrics, opts.MetricsLabels)
+	}
 	for _, t := range d.Tuples() {
 		e.members[int(t.GID)] = []relation.TID{t.GID}
 	}
@@ -321,6 +350,9 @@ func (e *Engine) bindRule(r *rule.Rule, scope *relation.Dataset) (*boundRule, er
 			return nil, fmt.Errorf("chase: rule %s head: %w", r.Name, err)
 		}
 		br.headCl = cl
+	}
+	if e.tel != nil {
+		br.enumHist, br.mergeHist = e.tel.ruleHists(r.Name)
 	}
 	if e.opts.ShareIndexes {
 		ix, ok := e.ixSets[scope]
@@ -467,7 +499,7 @@ func (e *Engine) applyFact(f Fact) bool {
 		}
 		e.gamma.Matches = append(e.gamma.Matches, f)
 		e.delta = append(e.delta, f)
-		e.stats.MatchesFound++
+		e.cnt.matches.Add(1)
 		// The old member slices stay intact (merges build fresh slices),
 		// so the event can reference them without copying.
 		if e.anyIDs && len(ma) > 0 && len(mb) > 0 {
@@ -482,7 +514,7 @@ func (e *Engine) applyFact(f Fact) bool {
 		e.validated[k] = true
 		e.gamma.Validated = append(e.gamma.Validated, f)
 		e.delta = append(e.delta, f)
-		e.stats.MLValidated++
+		e.cnt.mlValidated.Add(1)
 		e.queue = append(e.queue, event{kind: FactML, model: f.Model, a: f.A, b: f.B})
 		return true
 	}
@@ -491,10 +523,17 @@ func (e *Engine) applyFact(f Fact) bool {
 // enumerateRule runs one seeded (or full, seed == nil) enumeration of br
 // on the engine's sequential context, applying facts directly.
 func (e *Engine) enumerateRule(br *boundRule, seed []*relation.Tuple) {
+	var t0 time.Time
+	if e.tel != nil {
+		t0 = time.Now()
+	}
 	e.ctx.reset(br)
 	e.ctx.enumerate(seed)
-	e.stats.Valuations += e.ctx.valuations
-	e.stats.Extensions += e.ctx.extensions
+	if e.tel != nil {
+		br.enumHist.ObserveDuration(time.Since(t0))
+	}
+	e.cnt.valuations.Add(e.ctx.valuations)
+	e.cnt.extensions.Add(e.ctx.extensions)
 	e.ctx.valuations, e.ctx.extensions = 0, 0
 }
 
@@ -505,6 +544,9 @@ func (e *Engine) enumerateRule(br *boundRule, seed []*relation.Tuple) {
 // same, by the Church-Rosser property of the chase. It returns the facts
 // deduced during the call.
 func (e *Engine) Deduce() []Fact {
+	if e.tel != nil {
+		defer e.tel.tracer.Start("chase.Deduce", e.tel.labels...).End()
+	}
 	e.delta = e.delta[:0]
 	if e.opts.SequentialDeduce || len(e.rules) <= 1 {
 		for _, br := range e.rules {
@@ -535,13 +577,29 @@ func (e *Engine) deduceConcurrent() {
 			defer wg.Done()
 			deduceSem <- struct{}{}
 			defer func() { <-deduceSem }()
+			var t0 time.Time
+			if e.tel != nil {
+				t0 = time.Now()
+			}
 			ctx.reset(br)
 			ctx.enumerate(nil)
+			if e.tel != nil {
+				// Each goroutine owns its rule's histogram observation;
+				// the lock-striped histogram absorbs the concurrency.
+				br.enumHist.ObserveDuration(time.Since(t0))
+			}
 		}(ctx, br)
 	}
 	wg.Wait()
-	for _, ctx := range ctxs {
+	for i, ctx := range ctxs {
+		var t0 time.Time
+		if e.tel != nil {
+			t0 = time.Now()
+		}
 		e.mergeCtx(ctx)
+		if e.tel != nil {
+			e.rules[i].mergeHist.ObserveDuration(time.Since(t0))
+		}
 	}
 }
 
@@ -550,6 +608,9 @@ func (e *Engine) deduceConcurrent() {
 // deduces their consequences (procedure IncDeduce / algorithm A_Δ). It
 // returns the facts newly deduced here, excluding the external inputs.
 func (e *Engine) IncDeduce(external []Fact) []Fact {
+	if e.tel != nil {
+		defer e.tel.tracer.Start("chase.IncDeduce", e.tel.labels...).End()
+	}
 	e.delta = e.delta[:0]
 	for _, f := range external {
 		e.applyFact(f)
@@ -603,10 +664,23 @@ func (e *Engine) Classes() [][]relation.TID {
 	return out
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters. The engine counters
+// are read from atomics, and each ML cache and feature store contributes
+// one coherent locked Snapshot (hits, misses, and size taken together,
+// never in separate calls that could tear mid-drain), so Stats is safe
+// to call — and meaningful — while a deduction is in flight on other
+// goroutines. DepsDropped reflects the engine goroutine's view of H.
 func (e *Engine) Stats() Stats {
-	s := e.stats
-	s.DepsDropped = int64(e.H.Dropped())
+	s := Stats{
+		Valuations:   e.cnt.valuations.Load(),
+		Extensions:   e.cnt.extensions.Load(),
+		MatchesFound: e.cnt.matches.Load(),
+		MLValidated:  e.cnt.mlValidated.Load(),
+		DepsRecorded: e.cnt.depsRecorded.Load(),
+		DepsFired:    e.cnt.depsFired.Load(),
+		Rounds:       e.cnt.rounds.Load(),
+		DepsDropped:  int64(e.H.Dropped()),
+	}
 	counted := make(map[*relation.IndexSet]bool)
 	for _, br := range e.rules {
 		if !counted[br.ix] {
@@ -614,19 +688,8 @@ func (e *Engine) Stats() Stats {
 			s.IndexBuilds += br.ix.Built()
 		}
 	}
-	h, m := e.pairCache.Stats()
-	size := e.pairCache.Len()
-	fh, fm := e.feats.Stats()
-	fe := e.feats.Len()
-	for _, br := range e.rules {
-		if br.cache != nil {
-			bh, bm := br.cache.Stats()
-			h, m, size = h+bh, m+bm, size+br.cache.Len()
-			bh, bm = br.feats.Stats()
-			fh, fm, fe = fh+bh, fm+bm, fe+br.feats.Len()
-		}
-	}
-	s.MLCacheHits, s.MLCacheMiss, s.MLCacheSize = h, m, size
-	s.FeatHits, s.FeatMisses, s.FeatEntries = fh, fm, fe
+	pair, feat := e.cacheSnapshots()
+	s.MLCacheHits, s.MLCacheMiss, s.MLCacheSize = pair.Hits, pair.Misses, pair.Entries
+	s.FeatHits, s.FeatMisses, s.FeatEntries = feat.Hits, feat.Misses, feat.Entries
 	return s
 }

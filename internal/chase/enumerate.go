@@ -86,7 +86,7 @@ func (c *evalCtx) recordDep(body []Literal, head Literal) {
 		return
 	}
 	if c.e.H.Add(&Dep{Body: owned, Head: head}) {
-		c.e.stats.DepsRecorded++
+		c.e.cnt.depsRecorded.Add(1)
 	}
 }
 

@@ -1,0 +1,106 @@
+package chase
+
+import (
+	"sync/atomic"
+
+	"dcer/internal/mlpred"
+	"dcer/internal/telemetry"
+)
+
+// engineCounters is the engine's live work account. The fields are
+// atomics so Stats() — and the registry gauge views scraped over HTTP
+// mid-run — read a torn-free snapshot while the drain's worker
+// goroutines merge results; the hot enumeration loops still accumulate
+// into per-context plain counters and only land here at merge points.
+type engineCounters struct {
+	valuations   atomic.Int64
+	extensions   atomic.Int64
+	matches      atomic.Int64
+	mlValidated  atomic.Int64
+	depsRecorded atomic.Int64
+	depsFired    atomic.Int64
+	rounds       atomic.Int64
+}
+
+// chaseMetrics is the engine's telemetry wiring: the per-stage histograms
+// of Deduce and the drain, the tracer, and the registry gauge views over
+// the engine counters. nil when Options.Metrics is unset — every call
+// site guards with a nil check, so the disabled overhead is one branch
+// and no clock reads.
+type chaseMetrics struct {
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
+	labels []telemetry.Label
+
+	// drain stage instruments (batch = one runJobs call).
+	drainBatchNs   *telemetry.Histogram
+	drainBatchJobs *telemetry.Histogram
+	queueDepth     *telemetry.Histogram
+}
+
+// cacheSnapshots returns the engine's combined ML pair-cache and
+// feature-store snapshots, summing the rule-private stores of the noMQO
+// configuration into the shared ones. Safe for concurrent use (the
+// stores snapshot under their shard locks).
+func (e *Engine) cacheSnapshots() (pair, feat mlpred.CacheSnapshot) {
+	add := func(dst *mlpred.CacheSnapshot, s mlpred.CacheSnapshot) {
+		dst.Hits += s.Hits
+		dst.Misses += s.Misses
+		dst.Entries += s.Entries
+	}
+	pair = e.pairCache.Snapshot()
+	feat = e.feats.Snapshot()
+	for _, br := range e.rules {
+		if br.cache != nil {
+			add(&pair, br.cache.Snapshot())
+			add(&feat, br.feats.Snapshot())
+		}
+	}
+	return pair, feat
+}
+
+func hitRate(s mlpred.CacheSnapshot) float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// initMetrics attaches the engine to a registry: creates the stage
+// histograms and registers the gauge views that make /metrics and
+// Engine.Stats two faces of the same counters.
+func (e *Engine) initMetrics(reg *telemetry.Registry, labels []telemetry.Label) {
+	m := &chaseMetrics{reg: reg, tracer: reg.Tracer(), labels: labels}
+	m.drainBatchNs = reg.Histogram("dcer_chase_drain_batch_ns", labels...)
+	m.drainBatchJobs = reg.Histogram("dcer_chase_drain_batch_jobs", labels...)
+	m.queueDepth = reg.Histogram("dcer_chase_drain_queue_depth", labels...)
+	e.tel = m
+
+	views := []struct {
+		name string
+		fn   func() float64
+	}{
+		{"dcer_chase_valuations", func() float64 { return float64(e.cnt.valuations.Load()) }},
+		{"dcer_chase_extensions", func() float64 { return float64(e.cnt.extensions.Load()) }},
+		{"dcer_chase_matches", func() float64 { return float64(e.cnt.matches.Load()) }},
+		{"dcer_chase_ml_validated", func() float64 { return float64(e.cnt.mlValidated.Load()) }},
+		{"dcer_chase_deps_recorded", func() float64 { return float64(e.cnt.depsRecorded.Load()) }},
+		{"dcer_chase_deps_fired", func() float64 { return float64(e.cnt.depsFired.Load()) }},
+		{"dcer_chase_rounds", func() float64 { return float64(e.cnt.rounds.Load()) }},
+		{"dcer_chase_mlcache_hit_rate", func() float64 { p, _ := e.cacheSnapshots(); return hitRate(p) }},
+		{"dcer_chase_mlcache_entries", func() float64 { p, _ := e.cacheSnapshots(); return float64(p.Entries) }},
+		{"dcer_chase_featstore_hit_rate", func() float64 { _, f := e.cacheSnapshots(); return hitRate(f) }},
+		{"dcer_chase_featstore_entries", func() float64 { _, f := e.cacheSnapshots(); return float64(f.Entries) }},
+	}
+	for _, v := range views {
+		reg.GaugeFunc(v.name, v.fn, labels...)
+	}
+}
+
+// ruleHists resolves the per-rule enumeration and merge histograms, once
+// per bound rule at setup.
+func (m *chaseMetrics) ruleHists(ruleName string) (enum, merge *telemetry.Histogram) {
+	lbls := append(append([]telemetry.Label(nil), m.labels...), telemetry.L("rule", ruleName))
+	return m.reg.Histogram("dcer_chase_rule_enumerate_ns", lbls...),
+		m.reg.Histogram("dcer_chase_rule_merge_ns", lbls...)
+}

@@ -1,0 +1,64 @@
+// Package cliutil carries the observability wiring shared by the dcer
+// command-line binaries: the opt-in -telemetry exposition endpoint and
+// the leveled progress logger (DCER_LOG / -log).
+package cliutil
+
+import (
+	"flag"
+	"os"
+
+	"dcer/internal/telemetry"
+)
+
+// Flags holds the shared observability flags; call Register before
+// flag.Parse and Init after.
+type Flags struct {
+	addr  *string
+	level *string
+	on    bool
+}
+
+// Register installs -telemetry and -log on the default flag set.
+func Register() *Flags {
+	return &Flags{
+		addr: flag.String("telemetry", "",
+			"serve /metrics, /debug/dcer and pprof on this address (empty = disabled; :0 picks a port)"),
+		level: flag.String("log", "",
+			"log level: debug, info, warn, error, off (default $DCER_LOG, else info)"),
+	}
+}
+
+// Init resolves the flags after flag.Parse: it builds the binary's stderr
+// logger and, when -telemetry was given, starts the exposition server over
+// telemetry.Default. The returned stop function is safe to defer either way.
+func (f *Flags) Init(prefix string) (*telemetry.Logger, func(), error) {
+	lvl := telemetry.LogLevelFromEnv()
+	if *f.level != "" {
+		var err error
+		if lvl, err = telemetry.ParseLogLevel(*f.level); err != nil {
+			return nil, nil, err
+		}
+	}
+	logg := telemetry.NewLogger(os.Stderr, prefix, lvl)
+	stop := func() {}
+	if *f.addr != "" {
+		srv, err := telemetry.Serve(*f.addr, telemetry.Default)
+		if err != nil {
+			return nil, nil, err
+		}
+		f.on = true
+		logg.Infof("telemetry: http://%s/metrics (also /debug/dcer, /debug/pprof/)", srv.Addr)
+		stop = func() { srv.Close() }
+	}
+	return logg, stop, nil
+}
+
+// Registry returns the registry engines should publish to:
+// telemetry.Default when -telemetry is live, nil (all instruments no-op)
+// otherwise.
+func (f *Flags) Registry() *telemetry.Registry {
+	if f.on {
+		return telemetry.Default
+	}
+	return nil
+}

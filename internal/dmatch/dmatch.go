@@ -15,6 +15,7 @@ package dmatch
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"dcer/internal/mlpred"
 	"dcer/internal/relation"
 	"dcer/internal/rule"
+	"dcer/internal/telemetry"
 	"dcer/internal/unionfind"
 )
 
@@ -55,6 +57,12 @@ type Options struct {
 	// DrainParallelMin overrides the per-worker parallel-drain batch
 	// threshold (see chase.Options.DrainParallelMin); 0 keeps the default.
 	DrainParallelMin int
+	// Metrics, when non-nil, receives live instrumentation: per-superstep
+	// makespan/skew gauges, routing counters, per-worker busy histograms,
+	// the partition-size histograms of HyPart, and every worker engine's
+	// chase series (labeled worker=i). The in-progress superstep timeline
+	// is exposed as the "dmatch_timeline" debug provider (/debug/dcer).
+	Metrics *telemetry.Registry
 }
 
 // Result is the outcome of a parallel run.
@@ -81,8 +89,14 @@ type Result struct {
 	SimulatedTime time.Duration
 	WorkerStats   []chase.Stats
 
-	d *relation.Dataset
+	timeline Timeline
+	d        *relation.Dataset
 }
+
+// Timeline returns the BSP superstep profile of the run: per-worker
+// busy/idle time, routed message counts, and skew, one entry per
+// superstep. Always recorded (the cost is bounded by supersteps×workers).
+func (r *Result) Timeline() *Timeline { return &r.timeline }
 
 // Same reports whether two tuples are matched in the global Γ.
 func (r *Result) Same(a, b relation.TID) bool {
@@ -174,6 +188,7 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 	part, err := hypart.Partition(d, rules, n, hypart.Options{
 		Share:          !opts.NoMQO,
 		ReplicationCap: opts.ReplicationCap,
+		Metrics:        opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -230,6 +245,8 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			SequentialDeduce: opts.Sequential || opts.SequentialDeduce,
 			SequentialDrain:  opts.Sequential || opts.SequentialDrain,
 			DrainParallelMin: opts.DrainParallelMin,
+			Metrics:          opts.Metrics,
+			MetricsLabels:    []telemetry.Label{telemetry.L("worker", strconv.Itoa(i))},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("dmatch: worker %d: %w", i, err)
@@ -255,6 +272,30 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 	seenML := make(map[chase.Fact]bool)
 	inboxes := make([][]chase.Fact, n)
 	deltas := make([][]chase.Fact, n)
+
+	// BSP instruments. Every instrument is a no-op when opts.Metrics is
+	// nil (nil-safe telemetry handles), so the loop below reads the same
+	// either way; the superstep timeline itself is recorded
+	// unconditionally (its cost is bounded by supersteps × workers).
+	tl := &res.timeline
+	tl.Workers = n
+	var tlMu sync.Mutex
+	mreg := opts.Metrics
+	stepGauge := mreg.Gauge("dcer_dmatch_superstep")
+	makespanGauge := mreg.Gauge("dcer_dmatch_step_makespan_ns")
+	skewGauge := mreg.Gauge("dcer_dmatch_step_skew")
+	routedCtr := mreg.Counter("dcer_dmatch_messages_routed")
+	factsCtr := mreg.Counter("dcer_dmatch_facts_produced")
+	routeHist := mreg.Histogram("dcer_dmatch_route_ns")
+	busyHists := make([]*telemetry.Histogram, n)
+	for i := range busyHists {
+		busyHists[i] = mreg.Histogram("dcer_dmatch_worker_busy_ns", telemetry.L("worker", strconv.Itoa(i)))
+	}
+	mreg.SetDebug("dmatch_timeline", func() any {
+		tlMu.Lock()
+		defer tlMu.Unlock()
+		return Timeline{Workers: tl.Workers, Steps: append([]Superstep(nil), tl.Steps...)}
+	})
 
 	elapsed := make([]time.Duration, n)
 	runStep := func(step int) {
@@ -294,7 +335,12 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		wg.Wait()
 	}
 
+	msgsIn := make([]int, n)
+	factsOut := make([]int, n)
 	for step := 0; step < maxSteps; step++ {
+		for i := range inboxes {
+			msgsIn[i] = len(inboxes[i])
+		}
 		runStep(step)
 		res.Supersteps++
 		var stepMax time.Duration
@@ -304,6 +350,13 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			}
 		}
 		res.SimulatedTime += stepMax
+		stepGauge.Set(float64(step))
+		makespanGauge.Set(float64(stepMax))
+		for i, e := range elapsed {
+			busyHists[i].Observe(uint64(e))
+		}
+		routedBefore, factsBefore := res.MessagesRouted, res.FactsProduced
+		routeStart := time.Now()
 		// Master: take the union of the workers' new facts, record them
 		// in the global Γ, and route each to the other hosts of its
 		// tuples (the ΔΓ_i of the fixpoint equations). The recipient set
@@ -357,6 +410,20 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			}
 		}
 		inboxes = next
+		routeNs := int64(time.Since(routeStart))
+		stepRouted := res.MessagesRouted - routedBefore
+		routeHist.Observe(uint64(routeNs))
+		routedCtr.Add(stepRouted)
+		factsCtr.Add(res.FactsProduced - factsBefore)
+		for i, dl := range deltas {
+			factsOut[i] = len(dl)
+		}
+		tlMu.Lock()
+		tl.record(step, elapsed, factsOut, msgsIn, routeNs, stepRouted)
+		ss := &tl.Steps[len(tl.Steps)-1]
+		skew := ss.SkewRatio
+		tlMu.Unlock()
+		skewGauge.Set(skew)
 		empty := true
 		for _, in := range inboxes {
 			if len(in) > 0 {

@@ -20,6 +20,7 @@ import (
 	"dcer/internal/mqo"
 	"dcer/internal/relation"
 	"dcer/internal/rule"
+	"dcer/internal/telemetry"
 )
 
 // Options configures the partitioner.
@@ -38,6 +39,11 @@ type Options struct {
 	// communication-optimal factor for a ρ-wide join is n^(1-1/ρ)), so
 	// the default grows with the worker count: max(4, n/2).
 	ReplicationCap int
+	// Metrics, when non-nil, receives the partition shape as histograms:
+	// dcer_hypart_fragment_size (tuples per worker fragment, one
+	// observation per worker) and dcer_hypart_block_size (tuples per
+	// non-empty virtual block). Nil disables with no overhead.
+	Metrics *telemetry.Registry
 }
 
 // Stats reports the partitioning work, for the Exp-2 experiments.
@@ -98,6 +104,7 @@ func Partition(d *relation.Dataset, rules []*rule.Rule, n int, opts Options) (*R
 		}
 		res.RuleFragments = [][][]relation.TID{perRule}
 		res.Stats.MaxFragment, res.Stats.MinFragment = len(ids), len(ids)
+		opts.Metrics.Histogram("dcer_hypart_fragment_size").Observe(uint64(len(ids)))
 		return res, nil
 	}
 
@@ -165,6 +172,12 @@ func Partition(d *relation.Dataset, rules []*rule.Rule, n int, opts Options) (*R
 	res.Stats.HashComputations = hasher.Computations
 	res.Stats.HashLookups = hasher.Lookups
 	res.Stats.Blocks = len(blocks)
+	if opts.Metrics != nil {
+		bh := opts.Metrics.Histogram("dcer_hypart_block_size")
+		for _, set := range blocks {
+			bh.Observe(uint64(len(set)))
+		}
+	}
 
 	// LPT minimum-makespan assignment of virtual blocks to workers.
 	type blockInfo struct {
@@ -234,6 +247,7 @@ func Partition(d *relation.Dataset, rules []*rule.Rule, n int, opts Options) (*R
 		if len(ids) < res.Stats.MinFragment {
 			res.Stats.MinFragment = len(ids)
 		}
+		opts.Metrics.Histogram("dcer_hypart_fragment_size").Observe(uint64(len(ids)))
 	}
 	return res, nil
 }

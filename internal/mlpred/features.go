@@ -166,6 +166,13 @@ const featStoreShards = 64
 type featShard struct {
 	mu sync.RWMutex
 	m  map[featKey]*Features
+
+	// hits and misses are incremented while the shard lock is held, so
+	// Snapshot — which takes the write lock — observes each shard
+	// quiesced: counters and map size mutually coherent. Atomics because
+	// multiple readers hold the RLock at once.
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // featKey addresses one tuple's feature bundle for one attribute list.
@@ -186,9 +193,6 @@ type FeatureStore struct {
 	mu      sync.Mutex // guards attrs interning (bind time only)
 	attrIDs map[uint64][]attrsEntry
 	nAttrs  uint32
-
-	hits   atomic.Int64
-	misses atomic.Int64
 }
 
 type attrsEntry struct {
@@ -254,16 +258,18 @@ func (s *FeatureStore) Get(gid relation.TID, attrsID uint32, vals []relation.Val
 	sh := s.shardFor(k)
 	sh.mu.RLock()
 	f, ok := sh.m[k]
+	if ok {
+		sh.hits.Add(1)
+	}
 	sh.mu.RUnlock()
 	if ok {
-		s.hits.Add(1)
 		return f
 	}
 	// Compute outside the lock; a concurrent duplicate costs one redundant
 	// computation, never a wrong answer (features are deterministic).
 	f = ComputeFeatures(vals, s.dim)
-	s.misses.Add(1)
 	sh.mu.Lock()
+	sh.misses.Add(1)
 	if prev, ok := sh.m[k]; ok {
 		f = prev
 	} else {
@@ -280,14 +286,16 @@ func (s *FeatureStore) GetText(gid relation.TID, attrsID uint32, text string) *F
 	sh := s.shardFor(k)
 	sh.mu.RLock()
 	f, ok := sh.m[k]
+	if ok {
+		sh.hits.Add(1)
+	}
 	sh.mu.RUnlock()
 	if ok {
-		s.hits.Add(1)
 		return f
 	}
 	f = computeFeaturesText(text, s.dim)
-	s.misses.Add(1)
 	sh.mu.Lock()
+	sh.misses.Add(1)
 	if prev, ok := sh.m[k]; ok {
 		f = prev
 	} else {
@@ -297,20 +305,31 @@ func (s *FeatureStore) GetText(gid relation.TID, attrsID uint32, text string) *F
 	return f
 }
 
-// Len returns the number of retained feature bundles.
-func (s *FeatureStore) Len() int {
-	n := 0
+// Snapshot returns hits, misses, and retained bundle count in one pass.
+// Each shard is read under its write lock, excluding in-flight Gets on
+// that shard, so the per-shard triples are mutually coherent.
+func (s *FeatureStore) Snapshot() CacheSnapshot {
+	var out CacheSnapshot
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.RLock()
-		n += len(sh.m)
-		sh.mu.RUnlock()
+		sh.mu.Lock()
+		out.Hits += sh.hits.Load()
+		out.Misses += sh.misses.Load()
+		out.Entries += len(sh.m)
+		sh.mu.Unlock()
 	}
-	return n
+	return out
+}
+
+// Len returns the number of retained feature bundles.
+func (s *FeatureStore) Len() int {
+	return s.Snapshot().Entries
 }
 
 // Stats returns (hits, misses); a miss creates and retains one bundle
 // (whose token and embedding parts are then derived lazily on first use).
+// Callers needing hits, misses, and Len coherently should use Snapshot.
 func (s *FeatureStore) Stats() (hits, misses int64) {
-	return s.hits.Load(), s.misses.Load()
+	snap := s.Snapshot()
+	return snap.Hits, snap.Misses
 }

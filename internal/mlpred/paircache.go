@@ -20,6 +20,13 @@ func packPair(a, b relation.TID) uint64 {
 type pairCacheShard struct {
 	mu sync.RWMutex
 	m  map[uint64]bool // created on first Store
+
+	// hits and misses are incremented while the shard lock is held (read
+	// or write), so Snapshot — which takes the write lock — observes each
+	// shard quiesced: its counters and map size are mutually coherent.
+	// They are atomics because multiple readers hold the RLock at once.
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // pairCacheCl holds the shards of one interned classifier. Keying each
@@ -44,9 +51,6 @@ type PairCache struct {
 
 	mu  sync.Mutex // guards classifier-id interning (bind time only)
 	ids map[string]uint32
-
-	hits   atomic.Int64
-	misses atomic.Int64
 }
 
 // NewPairCache creates an empty cache.
@@ -86,12 +90,12 @@ func (c *PairCache) Lookup(cl uint32, a, b relation.TID) (ans, ok bool) {
 	sh := (*c.byCl.Load())[cl].shardFor(ab)
 	sh.mu.RLock()
 	ans, ok = sh.m[ab]
-	sh.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		sh.hits.Add(1)
 	} else {
-		c.misses.Add(1)
+		sh.misses.Add(1)
 	}
+	sh.mu.RUnlock()
 	return ans, ok
 }
 
@@ -108,21 +112,42 @@ func (c *PairCache) Store(cl uint32, a, b relation.TID, ans bool) {
 	sh.mu.Unlock()
 }
 
-// Len returns the number of memoized answers.
-func (c *PairCache) Len() int {
-	n := 0
+// CacheSnapshot is one coherent reading of a cache's counters: hits,
+// misses, and retained entries taken together, shard by shard, under the
+// shard locks — not three independent reads that can tear mid-drain.
+type CacheSnapshot struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// Snapshot returns hits, misses, and size in one pass. Each shard is read
+// under its write lock, excluding in-flight Lookups on that shard, so the
+// per-shard triples are mutually coherent (Engine.Stats builds its view
+// from this single call instead of separate Stats and Len calls).
+func (c *PairCache) Snapshot() CacheSnapshot {
+	var out CacheSnapshot
 	for _, pc := range *c.byCl.Load() {
 		for i := range pc.shards {
 			sh := &pc.shards[i]
-			sh.mu.RLock()
-			n += len(sh.m)
-			sh.mu.RUnlock()
+			sh.mu.Lock()
+			out.Hits += sh.hits.Load()
+			out.Misses += sh.misses.Load()
+			out.Entries += len(sh.m)
+			sh.mu.Unlock()
 		}
 	}
-	return n
+	return out
 }
 
-// Stats returns (hits, misses). Lookups count; Store does not.
+// Len returns the number of memoized answers.
+func (c *PairCache) Len() int {
+	return c.Snapshot().Entries
+}
+
+// Stats returns (hits, misses). Lookups count; Store does not. Callers
+// needing hits, misses, and Len coherently should use Snapshot.
 func (c *PairCache) Stats() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
+	s := c.Snapshot()
+	return s.Hits, s.Misses
 }

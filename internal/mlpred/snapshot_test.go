@@ -1,0 +1,90 @@
+package mlpred
+
+import (
+	"sync"
+	"testing"
+
+	"dcer/internal/relation"
+)
+
+// TestPairCacheSnapshotCoherent hammers one cache from several goroutines
+// while snapshotting concurrently: every snapshot must be internally
+// consistent (hits+misses never exceeds the work issued so far, entries
+// never exceeds misses — every entry was created by exactly one miss).
+func TestPairCacheSnapshotCoherent(t *testing.T) {
+	c := NewPairCache()
+	cl := c.ClassifierID("m")
+	const goroutines, per = 4, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a, b := relation.TID(i%257), relation.TID((i*g)%263)
+				if _, ok := c.Lookup(cl, a, b); !ok {
+					c.Store(cl, a, b, true)
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := c.Snapshot()
+			if s.Hits+s.Misses > goroutines*per {
+				t.Errorf("snapshot counts %d lookups, more than the %d issued", s.Hits+s.Misses, goroutines*per)
+				return
+			}
+			if int64(s.Entries) > s.Misses {
+				t.Errorf("snapshot tore: %d entries but only %d misses", s.Entries, s.Misses)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+
+	final := c.Snapshot()
+	if final.Hits+final.Misses != goroutines*per {
+		t.Fatalf("final lookups = %d, want %d", final.Hits+final.Misses, goroutines*per)
+	}
+	if final.Entries == 0 {
+		t.Fatal("cache retained nothing")
+	}
+}
+
+func TestFeatureStoreSnapshotCoherent(t *testing.T) {
+	s := NewFeatureStore(0)
+	attrs := s.AttrsID([]int{0})
+	var wg sync.WaitGroup
+	const goroutines, per = 4, 2000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.GetText(relation.TID(i%101), attrs, "some text")
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Hits+snap.Misses != goroutines*per {
+		t.Fatalf("lookups = %d, want %d", snap.Hits+snap.Misses, goroutines*per)
+	}
+	if snap.Entries != 101 {
+		t.Fatalf("entries = %d, want 101", snap.Entries)
+	}
+	if int64(snap.Entries) > snap.Misses {
+		t.Fatalf("entries %d exceed misses %d", snap.Entries, snap.Misses)
+	}
+}

@@ -1,5 +1,7 @@
 package relation
 
+import "sync/atomic"
+
 // Index is an inverted index over one attribute of one relation: it maps
 // each value (by canonical key) to the tuples carrying that value. The
 // chase engine builds one Index per attribute participating in an equality
@@ -49,9 +51,12 @@ func (ix *Index) MaxBucket() int {
 // IndexSet caches the indexes of a dataset, built lazily per
 // (relation, attribute). It is not safe for concurrent mutation; the
 // parallel engine gives each worker its own IndexSet over its fragment.
+// Built alone is safe to read concurrently (it backs the engine's
+// mid-run stats snapshots), so the build count lives in an atomic.
 type IndexSet struct {
 	d       *Dataset
 	indexes map[[2]int]*Index
+	built   atomic.Int64
 }
 
 // NewIndexSet creates an empty index cache over d.
@@ -67,11 +72,14 @@ func (s *IndexSet) For(rel, attr int) *Index {
 	}
 	ix := BuildIndex(rel, s.d.Relations[rel], attr)
 	s.indexes[key] = ix
+	s.built.Add(1)
 	return ix
 }
 
-// Built returns how many indexes have been materialized.
-func (s *IndexSet) Built() int { return len(s.indexes) }
+// Built returns how many indexes have been materialized. Safe to call
+// while another goroutine is lazily building (it reads only the atomic
+// count, never the cache map).
+func (s *IndexSet) Built() int { return int(s.built.Load()) }
 
 // Add registers a newly appended tuple in every materialized index of its
 // relation (incremental ΔD maintenance). The tuple must already be part

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LogLevel orders logger verbosity. Records below the logger's level are
+// dropped before formatting.
+type LogLevel int32
+
+const (
+	LogDebug LogLevel = iota
+	LogInfo
+	LogWarn
+	LogError
+	LogOff
+)
+
+func (l LogLevel) String() string {
+	switch l {
+	case LogDebug:
+		return "DEBUG"
+	case LogInfo:
+		return "INFO"
+	case LogWarn:
+		return "WARN"
+	case LogError:
+		return "ERROR"
+	default:
+		return "OFF"
+	}
+}
+
+// ParseLogLevel parses a level name (case-insensitive: debug, info, warn,
+// error, off).
+func ParseLogLevel(s string) (LogLevel, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LogDebug, nil
+	case "info", "":
+		return LogInfo, nil
+	case "warn", "warning":
+		return LogWarn, nil
+	case "error":
+		return LogError, nil
+	case "off", "none":
+		return LogOff, nil
+	}
+	return LogInfo, fmt.Errorf("telemetry: unknown log level %q (debug|info|warn|error|off)", s)
+}
+
+// LogLevelFromEnv reads the DCER_LOG environment variable; unset or
+// unparsable means LogInfo.
+func LogLevelFromEnv() LogLevel {
+	lvl, err := ParseLogLevel(os.Getenv("DCER_LOG"))
+	if err != nil {
+		return LogInfo
+	}
+	return lvl
+}
+
+// Logger is a minimal leveled logger: one line per record,
+// "<RFC3339ms> <LEVEL> <prefix>: <message>". Safe for concurrent use.
+// A nil *Logger drops everything.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+	level  atomic.Int32
+}
+
+// NewLogger creates a logger writing to w at the given level. prefix
+// (usually the binary name) may be empty.
+func NewLogger(w io.Writer, prefix string, level LogLevel) *Logger {
+	l := &Logger{w: w, prefix: prefix}
+	l.level.Store(int32(level))
+	return l
+}
+
+// SetLevel changes the logger's level.
+func (l *Logger) SetLevel(level LogLevel) {
+	if l == nil {
+		return
+	}
+	l.level.Store(int32(level))
+}
+
+// Level returns the logger's current level (LogOff on nil).
+func (l *Logger) Level() LogLevel {
+	if l == nil {
+		return LogOff
+	}
+	return LogLevel(l.level.Load())
+}
+
+func (l *Logger) logf(level LogLevel, format string, args ...any) {
+	if l == nil || level < l.Level() {
+		return
+	}
+	ts := time.Now().UTC().Format("2006-01-02T15:04:05.000Z")
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.prefix != "" {
+		fmt.Fprintf(l.w, "%s %-5s %s: %s\n", ts, level, l.prefix, msg)
+	} else {
+		fmt.Fprintf(l.w, "%s %-5s %s\n", ts, level, msg)
+	}
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LogDebug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LogInfo, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LogWarn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LogError, format, args...) }

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dcer_serve_test_total").Add(3)
+	reg.Histogram("dcer_serve_test_ns").Observe(512)
+	reg.SetDebug("answer", func() any { return 42 })
+	sp := reg.Tracer().Start("unit", L("k", "v"))
+	sp.End()
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	metrics := get(t, "http://"+srv.Addr+"/metrics")
+	if !strings.Contains(metrics, "dcer_serve_test_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "dcer_serve_test_ns_count 1") {
+		t.Errorf("/metrics missing histogram:\n%s", metrics)
+	}
+
+	debug := get(t, "http://"+srv.Addr+"/debug/dcer")
+	var doc struct {
+		Metrics []SeriesSnapshot `json:"metrics"`
+		Spans   []SpanRecord     `json:"spans"`
+		Debug   map[string]any   `json:"debug"`
+	}
+	if err := json.Unmarshal([]byte(debug), &doc); err != nil {
+		t.Fatalf("/debug/dcer is not JSON: %v\n%s", err, debug)
+	}
+	if len(doc.Metrics) == 0 || len(doc.Spans) != 1 {
+		t.Errorf("/debug/dcer: %d metrics, %d spans; want >0, 1", len(doc.Metrics), len(doc.Spans))
+	}
+	if doc.Debug["answer"] != float64(42) {
+		t.Errorf("/debug/dcer debug provider = %v, want 42", doc.Debug["answer"])
+	}
+
+	pprofOut := get(t, "http://"+srv.Addr+"/debug/pprof/cmdline")
+	if len(pprofOut) == 0 {
+		t.Error("/debug/pprof/cmdline returned nothing")
+	}
+}

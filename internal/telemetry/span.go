@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceCap is the default capacity of a registry's span ring.
+const DefaultTraceCap = 4096
+
+// SpanRecord is one completed span in the trace ring.
+type SpanRecord struct {
+	Name       string  `json:"name"`
+	Labels     []Label `json:"labels,omitempty"`
+	StartUnixN int64   `json:"start_unix_ns"`
+	DurationNs int64   `json:"duration_ns"`
+}
+
+// Tracer records completed spans into a bounded in-memory ring: the
+// newest cap spans are retained, older ones are overwritten. Safe for
+// concurrent use; a nil *Tracer starts no-op spans.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []SpanRecord
+	next    int
+	total   uint64
+	enabled bool
+}
+
+// NewTracer creates a tracer retaining the newest cap spans.
+func NewTracer(cap int) *Tracer {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Tracer{ring: make([]SpanRecord, 0, cap), enabled: true}
+}
+
+// Span is one in-flight timed region. End completes it; the zero Span
+// (and any span from a nil tracer) is a no-op.
+type Span struct {
+	tr     *Tracer
+	name   string
+	labels []Label
+	start  time.Time
+}
+
+// Start begins a span. The labels are retained in the ring as given.
+func (t *Tracer) Start(name string, labels ...Label) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, labels: labels, start: time.Now()}
+}
+
+// End completes the span, records it in the ring, and returns its
+// duration (0 for a no-op span).
+func (s Span) End() time.Duration {
+	if s.tr == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	rec := SpanRecord{
+		Name:       s.name,
+		Labels:     s.labels,
+		StartUnixN: s.start.UnixNano(),
+		DurationNs: int64(d),
+	}
+	t := s.tr
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	t.mu.Unlock()
+	return d
+}
+
+// Total returns the number of spans ever recorded (including overwritten
+// ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		return append(out, t.ring...)
+	}
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}

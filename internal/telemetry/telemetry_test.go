@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	h.Observe(4)
+	h.Observe(math.MaxUint64)
+	snap := h.Snapshot()
+	if snap.Count != 6 {
+		t.Fatalf("count = %d, want 6", snap.Count)
+	}
+	if snap.Counts[0] != 1 {
+		t.Errorf("bucket 0 (value 0) = %d, want 1", snap.Counts[0])
+	}
+	if snap.Counts[1] != 1 {
+		t.Errorf("bucket 1 (value 1) = %d, want 1", snap.Counts[1])
+	}
+	if snap.Counts[2] != 2 {
+		t.Errorf("bucket 2 (values 2,3) = %d, want 2", snap.Counts[2])
+	}
+	if snap.Counts[3] != 1 {
+		t.Errorf("bucket 3 (value 4) = %d, want 1", snap.Counts[3])
+	}
+	if snap.Counts[64] != 1 {
+		t.Errorf("bucket 64 (max uint64) = %d, want 1", snap.Counts[64])
+	}
+	if snap.Max != math.MaxUint64 {
+		t.Errorf("max = %d, want max uint64", snap.Max)
+	}
+	// The float sum absorbs max-uint64 without wrapping.
+	if snap.Sum < float64(math.MaxUint64) {
+		t.Errorf("sum = %g, want ≥ 2^64-1", snap.Sum)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Every bucket's upper bound lands in that bucket; upper+1 in the next.
+	for i := 1; i < 64; i++ {
+		up := HistBucketUpper(i)
+		if got := histBucket(up); got != i {
+			t.Fatalf("histBucket(%d) = %d, want %d", up, got, i)
+		}
+		if got := histBucket(up + 1); got != i+1 {
+			t.Fatalf("histBucket(%d) = %d, want %d", up+1, got, i+1)
+		}
+	}
+	if HistBucketUpper(64) != math.MaxUint64 {
+		t.Fatalf("last bucket upper bound must be max uint64")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	// Exercised by ci.sh under -race: concurrent Observe across stripes
+	// must neither race nor lose samples.
+	h := &Histogram{}
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", snap.Count, goroutines*per)
+	}
+	var sum uint64
+	for _, c := range snap.Counts {
+		sum += c
+	}
+	if sum != snap.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, snap.Count)
+	}
+}
+
+func TestHistogramQuantileAndMean(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(1 << 30)
+	snap := h.Snapshot()
+	if q := snap.Quantile(0.5); q < 1000 || q > 2047 {
+		t.Errorf("p50 = %d, want within bucket of 1000 (≤2047)", q)
+	}
+	if q := snap.Quantile(1.0); q != 1<<30 {
+		t.Errorf("p100 = %d, want max observation %d", q, 1<<30)
+	}
+	if m := snap.Mean(); m < 1000 {
+		t.Errorf("mean = %g, want ≥ 1000", m)
+	}
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Errorf("empty snapshot quantile/mean must be 0")
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	var tr *Tracer
+	c.Add(1)
+	c.Inc()
+	g.Set(3)
+	h.Observe(7)
+	h.ObserveDuration(time.Second)
+	if c.Load() != 0 || g.Load() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.GaugeFunc("x", func() float64 { return 1 })
+	r.SetDebug("x", func() any { return nil })
+	if err := r.WriteProm(nil); err != nil {
+		t.Fatal(err)
+	}
+	sp := tr.Start("noop")
+	if d := sp.End(); d != 0 {
+		t.Fatal("nil tracer span must be a no-op")
+	}
+}
+
+func TestRegistryIdentityAndKindConflict(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs", L("worker", "1"))
+	b := r.Counter("reqs", L("worker", "1"))
+	if a != b {
+		t.Fatal("get-or-create must return the same instrument")
+	}
+	other := r.Counter("reqs", L("worker", "2"))
+	if a == other {
+		t.Fatal("distinct labels must yield distinct instruments")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict must panic")
+		}
+	}()
+	r.Gauge("reqs")
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dcer_test_total", L("worker", "0")).Add(42)
+	r.Gauge("dcer_test_skew").Set(1.5)
+	r.GaugeFunc("dcer_test_fn", func() float64 { return 7 })
+	r.Histogram("dcer_test_ns").Observe(1000)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dcer_test_total counter",
+		`dcer_test_total{worker="0"} 42`,
+		"dcer_test_skew 1.5",
+		"dcer_test_fn 7",
+		"# TYPE dcer_test_ns histogram",
+		`dcer_test_ns_bucket{le="+Inf"} 1`,
+		"dcer_test_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		sp := tr.Start("work")
+		sp.End()
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].StartUnixN < spans[i-1].StartUnixN {
+			t.Fatal("snapshot must be oldest-first")
+		}
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, "test", LogWarn)
+	l.Debugf("dropped %d", 1)
+	l.Infof("dropped %d", 2)
+	l.Warnf("kept %d", 3)
+	l.Errorf("kept %d", 4)
+	out := sb.String()
+	if strings.Contains(out, "dropped") {
+		t.Errorf("records below level leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN  test: kept 3") || !strings.Contains(out, "ERROR test: kept 4") {
+		t.Errorf("missing records:\n%s", out)
+	}
+	l.SetLevel(LogDebug)
+	l.Debugf("now visible")
+	if !strings.Contains(sb.String(), "now visible") {
+		t.Error("SetLevel did not lower the threshold")
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for s, want := range map[string]LogLevel{
+		"debug": LogDebug, "INFO": LogInfo, "Warn": LogWarn,
+		"error": LogError, "off": LogOff, "": LogInfo,
+	} {
+		got, err := ParseLogLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("expected error for unknown level")
+	}
+}

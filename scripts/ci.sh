@@ -26,10 +26,13 @@ go build ./...
 echo "== go test -short ./..."
 go test -short ./...
 
-echo "== go test -race -short ./internal/chase ./internal/dmatch"
-go test -race -short ./internal/chase ./internal/dmatch
+echo "== go test -race -short ./internal/chase ./internal/dmatch ./internal/telemetry"
+go test -race -short ./internal/chase ./internal/dmatch ./internal/telemetry
 
 echo "== bench smoke (IncDeduce, 1 iteration)"
 go test -run=NONE -bench=IncDeduce -benchtime=1x -short .
+
+echo "== telemetry smoke (ephemeral /metrics scrape over a live DMatch run)"
+go run ./scripts/telemetrysmoke
 
 echo "CI OK"
