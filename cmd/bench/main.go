@@ -6,7 +6,7 @@
 // one per perf PR) so the performance trajectory of the engine is
 // tracked in-repo.
 //
-//	go run ./cmd/bench                   # full run, writes BENCH_3.json
+//	go run ./cmd/bench                   # full run, writes BENCH_4.json
 //	go run ./cmd/bench -fig6=false       # hot-path benchmarks only
 //	go run ./cmd/bench -scale 1.0 -out /tmp/bench.json
 //	go run ./cmd/bench -cpuprofile cpu.out -memprofile mem.out
@@ -16,9 +16,10 @@
 // Besides the timings the report embeds the per-stage latency histograms
 // of a telemetry-enabled pass (rule enumeration/merge, drain batches, BSP
 // routing and worker busy time) and the measured overhead of running
-// Deduce with instrumentation attached; after writing the JSON it prints
-// a stage-attribution table and a delta table against the previous
-// BENCH_<n>.json (-prev).
+// Deduce with instrumentation attached — both the metrics registry and,
+// separately, the justification (provenance) log; after writing the JSON
+// it prints a stage-attribution table and a delta table against the
+// previous BENCH_<n>.json (-prev).
 //
 // The host class these artifacts are measured on (a shared single-core
 // VM) shows ±20% run-to-run variance under external load, so the
@@ -51,6 +52,7 @@ import (
 	"dcer/internal/dmatch"
 	"dcer/internal/experiments"
 	"dcer/internal/mlpred"
+	"dcer/internal/provenance"
 	"dcer/internal/relation"
 	"dcer/internal/telemetry"
 )
@@ -101,10 +103,17 @@ type report struct {
 	// Deduce/telemetry_base, its paired uninstrumented arm: the cost of
 	// running the same chase with the metrics registry, per-rule
 	// histograms, and tracer attached. The arms interleave chase by
-	// chase within a pass (each run after a forced GC) and the pct
-	// compares same-pass sums from the least-loaded pass, so it is not
-	// swamped by the host's run-to-run variance.
+	// chase (each run after a forced GC) into triples — base,
+	// telemetry, provenance back to back — and the pct is the median
+	// per-triple ratio over every triple of every pass, so a load
+	// spike corrupting one triple is discarded instead of skewing a
+	// sum.
 	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+	// ProvenanceOverheadPct is the same paired measurement for
+	// Deduce/provenance — the chase with an unbounded justification log
+	// attached — against the shared uninstrumented arm. The acceptance
+	// budget for capture is ≤ 5%.
+	ProvenanceOverheadPct float64 `json:"provenance_overhead_pct"`
 	// StageHistograms are the per-stage latency histograms of the
 	// telemetry-enabled pass (chase rule enumeration/merge, drain
 	// batches, DMatch routing and worker busy time, HyPart shape).
@@ -160,10 +169,10 @@ type pass struct {
 	entries        []entry
 	incDeduceStats *chase.Stats
 	stageHists     []stageHist
-	// pairBaseNs/pairTelNs are this pass's interleaved overhead arms
-	// (mean ns per chase); the overhead pct must come from one pass so
-	// both arms saw the same external load.
-	pairBaseNs, pairTelNs int64
+	// pairSamples holds this pass's interleaved overhead triples —
+	// ns per chase for (base, telemetry, provenance), the three runs
+	// of each triple back to back so they saw the same external load.
+	pairSamples [][3]int64
 }
 
 // stageSnapshot flattens a registry's populated histograms into the
@@ -225,14 +234,16 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 	// histograms, drain instruments, gauge views, tracer. A single ~1s
 	// sample on this host class is dominated by GC-cycle boundary luck
 	// and neighbor steal (±10-30%), far above the instrumentation cost,
-	// so the overhead is measured with tightly interleaved pairs — one
-	// uninstrumented chase, one instrumented chase, each after a forced
-	// GC, deducePairs times — and compared as same-pass sums: adjacent
-	// runs see the same external load, so drift cancels, and the ±1 GC
-	// boundary jitter amortizes across the pairs. The report keeps the
-	// pct from the least-loaded pass (lowest combined pair time) rather
-	// than mixing per-arm minima from different load regimes.
-	logg.Infof("benchmarking Deduce/telemetry (paired overhead samples)...")
+	// so the overhead is measured with tightly interleaved triples —
+	// one uninstrumented chase, one with telemetry, one with the
+	// justification log, each after a forced GC, deducePairs times per
+	// pass: the three runs of a triple see the same external load, so
+	// per-triple ratios cancel host drift. The report keeps the median
+	// ratio over every triple of every pass (medianOverheadPct), which
+	// discards the triples a load spike corrupted outright — on this
+	// host a single spike otherwise moves even a best-pass sum by
+	// several percent, above the effect being measured.
+	logg.Infof("benchmarking Deduce/telemetry and Deduce/provenance (paired overhead samples)...")
 	treg := telemetry.NewRegistry()
 	const deducePairs = 6
 	// Each instrumented run gets a throwaway registry: the engine's
@@ -245,17 +256,24 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 	// cycles moves it ±10%, two orders above the instrumentation cost,
 	// while instrumentation's own GC pressure is visible in the
 	// bytes/allocs columns (~200 allocs per chase).
-	oneDeduce := func(instrumented bool) (time.Duration, int64, int64) {
+	oneDeduce := func(instrumented, prov bool) (time.Duration, int64, int64) {
 		runtime.GC()
 		var m *telemetry.Registry
 		if instrumented {
 			m = telemetry.NewRegistry()
 		}
+		// The provenance arm captures into a fresh unbounded log, the
+		// worst case for the record path (no drops, every derivation
+		// justified).
+		var plog *provenance.Log
+		if prov {
+			plog = provenance.NewLog(-1)
+		}
 		gcOld := debug.SetGCPercent(-1)
 		var ms0, ms1 runtime.MemStats
 		runtime.ReadMemStats(&ms0)
 		t0 := time.Now()
-		eng, err := chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true, Metrics: m})
+		eng, err := chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true, Metrics: m, Provenance: plog})
 		if err != nil {
 			fatal(err)
 		}
@@ -267,24 +285,28 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 	}
 	pairBase := entry{Name: "Deduce/telemetry_base", Ops: deducePairs}
 	pairTel := entry{Name: "Deduce/telemetry", Ops: deducePairs}
-	for r := 0; r < deducePairs; r++ {
-		bns, bby, bal := oneDeduce(false)
-		tns, tby, tal := oneDeduce(true)
-		pairBase.NsPerOp += bns.Nanoseconds()
-		pairBase.BytesPerOp += bby
-		pairBase.AllocsPerOp += bal
-		pairTel.NsPerOp += tns.Nanoseconds()
-		pairTel.BytesPerOp += tby
-		pairTel.AllocsPerOp += tal
+	pairProv := entry{Name: "Deduce/provenance", Ops: deducePairs}
+	add := func(e *entry, ns time.Duration, by, al int64) {
+		e.NsPerOp += ns.Nanoseconds()
+		e.BytesPerOp += by
+		e.AllocsPerOp += al
 	}
-	pairBase.NsPerOp /= deducePairs
-	pairBase.BytesPerOp /= deducePairs
-	pairBase.AllocsPerOp /= deducePairs
-	pairTel.NsPerOp /= deducePairs
-	pairTel.BytesPerOp /= deducePairs
-	pairTel.AllocsPerOp /= deducePairs
-	p.pairBaseNs, p.pairTelNs = pairBase.NsPerOp, pairTel.NsPerOp
-	p.entries = append(p.entries, pairTel, pairBase)
+	for r := 0; r < deducePairs; r++ {
+		bns, bby, bal := oneDeduce(false, false)
+		add(&pairBase, bns, bby, bal)
+		tns, tby, tal := oneDeduce(true, false)
+		add(&pairTel, tns, tby, tal)
+		pns, pby, pal := oneDeduce(false, true)
+		add(&pairProv, pns, pby, pal)
+		p.pairSamples = append(p.pairSamples,
+			[3]int64{bns.Nanoseconds(), tns.Nanoseconds(), pns.Nanoseconds()})
+	}
+	for _, e := range []*entry{&pairBase, &pairTel, &pairProv} {
+		e.NsPerOp /= deducePairs
+		e.BytesPerOp /= deducePairs
+		e.AllocsPerOp /= deducePairs
+	}
+	p.entries = append(p.entries, pairTel, pairProv, pairBase)
 
 	// IncDeduce: replay a full chase's facts into a fresh engine through
 	// the incremental path A_Δ. The run is pure update-driven drain — the
@@ -420,8 +442,8 @@ func main() {
 	workers := flag.Int("workers", 8, "DMatch worker count")
 	fig6 := flag.Bool("fig6", true, "also run the Fig. 6 experiment drivers")
 	repeat := flag.Int("repeat", 3, "measure every benchmark this many times and keep the per-benchmark minimum")
-	out := flag.String("out", "BENCH_3.json", "output JSON path")
-	prev := flag.String("prev", "BENCH_2.json", "previous report to print the delta table against (empty or missing = skip)")
+	out := flag.String("out", "BENCH_4.json", "output JSON path")
+	prev := flag.String("prev", "BENCH_3.json", "previous report to print the delta table against (empty or missing = skip)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	obs := cliutil.Register()
@@ -463,8 +485,9 @@ func main() {
 			"(the pr1/seed baselines were single-shot and carry the full variance). " +
 			"telemetry_overhead_pct compares Deduce with the metrics registry attached against an " +
 			"interleaved uninstrumented arm (same-pass sums, GC quiesced inside the timed region, " +
-			"least-loaded pass); stage_histograms are the per-stage latency distributions of the " +
-			"telemetry-enabled pass.",
+			"least-loaded pass); provenance_overhead_pct measures the justification-log capture the " +
+			"same way (unbounded log, worst case; budget ≤ 5%); stage_histograms are the per-stage " +
+			"latency distributions of the telemetry-enabled pass.",
 	}
 
 	logg.Infof("generating TPCH scale %.2f...", *scale)
@@ -485,7 +508,7 @@ func main() {
 	// reports the conjunction over all passes.
 	best := map[string]entry{}
 	var order []string
-	var bestPairCombined int64
+	var pairSamples [][3]int64
 	for r := 0; r < *repeat; r++ {
 		if *repeat > 1 {
 			logg.Infof("--- pass %d/%d ---", r+1, *repeat)
@@ -506,12 +529,10 @@ func main() {
 				}
 			}
 		}
-		if combined := p.pairBaseNs + p.pairTelNs; p.pairBaseNs > 0 &&
-			(bestPairCombined == 0 || combined < bestPairCombined) {
-			bestPairCombined = combined
-			rep.TelemetryOverheadPct = 100 * float64(p.pairTelNs-p.pairBaseNs) / float64(p.pairBaseNs)
-		}
+		pairSamples = append(pairSamples, p.pairSamples...)
 	}
+	rep.TelemetryOverheadPct = medianOverheadPct(pairSamples, 1)
+	rep.ProvenanceOverheadPct = medianOverheadPct(pairSamples, 2)
 	rep.ClassesIdentical = true // runPass fatals on any divergence
 	for _, name := range order {
 		rep.Benchmarks = append(rep.Benchmarks, best[name])
@@ -541,10 +562,39 @@ func main() {
 	for _, e := range rep.Benchmarks {
 		fmt.Printf("  %-24s %3d ops  %12d ns/op  %10d allocs/op\n", e.Name, e.Ops, e.NsPerOp, e.AllocsPerOp)
 	}
-	fmt.Printf("telemetry overhead: %+.2f%% (Deduce/telemetry vs its interleaved uninstrumented arm, least-loaded pass)\n",
+	fmt.Printf("telemetry overhead: %+.2f%% (Deduce/telemetry vs its interleaved uninstrumented arm, median triple)\n",
 		rep.TelemetryOverheadPct)
+	fmt.Printf("provenance overhead: %+.2f%% (Deduce with an unbounded justification log vs the same arm; budget ≤ 5%%)\n",
+		rep.ProvenanceOverheadPct)
 	printAttribution(rep)
 	printDelta(rep, *prev)
+}
+
+// medianOverheadPct reduces the interleaved overhead triples to one
+// number: per triple, the ratio of the given arm (1 = telemetry,
+// 2 = provenance) to the uninstrumented base it ran back to back with,
+// then the median ratio across every triple of every pass, as a
+// percentage over 100%. The three chases of a triple see the same
+// external load, so the ratio cancels host drift; the median discards
+// the triples a load spike corrupted, which on this host class would
+// move even a least-loaded-pass sum by several percent — above the
+// instrumentation cost being measured.
+func medianOverheadPct(samples [][3]int64, arm int) float64 {
+	ratios := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if s[0] > 0 {
+			ratios = append(ratios, float64(s[arm])/float64(s[0]))
+		}
+	}
+	if len(ratios) == 0 {
+		return 0
+	}
+	sort.Float64s(ratios)
+	n := len(ratios)
+	if n%2 == 1 {
+		return 100 * (ratios[n/2] - 1)
+	}
+	return 100 * ((ratios[n/2-1]+ratios[n/2])/2 - 1)
 }
 
 // printAttribution breaks the instrumented time down by stage: each

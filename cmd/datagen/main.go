@@ -9,6 +9,8 @@
 //
 // Output layout: out/<relation>.csv per relation, out/rules.mrl, and
 // out/truth.csv listing the planted duplicate pairs as global tuple ids.
+// The layout is what cmd/dmatch consumes directly, and truth.csv is the
+// ground-truth file cmd/explain's -truth audit mode reads.
 package main
 
 import (

@@ -16,11 +16,15 @@
 // ("attr:type", with "!id" marking the designated id attribute). The rule
 // file uses the MRL DSL (see the rule package docs). Output is one line
 // per resolved entity class listing the member tuples. With -explain, the
-// proof of one specific match is printed instead.
+// proof of one specific match is printed instead, extracted from the
+// production engine's justification log (with -workers > 1, from the
+// stitched cross-worker log of the parallel run). See also cmd/explain
+// for batch proof extraction and audit sampling.
 package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -74,13 +78,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ex, err := dcer.Explain(d, rules, reg, a, b)
-		if err != nil {
-			log.Fatal(err)
+		var ex *dcer.Explanation
+		if *workers <= 1 {
+			ex, err = dcer.Explain(d, rules, reg, a, b)
+		} else {
+			ex, err = dcer.ExplainParallel(d, rules, reg,
+				dcer.ParallelOptions{Workers: *workers, Metrics: obs.Registry()}, a, b)
 		}
-		if ex == nil {
+		if errors.Is(err, dcer.ErrNoMatch) {
 			fmt.Println("no match: the pair is not entailed by the rules")
 			return
+		}
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Print(ex.Render(d))
 		return

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|tableV|tableVI|fig6ab|fig6cd|fig6ef|fig6gh|fig6ij|fig6kl|partitioning|casestudy|denorm]
+//	experiments [-exp all|tableV|tableVI|fig6ab|fig6cd|fig6ef|fig6gh|fig6ij|fig6kl|partitioning|casestudy|denorm|audit]
 //	            [-scale 0.2] [-workers 8] [-seed 1]
 package main
 
@@ -43,8 +43,9 @@ func main() {
 		"partitioning": experiments.Partitioning,
 		"casestudy":    experiments.CaseStudy,
 		"denorm":       experiments.Denorm,
+		"audit":        experiments.AuditRun,
 	}
-	order := []string{"tableV", "tableVI", "fig6ab", "fig6cd", "fig6ef", "fig6gh", "fig6ij", "fig6kl", "partitioning", "casestudy", "denorm"}
+	order := []string{"tableV", "tableVI", "fig6ab", "fig6cd", "fig6ef", "fig6gh", "fig6ij", "fig6kl", "partitioning", "casestudy", "denorm", "audit"}
 
 	if *exp == "all" {
 		for _, name := range order {

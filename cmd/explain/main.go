@@ -1,0 +1,245 @@
+// Command explain answers "why did these tuples match?": it runs the
+// resolver with justification capture on and renders proofs extracted
+// from the production log — including derivation chains that cross
+// workers in a parallel run.
+//
+// Usage:
+//
+//	explain -data ./out -rules ./out/rules.mrl [-workers 4]
+//	        [-pair "Rel:idvalue,Rel:idvalue"]...
+//	        [-sample 5] [-truth ./out/truth.csv] [-seed 1]
+//	        [-limit 1048576] [-telemetry :9090] [-log debug]
+//
+// With -pair (repeatable) the proof of each named pair is printed. With
+// -truth the run enters audit mode: the resolved classes are scored
+// against the ground truth (the truth.csv that cmd/datagen emits) and a
+// proof is attached to a sample of the predicted pairs, false positives
+// first — the pairs most worth reading. Without -truth, -sample prints
+// proofs for a reproducible sample of the matched pairs.
+package main
+
+import (
+	"encoding/csv"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dcer"
+	"dcer/internal/cliutil"
+	"dcer/internal/eval"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("explain: ")
+	dataDir := flag.String("data", "", "directory of <relation>.csv files")
+	rulesFile := flag.String("rules", "", "MRL rule file")
+	workers := flag.Int("workers", 1, "number of BSP workers (1 = sequential Match)")
+	var pairs multiFlag
+	flag.Var(&pairs, "pair", `prove one pair: "Rel:idvalue,Rel:idvalue" (repeatable)`)
+	sample := flag.Int("sample", 5, "number of matched pairs to sample when no -pair is given (0 = all)")
+	truthFile := flag.String("truth", "", "ground-truth pair CSV (audit mode: metrics + sampled proofs)")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	limit := flag.Int("limit", 0, "justification log bound in entries (0 = default, negative = unbounded)")
+	obs := cliutil.Register()
+	flag.Parse()
+	if *dataDir == "" || *rulesFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	logg, stopTel, err := obs.Init("explain")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopTel()
+
+	d, err := dcer.LoadDir(*dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err := os.ReadFile(*rulesFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules, err := dcer.ParseRules(string(text), d.DB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := dcer.DefaultClassifiers()
+
+	// Run once with capture on; every proof below comes from this log.
+	var classes [][]dcer.TID
+	var plog *dcer.ProvenanceLog
+	if *workers <= 1 {
+		plog = dcer.NewProvenanceLog(*limit)
+		eng, err := dcer.NewEngine(d, rules, reg, dcer.EngineOptions{
+			ShareIndexes: true,
+			Metrics:      obs.Registry(),
+			Provenance:   plog,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng.Run()
+		classes = eng.Classes()
+	} else {
+		res, err := dcer.MatchParallel(d, rules, reg, dcer.ParallelOptions{
+			Workers:         *workers,
+			Metrics:         obs.Registry(),
+			Provenance:      true,
+			ProvenanceLimit: *limit,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		classes = res.Classes()
+		plog = res.Provenance()
+	}
+	if !plog.Complete() {
+		logg.Warnf("justification log overflowed: %d derivations dropped — some proofs may be unavailable", plog.Dropped())
+	}
+	prove := func(a, b dcer.TID) (string, error) {
+		ex, err := dcer.ExplainFromLog(plog, d, a, b)
+		if err != nil {
+			return "", err
+		}
+		return ex.Render(d), nil
+	}
+	name := func(gid dcer.TID) string {
+		t := d.Tuple(gid)
+		if t == nil {
+			return fmt.Sprintf("#%d", gid)
+		}
+		s := d.SchemaOf(t)
+		return fmt.Sprintf("%s(%s)", s.Name, t.ID(s))
+	}
+
+	if len(pairs) > 0 {
+		for _, spec := range pairs {
+			a, b, err := parseTarget(d, spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("== %s = %s\n", name(a), name(b))
+			proof, err := prove(a, b)
+			switch {
+			case errors.Is(err, dcer.ErrNoMatch):
+				fmt.Println("   no match: the pair is not entailed by the rules")
+			case err != nil:
+				log.Fatal(err)
+			default:
+				fmt.Print(proof)
+			}
+		}
+		return
+	}
+
+	audit := *truthFile != ""
+	var truth *eval.Truth
+	if audit {
+		t, err := loadTruth(*truthFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth = t
+	} else {
+		truth = eval.NewTruth(nil)
+	}
+	rep := eval.Audit(classes, truth, *sample, *seed, prove)
+	if audit {
+		fmt.Printf("precision=%.4f recall=%.4f f1=%.4f  (%d pairs sampled)\n\n",
+			rep.Metrics.Precision, rep.Metrics.Recall, rep.Metrics.F1, len(rep.Sampled))
+	}
+	for _, e := range rep.Sampled {
+		fmt.Printf("== %s = %s", name(e.Pair[0]), name(e.Pair[1]))
+		if audit {
+			if e.TruePositive {
+				fmt.Print("  [true positive]")
+			} else {
+				fmt.Print("  [FALSE POSITIVE]")
+			}
+		}
+		fmt.Println()
+		if e.ProofErr != nil {
+			fmt.Printf("   proof unavailable: %v\n", e.ProofErr)
+			continue
+		}
+		fmt.Print(e.Proof)
+	}
+}
+
+// parseTarget resolves "Rel:idvalue,Rel:idvalue" to two global tuple ids.
+func parseTarget(d *dcer.Dataset, spec string) (dcer.TID, dcer.TID, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf(`-pair wants "Rel:idvalue,Rel:idvalue", got %q`, spec)
+	}
+	var out [2]dcer.TID
+	for i, part := range parts {
+		relName, idVal, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return 0, 0, fmt.Errorf("bad tuple reference %q", part)
+		}
+		rel := d.Relation(relName)
+		if rel == nil {
+			return 0, 0, fmt.Errorf("no relation %q", relName)
+		}
+		found := false
+		for _, t := range rel.Tuples {
+			if t.ID(rel.Schema).String() == idVal {
+				out[i] = t.GID
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, 0, fmt.Errorf("no tuple %s in %s", idVal, relName)
+		}
+	}
+	return out[0], out[1], nil
+}
+
+// loadTruth reads the ground-truth pair CSV that cmd/datagen writes: a
+// header row, then one "orig,dup" global-tuple-id pair per line.
+func loadTruth(path string) (*eval.Truth, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	var pairs [][2]dcer.TID
+	for i, row := range rows {
+		if len(row) < 2 {
+			continue
+		}
+		a, errA := strconv.Atoi(strings.TrimSpace(row[0]))
+		b, errB := strconv.Atoi(strings.TrimSpace(row[1]))
+		if errA != nil || errB != nil {
+			if i == 0 {
+				continue // header
+			}
+			return nil, fmt.Errorf("%s:%d: bad pair %v", path, i+1, row)
+		}
+		pairs = append(pairs, [2]dcer.TID{dcer.TID(a), dcer.TID(b)})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	return eval.NewTruth(pairs), nil
+}

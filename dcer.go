@@ -37,6 +37,7 @@ import (
 	"dcer/internal/dmatch"
 	"dcer/internal/eval"
 	"dcer/internal/mlpred"
+	"dcer/internal/provenance"
 	"dcer/internal/relation"
 	"dcer/internal/rule"
 	"dcer/internal/soft"
@@ -203,6 +204,27 @@ var (
 	// ServeTelemetry starts the exposition endpoint for a registry.
 	ServeTelemetry = telemetry.Serve
 )
+
+// Provenance (the justification log): a bounded record of why each fact
+// entered Γ, captured inside the production engines when
+// EngineOptions.Provenance / ParallelOptions.Provenance is set. Proofs
+// are extracted with Engine.Proof / ParallelResult.Proof or rendered via
+// Explain / ExplainParallel / ExplainFromLog.
+type (
+	// ProvenanceLog is the bounded justification log of one engine (or,
+	// via ParallelResult.Provenance, the merged cross-worker log).
+	ProvenanceLog = provenance.Log
+	// ProvenanceEntry is one recorded derivation: fact, rule, valuation,
+	// prerequisite facts, ML outcomes, worker, and superstep.
+	ProvenanceEntry = provenance.Entry
+	// MLCheck is one ML predicate outcome a derivation relied on.
+	MLCheck = provenance.MLCheck
+)
+
+// NewProvenanceLog creates a justification log bounded to limit entries
+// (0 means the default bound, negative means unbounded), to pass as
+// EngineOptions.Provenance.
+var NewProvenanceLog = provenance.NewLog
 
 // CanonicalClasses renders equivalence classes in a canonical textual form
 // (ids sorted within each class, classes sorted by first id), so two runs

@@ -1,12 +1,27 @@
 package dcer
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
+	"dcer/internal/chase"
 	"dcer/internal/complexity"
+	"dcer/internal/provenance"
 	"dcer/internal/relation"
 )
+
+// ErrNoMatch reports that the queried pair is not matched under the rules
+// — there is no proof to extract. It is distinct from
+// ErrProvenanceIncomplete ("the pair may match, but no derivation was
+// recorded"), which Explain resolves internally by falling back to the
+// reference chase.
+var ErrNoMatch = errors.New("dcer: tuples do not match under the rules")
+
+// ErrProvenanceIncomplete reports that a justification log cannot supply
+// a full proof: capture was off, or the bounded log overflowed and
+// dropped derivations.
+var ErrProvenanceIncomplete = provenance.ErrIncomplete
 
 // Explanation is a human-readable proof that two tuples denote the same
 // entity: the ordered rule applications (with their valuations) that
@@ -24,23 +39,114 @@ type ExplanationStep struct {
 	Model     string
 	A, B      TID
 	Valuation []TID
+	// Origin says how the fact entered Γ ("rule", "dep", "external",
+	// "id-dup"); empty for proofs extracted by the reference chase.
+	Origin string
+	// Checks are the ML predicate outcomes the step consumed directly
+	// from the classifiers.
+	Checks []MLCheck
+	// Worker and Superstep locate the derivation in a parallel run
+	// (-1/0 for a sequential engine).
+	Worker    int
+	Superstep int
 }
 
-// Explain derives why tuples a and b match under the rules, by running the
-// reference chase with justification tracking and extracting the minimal
-// proof. It returns nil (and no error) when the pair does not match.
-//
-// The reference chase enumerates valuations by brute force, so Explain is
-// meant for interactive use on moderate data — to audit a production-run
-// match, Explain the fragment containing the relevant tuples.
+// Explain derives why tuples a and b match under the rules by running the
+// production chase with justification capture and extracting the minimal
+// proof from the recorded log. It returns ErrNoMatch when the pair does
+// not match. Only if the bounded log overflows (so the proof has holes)
+// does it fall back to the brute-force reference chase.
 func Explain(d *Dataset, rules []*Rule, reg *ClassifierRegistry, a, b TID) (*Explanation, error) {
+	log := provenance.NewLog(0)
+	eng, err := chase.New(d, rules, reg, chase.Options{ShareIndexes: true, Provenance: log})
+	if err != nil {
+		return nil, err
+	}
+	eng.Run()
+	ex, err := explainFromProof(log.Proof([2]relation.TID{a, b}, eng.BaseEquivalence()))
+	if errors.Is(err, provenance.ErrIncomplete) {
+		return explainNaive(d, rules, reg, a, b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ex.Target = [2]TID{a, b}
+	return ex, nil
+}
+
+// ExplainParallel answers the same question from a parallel run: it
+// executes DMatch with per-worker justification capture and extracts the
+// proof — including derivation chains that cross workers — from the
+// stitched global log. opts.Provenance is forced on.
+func ExplainParallel(d *Dataset, rules []*Rule, reg *ClassifierRegistry, opts ParallelOptions, a, b TID) (*Explanation, error) {
+	opts.Provenance = true
+	res, err := MatchParallel(d, rules, reg, opts)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := explainFromProof(res.Proof(a, b))
+	if errors.Is(err, provenance.ErrIncomplete) {
+		return explainNaive(d, rules, reg, a, b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ex.Target = [2]TID{a, b}
+	return ex, nil
+}
+
+// ExplainFromLog extracts a proof of (a, b) from an existing justification
+// log — e.g. the log of an engine or DMatch run the caller already
+// executed with provenance on — without re-running any chase. It returns
+// ErrNoMatch for unmatched pairs and ErrProvenanceIncomplete when the log
+// cannot supply the full derivation.
+func ExplainFromLog(log *ProvenanceLog, d *Dataset, a, b TID) (*Explanation, error) {
+	ex, err := explainFromProof(log.Proof([2]relation.TID{a, b}, chase.BuildEquivalence(d, nil)))
+	if err != nil {
+		return nil, err
+	}
+	ex.Target = [2]TID{a, b}
+	return ex, nil
+}
+
+// explainFromProof converts an extracted proof to an Explanation,
+// translating provenance errors (the target is filled in by the caller).
+func explainFromProof(proof []provenance.Entry, err error) (*Explanation, error) {
+	if errors.Is(err, provenance.ErrNotEntailed) {
+		return nil, ErrNoMatch
+	}
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explanation{}
+	for _, en := range proof {
+		ex.Steps = append(ex.Steps, ExplanationStep{
+			Rule:      en.Rule,
+			IsMatch:   en.Fact.Kind == provenance.KindMatch,
+			Model:     en.Fact.Model,
+			A:         en.Fact.A,
+			B:         en.Fact.B,
+			Valuation: en.Valuation,
+			Origin:    en.Origin.String(),
+			Checks:    en.Checks,
+			Worker:    en.Worker,
+			Superstep: en.Step,
+		})
+	}
+	return ex, nil
+}
+
+// explainNaive is the reference-chase fallback: brute-force enumeration
+// with justification tracking (complexity.NaiveChase), usable when the
+// production log is unavailable or overflowed. Meant for moderate data.
+func explainNaive(d *Dataset, rules []*Rule, reg *ClassifierRegistry, a, b TID) (*Explanation, error) {
 	res, err := complexity.NaiveChase(d, rules, reg)
 	if err != nil {
 		return nil, err
 	}
 	proof := complexity.ProofOf(res, [2]relation.TID{a, b})
 	if proof == nil {
-		return nil, nil
+		return nil, ErrNoMatch
 	}
 	ex := &Explanation{Target: [2]TID{a, b}}
 	for _, f := range proof {
@@ -51,13 +157,15 @@ func Explain(d *Dataset, rules []*Rule, reg *ClassifierRegistry, a, b TID) (*Exp
 			A:         f.A,
 			B:         f.B,
 			Valuation: f.Valuation,
+			Worker:    -1,
 		})
 	}
 	return ex, nil
 }
 
 // Render formats the explanation against the dataset, one line per step,
-// identifying tuples by relation name and id value.
+// identifying tuples by relation name and id value. Steps derived in a
+// parallel run are annotated with their worker and superstep.
 func (e *Explanation) Render(d *Dataset) string {
 	name := func(gid TID) string {
 		t := d.Tuple(gid)
@@ -69,11 +177,28 @@ func (e *Explanation) Render(d *Dataset) string {
 	}
 	var b strings.Builder
 	for i, st := range e.Steps {
-		if st.IsMatch {
-			fmt.Fprintf(&b, "%2d. rule %s matches %s = %s\n", i+1, st.Rule, name(st.A), name(st.B))
-		} else {
-			fmt.Fprintf(&b, "%2d. rule %s validates %s(%s, %s)\n", i+1, st.Rule, st.Model, name(st.A), name(st.B))
+		fmt.Fprintf(&b, "%2d. ", i+1)
+		switch {
+		case st.Rule != "" && st.IsMatch:
+			fmt.Fprintf(&b, "rule %s matches %s = %s", st.Rule, name(st.A), name(st.B))
+		case st.Rule != "":
+			fmt.Fprintf(&b, "rule %s validates %s(%s, %s)", st.Rule, st.Model, name(st.A), name(st.B))
+		case st.Origin == "id-dup":
+			fmt.Fprintf(&b, "shared id value: %s = %s", name(st.A), name(st.B))
+		case st.Origin == "external":
+			fmt.Fprintf(&b, "routed fact: %s = %s", name(st.A), name(st.B))
+		case st.IsMatch:
+			fmt.Fprintf(&b, "matches %s = %s", name(st.A), name(st.B))
+		default:
+			fmt.Fprintf(&b, "validates %s(%s, %s)", st.Model, name(st.A), name(st.B))
 		}
+		for _, c := range st.Checks {
+			fmt.Fprintf(&b, " [%s(%s, %s)]", c.Model, name(c.A), name(c.B))
+		}
+		if st.Worker >= 0 {
+			fmt.Fprintf(&b, "  (worker %d, step %d)", st.Worker, st.Superstep)
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, " ⇒  %s = %s\n", name(e.Target[0]), name(e.Target[1]))
 	return b.String()

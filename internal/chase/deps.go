@@ -36,10 +36,13 @@ func (l Literal) hashInto(h uint64) uint64 {
 
 // Dep is one dependency l1 ∧ ... ∧ ln → l of the store H (Section V-A,
 // data structure (2)): whenever every body literal is valid, the head must
-// be enforced.
+// be enforced. J carries the provenance evidence satisfied when the
+// dependency was recorded (nil when capture is off); it is not part of the
+// dependency's identity.
 type Dep struct {
 	Body []Literal
 	Head Literal
+	J    *justification
 }
 
 // key fingerprints the dependency with FNV-1a over its normalized body
@@ -104,13 +107,14 @@ func (s *DepStore) RemoveHead(l Literal) {
 	delete(s.byHead, l)
 }
 
-// Fire scans the store and returns the heads of all dependencies whose
-// bodies are fully satisfied according to sat; fired dependencies are
-// removed (along with every other dependency sharing the same head).
-// The full scan mirrors lines 2-3 of IncDeduce in the paper; H is bounded
-// so the scan is cheap.
-func (s *DepStore) Fire(sat func(Literal) bool) []Literal {
-	var heads []Literal
+// Fire scans the store and returns the dependencies whose bodies are
+// fully satisfied according to sat; fired dependencies are removed (along
+// with every other dependency sharing the same head). The full scan
+// mirrors lines 2-3 of IncDeduce in the paper; H is bounded so the scan
+// is cheap. The *Dep is returned (not just the head) so the caller can
+// reconstruct the derivation's justification from the stored evidence.
+func (s *DepStore) Fire(sat func(Literal) bool) []*Dep {
+	var fired []*Dep
 	for _, d := range s.deps {
 		ok := true
 		for _, l := range d.Body {
@@ -120,11 +124,11 @@ func (s *DepStore) Fire(sat func(Literal) bool) []Literal {
 			}
 		}
 		if ok {
-			heads = append(heads, d.Head)
+			fired = append(fired, d)
 		}
 	}
-	for _, h := range heads {
-		s.RemoveHead(h)
+	for _, d := range fired {
+		s.RemoveHead(d.Head)
 	}
-	return heads
+	return fired
 }

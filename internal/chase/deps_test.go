@@ -50,14 +50,14 @@ func TestDepStoreFire(t *testing.T) {
 	s.Add(&Dep{Body: []Literal{lit(9, 10)}, Head: lit(11, 12)})
 
 	sat := map[Literal]bool{lit(1, 2): true}
-	heads := s.Fire(func(l Literal) bool { return sat[l] })
-	if len(heads) != 0 {
-		t.Fatalf("fired with unsatisfied body: %v", heads)
+	fired := s.Fire(func(l Literal) bool { return sat[l] })
+	if len(fired) != 0 {
+		t.Fatalf("fired with unsatisfied body: %v", fired)
 	}
 	sat[lit(3, 4)] = true
-	heads = s.Fire(func(l Literal) bool { return sat[l] })
-	if len(heads) != 1 || heads[0] != lit(5, 6) {
-		t.Fatalf("heads = %v", heads)
+	fired = s.Fire(func(l Literal) bool { return sat[l] })
+	if len(fired) != 1 || fired[0].Head != lit(5, 6) {
+		t.Fatalf("fired = %v", fired)
 	}
 	// Both deps with head (5,6) must be gone; the third dep remains.
 	if s.Len() != 1 {

@@ -48,10 +48,14 @@ func (e *Engine) drain() {
 	for {
 		progressed := false
 		// Lines 2-3 of IncDeduce: fire satisfied dependencies.
-		heads := e.H.Fire(e.satisfied)
-		for _, h := range heads {
+		fired := e.H.Fire(e.satisfied)
+		for _, dp := range fired {
 			e.cnt.depsFired.Add(1)
-			if e.applyFact(literalFact(h)) {
+			var j *justification
+			if e.prov != nil {
+				j = firedJust(dp)
+			}
+			if e.applyFactJ(literalFact(dp.Head), j) {
 				progressed = true
 			}
 		}
@@ -238,8 +242,12 @@ func (e *Engine) mergeCtx(ctx *evalCtx) {
 	e.cnt.valuations.Add(ctx.valuations)
 	e.cnt.extensions.Add(ctx.extensions)
 	ctx.valuations, ctx.extensions = 0, 0
-	for _, l := range ctx.facts {
-		e.applyFact(literalFact(l))
+	for i, l := range ctx.facts {
+		var j *justification
+		if i < len(ctx.justs) {
+			j = ctx.justs[i]
+		}
+		e.applyFactJ(literalFact(l), j)
 	}
 	for i := range ctx.deps {
 		// H retains the *Dep it is handed; copy out of the buffer so the
@@ -251,4 +259,5 @@ func (e *Engine) mergeCtx(ctx *evalCtx) {
 	}
 	ctx.facts = ctx.facts[:0]
 	ctx.deps = ctx.deps[:0]
+	ctx.justs = ctx.justs[:0]
 }

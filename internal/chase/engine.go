@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dcer/internal/mlpred"
+	"dcer/internal/provenance"
 	"dcer/internal/relation"
 	"dcer/internal/rule"
 	"dcer/internal/telemetry"
@@ -62,6 +63,13 @@ type Options struct {
 	// MetricsLabels is attached to every series the engine registers
 	// (the parallel engine labels each worker's engine with its id).
 	MetricsLabels []telemetry.Label
+	// Provenance, when non-nil, receives one justification entry per fact
+	// the engine adds to Γ: the rule and valuation, the prerequisite facts
+	// consumed, and the ML predicate outcomes relied on. Same discipline
+	// as Metrics — nil disables capture and the disabled cost is one
+	// branch per applied fact, nothing on the valuation hot path. The
+	// parallel engine passes each worker a log stamped with its id.
+	Provenance *provenance.Log
 }
 
 // DefaultMaxDeps is the default capacity of the dependency store.
@@ -199,6 +207,14 @@ type Engine struct {
 	// drain path (see drainConcurrent).
 	bctx evalCtx
 
+	// prov is the justification log (Options.Provenance); nil disables
+	// capture. provOrigin labels facts applied without a rule
+	// justification — IncDeduce sets it to OriginExternal around the
+	// external loop, InsertTuples to OriginIDDup around the ΔD
+	// duplicate-id merges.
+	prov       *provenance.Log
+	provOrigin provenance.Origin
+
 	gamma Gamma
 	cnt   engineCounters
 	// tel is the engine's telemetry wiring; nil when Options.Metrics is
@@ -268,6 +284,8 @@ func NewScoped(d *relation.Dataset, rules []*rule.Rule, scopes []*relation.Datas
 	e.ctx.e = e
 	e.bctx.e = e
 	e.bctx.buffered = true
+	e.prov = opts.Provenance
+	e.provOrigin = provenance.OriginIDDup
 	if opts.Metrics != nil {
 		e.initMetrics(opts.Metrics, opts.MetricsLabels)
 	}
@@ -478,10 +496,18 @@ func (e *Engine) unionInternal(a, b relation.TID) {
 	}
 }
 
-// applyFact integrates a fact into Γ. If the fact is new, it is appended
-// to the current delta and an event is queued for the update-driven path.
-// It reports whether the fact was new.
+// applyFact integrates a fact into Γ without a rule justification (the
+// recorded origin is the engine's current provOrigin). It reports whether
+// the fact was new.
 func (e *Engine) applyFact(f Fact) bool {
+	return e.applyFactJ(f, nil)
+}
+
+// applyFactJ integrates a fact into Γ. If the fact is new, it is appended
+// to the current delta, an event is queued for the update-driven path,
+// and — when provenance capture is on — its justification j is recorded.
+// It reports whether the fact was new.
+func (e *Engine) applyFactJ(f Fact, j *justification) bool {
 	switch f.Kind {
 	case FactMatch:
 		ra, rb := e.uf.Find(int(f.A)), e.uf.Find(int(f.B))
@@ -500,6 +526,9 @@ func (e *Engine) applyFact(f Fact) bool {
 		e.gamma.Matches = append(e.gamma.Matches, f)
 		e.delta = append(e.delta, f)
 		e.cnt.matches.Add(1)
+		if e.prov != nil {
+			e.recordProvenance(f, j)
+		}
 		// The old member slices stay intact (merges build fresh slices),
 		// so the event can reference them without copying.
 		if e.anyIDs && len(ma) > 0 && len(mb) > 0 {
@@ -515,6 +544,9 @@ func (e *Engine) applyFact(f Fact) bool {
 		e.gamma.Validated = append(e.gamma.Validated, f)
 		e.delta = append(e.delta, f)
 		e.cnt.mlValidated.Add(1)
+		if e.prov != nil {
+			e.recordProvenance(f, j)
+		}
 		e.queue = append(e.queue, event{kind: FactML, model: f.Model, a: f.A, b: f.B})
 		return true
 	}
@@ -612,9 +644,14 @@ func (e *Engine) IncDeduce(external []Fact) []Fact {
 		defer e.tel.tracer.Start("chase.IncDeduce", e.tel.labels...).End()
 	}
 	e.delta = e.delta[:0]
+	// Externally supplied facts carry their derivation on the worker that
+	// deduced them; here they are recorded as arrivals, which the merged
+	// cross-worker log displaces with the originating derivation.
+	e.provOrigin = provenance.OriginExternal
 	for _, f := range external {
 		e.applyFact(f)
 	}
+	e.provOrigin = provenance.OriginIDDup
 	// External facts are not "newly deduced here": they are removed from
 	// the reported delta but still drive the update path via the queue.
 	skip := len(e.delta)

@@ -29,9 +29,17 @@ type evalCtx struct {
 	buffered bool
 	facts    []Literal
 	deps     []Dep
+	// justs carries the justification of each buffered fact (aligned with
+	// facts); nil when provenance capture is off.
+	justs []*justification
 
 	valuations int64
 	extensions int64
+
+	// arena batch-allocates justifications and their evidence slices when
+	// provenance capture is on, so each captured valuation costs O(1)
+	// amortized allocations instead of a handful.
+	arena justArena
 
 	// scratch buffers, reused across valuations to keep the hot path
 	// allocation-free.
@@ -67,25 +75,29 @@ func (c *evalCtx) same(a, b relation.TID) bool {
 	return c.e.uf.Same(int(a), int(b))
 }
 
-// apply hands a deduced head literal to the engine (sequential mode) or
-// buffers it for the merge step (concurrent mode).
-func (c *evalCtx) apply(l Literal) {
+// apply hands a deduced head literal and its justification to the engine
+// (sequential mode) or buffers both for the merge step (concurrent mode).
+func (c *evalCtx) apply(l Literal, j *justification) {
 	if c.buffered {
 		c.facts = append(c.facts, l)
+		if c.e.prov != nil {
+			c.justs = append(c.justs, j)
+		}
 		return
 	}
-	c.e.applyFact(literalFact(l))
+	c.e.applyFactJ(literalFact(l), j)
 }
 
 // recordDep stores dependency body → head, copying the body out of the
-// scratch buffer.
-func (c *evalCtx) recordDep(body []Literal, head Literal) {
+// scratch buffer. The justification holds the evidence already satisfied
+// at emit time, completed by the body when the dependency fires.
+func (c *evalCtx) recordDep(body []Literal, head Literal, j *justification) {
 	owned := append([]Literal(nil), body...)
 	if c.buffered {
-		c.deps = append(c.deps, Dep{Body: owned, Head: head})
+		c.deps = append(c.deps, Dep{Body: owned, Head: head, J: j})
 		return
 	}
-	if c.e.H.Add(&Dep{Body: owned, Head: head}) {
+	if c.e.H.Add(&Dep{Body: owned, Head: head, J: j}) {
 		c.e.cnt.depsRecorded.Add(1)
 	}
 }
@@ -374,12 +386,16 @@ func (c *evalCtx) emit() {
 	}
 	c.unsat = unsat
 
+	var j *justification
+	if c.e.prov != nil {
+		j = c.buildJust()
+	}
 	if len(unsat) == 0 {
-		c.apply(headLit)
+		c.apply(headLit, j)
 		return
 	}
 	sortLiterals(unsat)
-	c.recordDep(unsat, headLit)
+	c.recordDep(unsat, headLit, j)
 }
 
 func sortLiterals(ls []Literal) {

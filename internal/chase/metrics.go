@@ -95,6 +95,13 @@ func (e *Engine) initMetrics(reg *telemetry.Registry, labels []telemetry.Label) 
 	for _, v := range views {
 		reg.GaugeFunc(v.name, v.fn, labels...)
 	}
+
+	if p := e.opts.Provenance; p != nil {
+		p.AttachMetrics(reg, labels...)
+		// The parallel engine replaces this per-engine provider with an
+		// aggregate over all worker logs (SetDebug replaces by name).
+		reg.SetDebug("provenance", func() any { return p.Summarize() })
+	}
 }
 
 // ruleHists resolves the per-rule enumeration and merge histograms, once

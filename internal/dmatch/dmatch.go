@@ -23,6 +23,7 @@ import (
 	"dcer/internal/fnv"
 	"dcer/internal/hypart"
 	"dcer/internal/mlpred"
+	"dcer/internal/provenance"
 	"dcer/internal/relation"
 	"dcer/internal/rule"
 	"dcer/internal/telemetry"
@@ -63,6 +64,15 @@ type Options struct {
 	// chase series (labeled worker=i). The in-progress superstep timeline
 	// is exposed as the "dmatch_timeline" debug provider (/debug/dcer).
 	Metrics *telemetry.Registry
+	// Provenance enables justification capture: every worker engine
+	// records its derivations into a per-worker log stamped with the
+	// worker id and the current superstep, and the logs are stitched into
+	// one global log after the fixpoint (Result.Provenance / Result.Proof).
+	// Off by default; the disabled cost is one branch per applied fact.
+	Provenance bool
+	// ProvenanceLimit bounds each worker's log (0 means
+	// provenance.DefaultLimit, negative means unbounded).
+	ProvenanceLimit int
 }
 
 // Result is the outcome of a parallel run.
@@ -90,7 +100,22 @@ type Result struct {
 	WorkerStats   []chase.Stats
 
 	timeline Timeline
+	prov     *provenance.Log
 	d        *relation.Dataset
+}
+
+// Provenance returns the merged cross-worker justification log of the run
+// (nil when Options.Provenance was off): the per-worker logs stitched in
+// (superstep, worker, sequence) order, with each routed fact's arrival
+// record displaced by the originating worker's derivation.
+func (r *Result) Provenance() *provenance.Log { return r.prov }
+
+// Proof extracts a justification of the pair (a, b) from the merged log —
+// including proofs whose derivation chain crosses workers. It returns
+// provenance.ErrNotEntailed for unmatched pairs and
+// provenance.ErrIncomplete when capture was off or a log overflowed.
+func (r *Result) Proof(a, b relation.TID) ([]provenance.Entry, error) {
+	return r.prov.Proof([2]relation.TID{a, b}, chase.BuildEquivalence(r.d, nil))
 }
 
 // Timeline returns the BSP superstep profile of the run: per-worker
@@ -208,6 +233,14 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 	// (hypercube semantics: a rule is checked within its own blocks).
 	// Identical rule scopes are deduplicated so MQO index sharing applies.
 	workers := make([]*chase.Engine, n)
+	var provLogs []*provenance.Log
+	if opts.Provenance {
+		provLogs = make([]*provenance.Log, n)
+		for i := range provLogs {
+			provLogs[i] = provenance.NewLog(opts.ProvenanceLimit)
+			provLogs[i].SetWorker(i)
+		}
+	}
 	hosts := make([][]int, idSpace)
 	type scopeEntry struct {
 		ids []relation.TID
@@ -238,7 +271,7 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			byContent[key] = append(byContent[key], scopeEntry{ids, sc})
 			scopes[ri] = sc
 		}
-		eng, err := chase.NewScoped(fd, rules, scopes, reg, chase.Options{
+		copts := chase.Options{
 			MaxDeps:          opts.MaxDeps,
 			ShareIndexes:     !opts.NoMQO,
 			IDSpace:          idSpace,
@@ -247,7 +280,11 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			DrainParallelMin: opts.DrainParallelMin,
 			Metrics:          opts.Metrics,
 			MetricsLabels:    []telemetry.Label{telemetry.L("worker", strconv.Itoa(i))},
-		})
+		}
+		if provLogs != nil {
+			copts.Provenance = provLogs[i]
+		}
+		eng, err := chase.NewScoped(fd, rules, scopes, reg, copts)
 		if err != nil {
 			return nil, fmt.Errorf("dmatch: worker %d: %w", i, err)
 		}
@@ -296,6 +333,11 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		defer tlMu.Unlock()
 		return Timeline{Workers: tl.Workers, Steps: append([]Superstep(nil), tl.Steps...)}
 	})
+	if provLogs != nil {
+		// Replace the per-engine providers registered by the worker
+		// engines with the aggregate view over all worker logs.
+		mreg.SetDebug("provenance", func() any { return provenance.Summarize(provLogs...) })
+	}
 
 	elapsed := make([]time.Duration, n)
 	runStep := func(step int) {
@@ -340,6 +382,9 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 	for step := 0; step < maxSteps; step++ {
 		for i := range inboxes {
 			msgsIn[i] = len(inboxes[i])
+		}
+		for _, l := range provLogs {
+			l.SetStep(step)
 		}
 		runStep(step)
 		res.Supersteps++
@@ -439,6 +484,9 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 	res.Eq = guf
 	for _, w := range workers {
 		res.WorkerStats = append(res.WorkerStats, w.Stats())
+	}
+	if provLogs != nil {
+		res.prov = provenance.Merge(provLogs...)
 	}
 	return res, nil
 }

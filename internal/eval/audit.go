@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"math/rand"
+	"sort"
+
+	"dcer/internal/relation"
+)
+
+// AuditEntry is one sampled matched pair with its proof: the evidence a
+// reviewer inspects alongside the aggregate precision/recall numbers.
+type AuditEntry struct {
+	Pair [2]relation.TID
+	// TruePositive says whether the pair is in the ground truth (false
+	// marks the sampled false positives — the pairs most worth reading).
+	TruePositive bool
+	// Proof is the rendered justification supplied by the prover
+	// callback; ProofErr is its failure, if any (e.g. provenance off).
+	Proof    string
+	ProofErr error
+}
+
+// AuditReport is the outcome of an audit pass over a matcher run: the
+// usual pair metrics plus a proof for each sampled matched pair.
+type AuditReport struct {
+	Metrics Metrics
+	// Sampled holds up to the requested number of audited pairs, false
+	// positives first (they are the interesting ones), then true
+	// positives, each ordered by pair id.
+	Sampled []AuditEntry
+}
+
+// Audit scores equivalence classes against the truth set and attaches a
+// proof to a sample of the predicted pairs. prove renders the
+// justification of one matched pair — callers pass a closure over a
+// provenance log or an Explain call, keeping this package free of engine
+// dependencies. n bounds the sample size (0 means every matched pair);
+// the sample prefers false positives, and seed makes it reproducible.
+func Audit(classes [][]relation.TID, truth *Truth, n int, seed int64,
+	prove func(a, b relation.TID) (string, error)) AuditReport {
+	var pred [][2]relation.TID
+	seen := make(map[[2]relation.TID]bool)
+	for _, c := range classes {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				p := canonical(c[i], c[j])
+				if p[0] != p[1] && !seen[p] {
+					seen[p] = true
+					pred = append(pred, p)
+				}
+			}
+		}
+	}
+	rep := AuditReport{Metrics: EvaluatePairs(pred, truth)}
+
+	var fps, tps [][2]relation.TID
+	for _, p := range pred {
+		if truth.pairs[p] {
+			tps = append(tps, p)
+		} else {
+			fps = append(fps, p)
+		}
+	}
+	byPair := func(ps [][2]relation.TID) {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i][0] != ps[j][0] {
+				return ps[i][0] < ps[j][0]
+			}
+			return ps[i][1] < ps[j][1]
+		})
+	}
+	sample := func(ps [][2]relation.TID, k int, rng *rand.Rand) [][2]relation.TID {
+		if k <= 0 {
+			return nil
+		}
+		if k >= len(ps) {
+			byPair(ps)
+			return ps
+		}
+		rng.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+		ps = ps[:k]
+		byPair(ps)
+		return ps
+	}
+	if n <= 0 {
+		n = len(pred)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fps = sample(fps, n, rng)
+	tps = sample(tps, n-len(fps), rng)
+	emit := func(ps [][2]relation.TID, tp bool) {
+		for _, p := range ps {
+			e := AuditEntry{Pair: p, TruePositive: tp}
+			if prove != nil {
+				e.Proof, e.ProofErr = prove(p[0], p[1])
+			}
+			rep.Sampled = append(rep.Sampled, e)
+		}
+	}
+	emit(fps, false)
+	emit(tps, true)
+	return rep
+}

@@ -1,0 +1,60 @@
+package eval_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dcer/internal/eval"
+	"dcer/internal/relation"
+)
+
+// TestAuditSamplesFalsePositivesFirst: classes predict (0,1), (0,2),
+// (1,2) and (3,4); the truth holds only (0,1) and (3,4), so (0,2) and
+// (1,2) are false positives and must fill the sample before any true
+// positive, each carrying the prover's output.
+func TestAuditSamplesFalsePositivesFirst(t *testing.T) {
+	classes := [][]relation.TID{{0, 1, 2}, {3, 4}}
+	truth := eval.NewTruth([][2]relation.TID{{0, 1}, {3, 4}, {5, 6}})
+	proved := 0
+	rep := eval.Audit(classes, truth, 3, 1, func(a, b relation.TID) (string, error) {
+		proved++
+		return fmt.Sprintf("proof(%d,%d)", a, b), nil
+	})
+	if rep.Metrics.TP != 2 || rep.Metrics.FP != 2 || rep.Metrics.FN != 1 {
+		t.Fatalf("metrics tp=%d fp=%d fn=%d, want 2, 2, 1",
+			rep.Metrics.TP, rep.Metrics.FP, rep.Metrics.FN)
+	}
+	if len(rep.Sampled) != 3 || proved != 3 {
+		t.Fatalf("sampled %d pairs, proved %d, want 3, 3", len(rep.Sampled), proved)
+	}
+	// Both false positives precede the single sampled true positive.
+	for i, e := range rep.Sampled {
+		wantTP := i == 2
+		if e.TruePositive != wantTP {
+			t.Errorf("sample[%d] = %+v: TruePositive = %v, want %v", i, e.Pair, e.TruePositive, wantTP)
+		}
+		if want := fmt.Sprintf("proof(%d,%d)", e.Pair[0], e.Pair[1]); e.Proof != want {
+			t.Errorf("sample[%d] proof = %q, want %q", i, e.Proof, want)
+		}
+	}
+	// FPs are ordered by pair id.
+	if rep.Sampled[0].Pair != [2]relation.TID{0, 2} || rep.Sampled[1].Pair != [2]relation.TID{1, 2} {
+		t.Errorf("false positives out of order: %+v, %+v", rep.Sampled[0].Pair, rep.Sampled[1].Pair)
+	}
+}
+
+// TestAuditZeroSamplesEverything: n = 0 audits every predicted pair, and
+// a nil prover leaves the proofs empty without panicking.
+func TestAuditZeroSamplesEverything(t *testing.T) {
+	classes := [][]relation.TID{{0, 1}, {2, 3}}
+	truth := eval.NewTruth([][2]relation.TID{{0, 1}})
+	rep := eval.Audit(classes, truth, 0, 1, nil)
+	if len(rep.Sampled) != 2 {
+		t.Fatalf("sampled %d pairs, want all 2", len(rep.Sampled))
+	}
+	for _, e := range rep.Sampled {
+		if e.Proof != "" || e.ProofErr != nil {
+			t.Errorf("nil prover produced %+v", e)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package provenance
+
+import (
+	"testing"
+
+	"dcer/internal/relation"
+	"dcer/internal/unionfind"
+)
+
+func TestRecordFirstWinsAndLimit(t *testing.T) {
+	l := NewLog(2)
+	if !l.Record(Entry{Fact: MatchID(1, 2), Origin: OriginRule, Rule: "r1"}) {
+		t.Fatal("first record rejected")
+	}
+	// Same fact, opposite order: canonical dedup.
+	if l.Record(Entry{Fact: FactID{Kind: KindMatch, A: 2, B: 1}, Origin: OriginDep}) {
+		t.Error("duplicate (canonicalized) fact recorded")
+	}
+	if !l.Record(Entry{Fact: MLID("m", 3, 4)}) {
+		t.Fatal("second record rejected")
+	}
+	if l.Record(Entry{Fact: MatchID(5, 6)}) {
+		t.Error("record beyond limit accepted")
+	}
+	if l.Len() != 2 || l.Dropped() != 1 || l.Complete() {
+		t.Errorf("Len=%d Dropped=%d Complete=%v, want 2, 1, false", l.Len(), l.Dropped(), l.Complete())
+	}
+	e, ok := l.Lookup(FactID{Kind: KindMatch, A: 2, B: 1})
+	if !ok || e.Rule != "r1" || e.Origin != OriginRule {
+		t.Errorf("Lookup returned %+v, %v — want the first derivation", e, ok)
+	}
+	// ML ids are not canonicalized: (4,3) is a different fact.
+	if _, ok := l.Lookup(MLID("m", 4, 3)); ok {
+		t.Error("ML lookup canonicalized the pair order")
+	}
+}
+
+func TestWorkerStepStamping(t *testing.T) {
+	l := NewLog(0)
+	l.SetWorker(3)
+	l.SetStep(7)
+	l.Record(Entry{Fact: MatchID(1, 2)})
+	e, _ := l.Lookup(MatchID(1, 2))
+	if e.Worker != 3 || e.Step != 7 {
+		t.Errorf("stamped worker=%d step=%d, want 3, 7", e.Worker, e.Step)
+	}
+}
+
+// TestMergePrefersDerivation checks the cross-worker stitching invariant:
+// the originating worker's rule derivation (earlier superstep) displaces
+// the arrival record of the same fact routed to another worker.
+func TestMergePrefersDerivation(t *testing.T) {
+	w0, w1 := NewLog(0), NewLog(0)
+	w0.SetWorker(0)
+	w1.SetWorker(1)
+	w0.SetStep(0)
+	w1.SetStep(0)
+	w0.Record(Entry{Fact: MatchID(1, 2), Origin: OriginRule, Rule: "r1"})
+	w1.SetStep(1)
+	w1.Record(Entry{Fact: MatchID(1, 2), Origin: OriginExternal})
+	w1.Record(Entry{Fact: MatchID(2, 3), Origin: OriginRule, Rule: "r2",
+		Deps: []FactID{MatchID(1, 2)}})
+
+	m := Merge(w0, w1)
+	if m.Len() != 2 {
+		t.Fatalf("merged Len = %d, want 2", m.Len())
+	}
+	e, _ := m.Lookup(MatchID(1, 2))
+	if e.Origin != OriginRule || e.Worker != 0 {
+		t.Errorf("merge kept the arrival record over the derivation: %+v", e)
+	}
+	// Record order must be topological: the derivation of (1,2) precedes
+	// its consumer (2,3).
+	ents := m.Entries()
+	if ents[0].Fact != MatchID(1, 2) || ents[1].Fact != MatchID(2, 3) {
+		t.Errorf("merged order not topological: %+v", ents)
+	}
+}
+
+func TestProofBackwardClosure(t *testing.T) {
+	l := NewLog(0)
+	l.Record(Entry{Fact: MLID("m", 0, 1), Origin: OriginRule, Rule: "rv"})
+	l.Record(Entry{Fact: MatchID(0, 1), Origin: OriginRule, Rule: "r1",
+		Deps: []FactID{MLID("m", 0, 1)}})
+	l.Record(Entry{Fact: MatchID(2, 3), Origin: OriginRule, Rule: "r2"}) // unrelated
+	base := unionfind.New(4)
+
+	proof, err := l.Proof([2]relation.TID{0, 1}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof) != 2 {
+		t.Fatalf("proof has %d steps, want 2 (the unrelated match excluded): %+v", len(proof), proof)
+	}
+	if proof[0].Fact != MLID("m", 0, 1) || proof[1].Fact != MatchID(0, 1) {
+		t.Errorf("proof order wrong: %+v", proof)
+	}
+
+	if _, err := l.Proof([2]relation.TID{0, 2}, base); err != ErrNotEntailed {
+		t.Errorf("unrelated pair: err = %v, want ErrNotEntailed", err)
+	}
+
+	// A dep with no recorded derivation and no base coverage: incomplete.
+	l2 := NewLog(0)
+	l2.Record(Entry{Fact: MatchID(0, 1), Origin: OriginRule, Rule: "r1",
+		Deps: []FactID{MLID("x", 2, 3)}})
+	if _, err := l2.Proof([2]relation.TID{0, 1}, base); err != ErrIncomplete {
+		t.Errorf("missing ML dep: err = %v, want ErrIncomplete", err)
+	}
+}

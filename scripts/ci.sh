@@ -2,8 +2,10 @@
 # CI entry point: formatting and static analysis, build, the short test
 # suite, the race-enabled run of the concurrent packages, and a one-shot
 # bench smoke. The concurrent first pass of Deduce and the batched
-# parallel drain (internal/chase), and the parallel BSP supersteps
-# (internal/dmatch), make the race detector mandatory for those packages.
+# parallel drain (internal/chase), the parallel BSP supersteps
+# (internal/dmatch), and the justification log written from concurrent
+# drains (internal/provenance) make the race detector mandatory for
+# those packages.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -26,13 +28,16 @@ go build ./...
 echo "== go test -short ./..."
 go test -short ./...
 
-echo "== go test -race -short ./internal/chase ./internal/dmatch ./internal/telemetry"
-go test -race -short ./internal/chase ./internal/dmatch ./internal/telemetry
+echo "== go test -race -short ./internal/chase ./internal/dmatch ./internal/telemetry ./internal/provenance"
+go test -race -short ./internal/chase ./internal/dmatch ./internal/telemetry ./internal/provenance
+
+echo "== provenance equivalence (proof replay vs the reference verifier, all drain modes + DMatch w>=2)"
+go test -short -run 'TestProofReplaysAgainstVerifier|TestDMatchProofEveryPair' ./internal/provenance
 
 echo "== bench smoke (IncDeduce, 1 iteration)"
 go test -run=NONE -bench=IncDeduce -benchtime=1x -short .
 
-echo "== telemetry smoke (ephemeral /metrics scrape over a live DMatch run)"
+echo "== telemetry smoke (ephemeral /metrics + provenance scrape over a live DMatch run)"
 go run ./scripts/telemetrysmoke
 
 echo "CI OK"

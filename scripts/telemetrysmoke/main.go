@@ -1,9 +1,12 @@
 // Command telemetrysmoke is the CI probe for the telemetry layer: it
 // starts the exposition endpoint on an ephemeral port, runs a small
-// instrumented DMatch job, then scrapes /metrics and /debug/dcer over
-// real HTTP and asserts the key series — including the live
-// per-superstep worker-skew gauge — are present. Exit status 0 means the
-// whole opt-in path (registry → engines → HTTP) works end to end.
+// instrumented DMatch job with justification capture on, then scrapes
+// /metrics and /debug/dcer over real HTTP and asserts the key series —
+// including the live per-superstep worker-skew gauge and the provenance
+// family — are present, and that the stitched log yields a proof for a
+// deduced match. Scrapes retry with backoff under a deadline so a slow
+// loopback listener cannot flake the build. Exit status 0 means the
+// whole opt-in path (registry → engines → HTTP → proof) works end to end.
 package main
 
 import (
@@ -13,12 +16,17 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"dcer/internal/datagen"
 	"dcer/internal/dmatch"
 	"dcer/internal/mlpred"
+	"dcer/internal/provenance"
 	"dcer/internal/telemetry"
 )
+
+// scrapeDeadline bounds the total time spent retrying one endpoint.
+const scrapeDeadline = 10 * time.Second
 
 func main() {
 	reg := telemetry.NewRegistry()
@@ -34,14 +42,25 @@ func main() {
 		fatal(err)
 	}
 	res, err := dmatch.Run(d, rules, mlpred.DefaultRegistry(), dmatch.Options{
-		Workers: 2,
-		Metrics: reg,
+		Workers:    2,
+		Metrics:    reg,
+		Provenance: true,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	if len(res.Matches) == 0 {
 		fatal(fmt.Errorf("instrumented run deduced no matches"))
+	}
+	// The stitched cross-worker log must prove a deduced match without
+	// any fallback chase.
+	sampled := res.Matches[0]
+	proof, err := res.Proof(sampled.A, sampled.B)
+	if err != nil {
+		fatal(fmt.Errorf("no proof for deduced match (%d, %d): %w", sampled.A, sampled.B, err))
+	}
+	if len(proof) == 0 {
+		fatal(fmt.Errorf("empty proof for deduced match (%d, %d)", sampled.A, sampled.B))
 	}
 
 	body := get(srv.Addr, "/metrics")
@@ -53,6 +72,9 @@ func main() {
 		"dcer_hypart_fragment_size",
 		`dcer_chase_valuations{worker="0"}`,
 		"dcer_chase_rule_enumerate_ns",
+		"dcer_provenance_entries",
+		"dcer_provenance_dropped",
+		"dcer_provenance_record_ns",
 	} {
 		if !strings.Contains(body, series) {
 			fatal(fmt.Errorf("/metrics lacks %s:\n%s", series, body))
@@ -81,25 +103,63 @@ func main() {
 	if len(tl.Steps) != res.Supersteps {
 		fatal(fmt.Errorf("timeline has %d steps, run reports %d supersteps", len(tl.Steps), res.Supersteps))
 	}
+	rawProv, ok := doc.Debug["provenance"]
+	if !ok {
+		fatal(fmt.Errorf("/debug/dcer lacks the provenance provider"))
+	}
+	var sums []provenance.Summary
+	if err := json.Unmarshal(rawProv, &sums); err != nil {
+		fatal(fmt.Errorf("provenance provider is not a summary list: %w", err))
+	}
+	if len(sums) == 0 {
+		fatal(fmt.Errorf("provenance provider reported no per-worker logs"))
+	}
+	entries := 0
+	for _, s := range sums {
+		entries += s.Entries
+	}
+	if entries == 0 {
+		fatal(fmt.Errorf("provenance provider reported zero recorded derivations"))
+	}
 
-	fmt.Printf("telemetry smoke OK: %d supersteps, %d matches, endpoint %s\n",
-		res.Supersteps, len(res.Matches), srv.Addr)
+	fmt.Printf("telemetry smoke OK: %d supersteps, %d matches, %d-step proof, endpoint %s\n",
+		res.Supersteps, len(res.Matches), len(proof), srv.Addr)
 }
 
+// get scrapes one endpoint, retrying with exponential backoff until the
+// deadline: the listener is up before Serve returns, but CI machines can
+// stall the first loopback round-trips arbitrarily.
 func get(addr, path string) string {
-	resp, err := http.Get("http://" + addr + path)
+	deadline := time.Now().Add(scrapeDeadline)
+	backoff := 10 * time.Millisecond
+	for {
+		body, err := getOnce(addr, path)
+		if err == nil {
+			return body
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			fatal(fmt.Errorf("GET %s did not succeed within %v: %w", path, scrapeDeadline, err))
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+func getOnce(addr, path string) (string, error) {
+	client := &http.Client{Timeout: scrapeDeadline / 2}
+	resp, err := client.Get("http://" + addr + path)
 	if err != nil {
-		fatal(err)
+		return "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		fatal(fmt.Errorf("GET %s: %s", path, resp.Status))
+		return "", fmt.Errorf("status %s", resp.Status)
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		fatal(err)
+		return "", err
 	}
-	return string(body)
+	return string(body), nil
 }
 
 func fatal(err error) {
