@@ -10,6 +10,7 @@
 package dcer_test
 
 import (
+	"reflect"
 	"strconv"
 	"testing"
 
@@ -197,9 +198,25 @@ func BenchmarkParallelDMatch(b *testing.B) {
 	}
 }
 
-// BenchmarkHyPart measures partitioning alone.
+// BenchmarkHyPart measures partitioning alone: the MQO-sharing ablation,
+// the seed-era reference partitioner, and the packed-key rewrite at 1 and
+// 8 shards. Before any timing it asserts the sharded pass is byte-
+// identical to the sequential one (the tentpole equivalence guard CI runs
+// as a bench smoke).
 func BenchmarkHyPart(b *testing.B) {
 	g, rules := tpchFixture(b, 0.2)
+	seq, err := hypart.Partition(g.D, rules, 16, hypart.Options{Share: true, Shards: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	par, err := hypart.Partition(g.D, rules, 16, hypart.Options{Share: true, Shards: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Fragments, par.Fragments) ||
+		!reflect.DeepEqual(seq.RuleFragments, par.RuleFragments) {
+		b.Fatal("sharded Partition diverges from the sequential path")
+	}
 	for _, share := range []bool{true, false} {
 		name := "mqo"
 		if !share {
@@ -208,6 +225,22 @@ func BenchmarkHyPart(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := hypart.Partition(g.D, rules, 16, hypart.Options{Share: share}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hypart.PartitionReference(g.D, rules, 16, hypart.Options{Share: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{1, 8} {
+		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hypart.Partition(g.D, rules, 16, hypart.Options{Share: true, Shards: shards}); err != nil {
 					b.Fatal(err)
 				}
 			}

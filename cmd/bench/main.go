@@ -1,12 +1,15 @@
 // Command bench is the repo's performance harness: it benchmarks the
 // chase hot path (first-pass Deduce, sequential vs concurrent), the
-// incremental IncDeduce drain, the ML caches, the full parallel DMatch
-// run, and the Fig. 6 experiment drivers on the synthetic generators,
-// then writes the results to a JSON file (BENCH_<n>.json by convention,
-// one per perf PR) so the performance trajectory of the engine is
-// tracked in-repo.
+// incremental IncDeduce drain, the ML caches, the HyPart partitioner
+// (seed-era reference vs the packed-key rewrite, sequential and sharded),
+// the full parallel DMatch run, and the Fig. 6 experiment drivers on the
+// synthetic generators, then writes the results to a JSON file
+// (BENCH_<n>.json by convention, one per perf PR) so the performance
+// trajectory of the engine is tracked in-repo. The report also embeds the
+// instrumented DMatch run's routing profile (messages routed/deduped,
+// route time per superstep, adaptive rebalances) as routing_stats.
 //
-//	go run ./cmd/bench                   # full run, writes BENCH_4.json
+//	go run ./cmd/bench                   # full run, writes BENCH_5.json
 //	go run ./cmd/bench -fig6=false       # hot-path benchmarks only
 //	go run ./cmd/bench -scale 1.0 -out /tmp/bench.json
 //	go run ./cmd/bench -cpuprofile cpu.out -memprofile mem.out
@@ -37,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
@@ -51,6 +55,7 @@ import (
 	"dcer/internal/datagen"
 	"dcer/internal/dmatch"
 	"dcer/internal/experiments"
+	"dcer/internal/hypart"
 	"dcer/internal/mlpred"
 	"dcer/internal/provenance"
 	"dcer/internal/relation"
@@ -81,6 +86,19 @@ type stageHist struct {
 	P50    uint64  `json:"p50"`
 	P99    uint64  `json:"p99"`
 	Max    uint64  `json:"max"`
+}
+
+// routingStats summarizes the instrumented DMatch run's message routing:
+// batch sizes, dedup effectiveness, and the master's per-superstep route
+// cost, so the routing trajectory is tracked next to the timings.
+type routingStats struct {
+	Workers         int   `json:"workers"`
+	Supersteps      int   `json:"supersteps"`
+	MessagesRouted  int64 `json:"messages_routed"`
+	MessagesDeduped int64 `json:"messages_deduped"`
+	RouteNsTotal    int64 `json:"route_ns_total"`
+	RouteNsPerStep  int64 `json:"route_ns_per_step"`
+	Rebalances      int   `json:"rebalances"`
 }
 
 // report is the BENCH_<n>.json document.
@@ -114,6 +132,10 @@ type report struct {
 	// attached — against the shared uninstrumented arm. The acceptance
 	// budget for capture is ≤ 5%.
 	ProvenanceOverheadPct float64 `json:"provenance_overhead_pct"`
+	// RoutingStats snapshots the instrumented DMatch run's routing
+	// profile (messages routed/deduped, route time per superstep,
+	// adaptive rebalances), from the same pass as StageHistograms.
+	RoutingStats *routingStats `json:"routing_stats,omitempty"`
 	// StageHistograms are the per-stage latency histograms of the
 	// telemetry-enabled pass (chase rule enumeration/merge, drain
 	// batches, DMatch routing and worker busy time, HyPart shape).
@@ -169,6 +191,7 @@ type pass struct {
 	entries        []entry
 	incDeduceStats *chase.Stats
 	stageHists     []stageHist
+	routing        *routingStats
 	// pairSamples holds this pass's interleaved overhead triples —
 	// ns per chase for (base, telemetry, provenance), the three runs
 	// of each triple back to back so they saw the same external load.
@@ -382,6 +405,53 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 	})
 	p.entries = append(p.entries, toEntry("MLCache/featurestore", rFS))
 
+	// Partition arms: the seed-era string-keyed reference partitioner vs
+	// the packed-key rewrite on its sequential path and at 8 shards. The
+	// equivalence check runs before any timing: the sharded pass must be
+	// byte-identical to the sequential one (the reference differs only in
+	// its LPT tie-break, so it is compared by its invariants in the
+	// hypart tests, not here).
+	{
+		seqPart, err := hypart.Partition(g.D, rules, workers, hypart.Options{Share: true, Shards: 1})
+		if err != nil {
+			fatal(err)
+		}
+		parPart, err := hypart.Partition(g.D, rules, workers, hypart.Options{Share: true, Shards: 8})
+		if err != nil {
+			fatal(err)
+		}
+		if !reflect.DeepEqual(seqPart.Fragments, parPart.Fragments) ||
+			!reflect.DeepEqual(seqPart.RuleFragments, parPart.RuleFragments) {
+			fatal(fmt.Errorf("sharded Partition diverges from the sequential path"))
+		}
+		arms := []struct {
+			name string
+			run  func() (*hypart.Result, error)
+		}{
+			{"Partition/reference", func() (*hypart.Result, error) {
+				return hypart.PartitionReference(g.D, rules, workers, hypart.Options{Share: true})
+			}},
+			{"Partition/shards=1", func() (*hypart.Result, error) {
+				return hypart.Partition(g.D, rules, workers, hypart.Options{Share: true, Shards: 1})
+			}},
+			{"Partition/shards=8", func() (*hypart.Result, error) {
+				return hypart.Partition(g.D, rules, workers, hypart.Options{Share: true, Shards: 8})
+			}},
+		}
+		for _, arm := range arms {
+			logg.Infof("benchmarking %s...", arm.name)
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := arm.run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			p.entries = append(p.entries, toEntry(arm.name, r))
+		}
+	}
+
 	for _, n := range []int{1, workers} {
 		name := fmt.Sprintf("DMatch/workers=%d", n)
 		logg.Infof("benchmarking %s...", name)
@@ -403,11 +473,28 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 
 	// One instrumented DMatch run adds the BSP stage histograms (routing,
 	// per-worker busy time) and the HyPart shape to the same registry,
-	// then the combined snapshot is embedded in the report.
-	if _, err := dmatch.Run(g.D, rules, reg, dmatch.Options{Workers: workers, Metrics: treg}); err != nil {
+	// then the combined snapshot is embedded in the report together with
+	// the run's routing profile.
+	dres, err := dmatch.Run(g.D, rules, reg, dmatch.Options{Workers: workers, Metrics: treg})
+	if err != nil {
 		fatal(err)
 	}
 	p.stageHists = stageSnapshot(treg)
+	var routeNs int64
+	for _, ss := range dres.Timeline().Steps {
+		routeNs += ss.RouteNs
+	}
+	p.routing = &routingStats{
+		Workers:         workers,
+		Supersteps:      dres.Supersteps,
+		MessagesRouted:  dres.MessagesRouted,
+		MessagesDeduped: dres.MessagesDeduped,
+		RouteNsTotal:    routeNs,
+		Rebalances:      len(dres.Rebalances),
+	}
+	if dres.Supersteps > 0 {
+		p.routing.RouteNsPerStep = routeNs / int64(dres.Supersteps)
+	}
 
 	if fig6 {
 		cfg := experiments.Config{Scale: expScale, Workers: workers, Seed: 1}
@@ -442,8 +529,8 @@ func main() {
 	workers := flag.Int("workers", 8, "DMatch worker count")
 	fig6 := flag.Bool("fig6", true, "also run the Fig. 6 experiment drivers")
 	repeat := flag.Int("repeat", 3, "measure every benchmark this many times and keep the per-benchmark minimum")
-	out := flag.String("out", "BENCH_4.json", "output JSON path")
-	prev := flag.String("prev", "BENCH_3.json", "previous report to print the delta table against (empty or missing = skip)")
+	out := flag.String("out", "BENCH_5.json", "output JSON path")
+	prev := flag.String("prev", "BENCH_4.json", "previous report to print the delta table against (empty or missing = skip)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	obs := cliutil.Register()
@@ -526,6 +613,7 @@ func main() {
 				}
 				if e.Name == "Deduce/telemetry" {
 					rep.StageHistograms = p.stageHists
+					rep.RoutingStats = p.routing
 				}
 			}
 		}
@@ -561,6 +649,11 @@ func main() {
 	fmt.Printf("wrote %s (%d benchmarks, best of %d)\n", *out, len(rep.Benchmarks), *repeat)
 	for _, e := range rep.Benchmarks {
 		fmt.Printf("  %-24s %3d ops  %12d ns/op  %10d allocs/op\n", e.Name, e.Ops, e.NsPerOp, e.AllocsPerOp)
+	}
+	if rs := rep.RoutingStats; rs != nil {
+		fmt.Printf("routing (w=%d): %d supersteps, %d routed, %d deduped, %s route time per superstep, %d rebalances\n",
+			rs.Workers, rs.Supersteps, rs.MessagesRouted, rs.MessagesDeduped,
+			time.Duration(rs.RouteNsPerStep).Round(time.Microsecond), rs.Rebalances)
 	}
 	fmt.Printf("telemetry overhead: %+.2f%% (Deduce/telemetry vs its interleaved uninstrumented arm, median triple)\n",
 		rep.TelemetryOverheadPct)
@@ -647,6 +740,27 @@ func printDelta(rep *report, path string) {
 		if p, ok := prevNs[e.Name]; ok && p > 0 {
 			fmt.Printf("  %-24s %12d -> %12d ns/op  %+6.1f%%\n",
 				e.Name, p, e.NsPerOp, 100*float64(e.NsPerOp-p)/float64(p))
+		}
+	}
+	// Per-superstep route time: the previous report predates the
+	// routing_stats field, so fall back to its dcer_dmatch_route_ns stage
+	// histogram (sum/count over the instrumented run's supersteps).
+	if rep.RoutingStats != nil {
+		oldPerStep := float64(0)
+		if old.RoutingStats != nil {
+			oldPerStep = float64(old.RoutingStats.RouteNsPerStep)
+		} else {
+			for _, h := range old.StageHistograms {
+				if h.Name == "dcer_dmatch_route_ns" && h.Count > 0 {
+					oldPerStep = h.Sum / float64(h.Count)
+					break
+				}
+			}
+		}
+		if oldPerStep > 0 {
+			newPerStep := float64(rep.RoutingStats.RouteNsPerStep)
+			fmt.Printf("  %-24s %12.0f -> %12.0f ns/superstep  %+6.1f%%\n",
+				"DMatch/route", oldPerStep, newPerStep, 100*(newPerStep-oldPerStep)/oldPerStep)
 		}
 	}
 }

@@ -53,6 +53,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *workers < 0 {
+		log.Fatalf("invalid -workers %d: the worker count must not be negative (use 1 for the sequential Match)", *workers)
+	}
 	logg, stopTel, err := obs.Init("dmatch")
 	if err != nil {
 		log.Fatal(err)
@@ -122,8 +125,9 @@ func main() {
 		}
 		classes = res.Classes()
 		if *verbose {
-			logg.Infof("workers=%d supersteps=%d messages=%d partition=%v er=%v sim=%v",
-				*workers, res.Supersteps, res.MessagesRouted, res.PartitionTime, res.ERTime, res.SimulatedTime)
+			logg.Infof("workers=%d supersteps=%d messages=%d deduped=%d rebalances=%d partition=%v er=%v sim=%v",
+				*workers, res.Supersteps, res.MessagesRouted, res.MessagesDeduped,
+				len(res.Rebalances), res.PartitionTime, res.ERTime, res.SimulatedTime)
 		}
 		if *timeline {
 			fmt.Fprint(os.Stderr, res.Timeline().Gantt())

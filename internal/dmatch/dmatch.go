@@ -10,6 +10,17 @@
 // evenly spread by HyPart's virtual blocks + LPT balancing, and the total
 // incremental work is bounded by the number of facts, so runtime shrinks
 // proportionally as workers are added.
+//
+// The master's routing is batched: a sequential pass folds each new fact's
+// recipient set into a worker bitset (classes carry their host bitsets in
+// the union-find, so recipients are two bitword ORs, not a member-list
+// walk), then per-destination builders — one goroutine per worker — scan
+// the route list and assemble each inbox, suppressing any fact the
+// destination already received or itself produced (Result.MessagesDeduped).
+// When a superstep's skew ratio exceeds Options.RebalanceSkew, the
+// scheduler re-runs the LPT assignment over the virtual blocks' observed
+// costs and migrates blocks between workers before the next superstep
+// (see rebalance.go).
 package dmatch
 
 import (
@@ -41,6 +52,9 @@ type Options struct {
 	MaxDeps int
 	// ReplicationCap bounds HyPart's per-tuple copy factor (see hypart).
 	ReplicationCap int
+	// PartitionShards is the goroutine fan-out of the HyPart pass (see
+	// hypart.Options.Shards); 0 means GOMAXPROCS.
+	PartitionShards int
 	// MaxSupersteps bounds the BSP loop as a safety net; 0 means 1 << 20.
 	MaxSupersteps int
 	// Sequential forces the supersteps to run workers one at a time (and
@@ -58,11 +72,30 @@ type Options struct {
 	// DrainParallelMin overrides the per-worker parallel-drain batch
 	// threshold (see chase.Options.DrainParallelMin); 0 keeps the default.
 	DrainParallelMin int
+	// SequentialRoute disables the concurrent per-destination inbox build
+	// in the master after each barrier (the routing A/B knob for the
+	// benchmarks; the built inboxes are identical either way).
+	SequentialRoute bool
+	// RebalanceSkew is the per-superstep skew-ratio threshold above which
+	// the scheduler re-runs the LPT assignment over the virtual blocks'
+	// observed costs and migrates blocks between workers before the next
+	// superstep. 0 means the default (1.5); negative disables adaptive
+	// rebalancing.
+	RebalanceSkew float64
+	// MaxRebalances bounds the number of migrations per run (0 means the
+	// default of 2; negative disables).
+	MaxRebalances int
+	// RebalanceMinStepNs is the makespan floor a superstep must reach
+	// before its skew can trigger a migration — microsecond-scale steps
+	// show large skew ratios that are pure timing noise. 0 means the
+	// default (2ms); negative removes the floor (used by tests).
+	RebalanceMinStepNs int64
 	// Metrics, when non-nil, receives live instrumentation: per-superstep
 	// makespan/skew gauges, routing counters, per-worker busy histograms,
 	// the partition-size histograms of HyPart, and every worker engine's
 	// chase series (labeled worker=i). The in-progress superstep timeline
-	// is exposed as the "dmatch_timeline" debug provider (/debug/dcer).
+	// is exposed as the "dmatch_timeline" debug provider and the adaptive
+	// migrations as "dmatch_rebalance" (/debug/dcer).
 	Metrics *telemetry.Registry
 	// Provenance enables justification capture: every worker engine
 	// records its derivations into a per-worker log stamped with the
@@ -86,10 +119,14 @@ type Result struct {
 
 	Supersteps     int
 	MessagesRouted int64 // facts delivered worker->worker via the master
-	FactsProduced  int64 // facts reported by workers incl. duplicates
-	PartitionStats hypart.Stats
-	PartitionTime  time.Duration
-	ERTime         time.Duration
+	// MessagesDeduped counts the deliveries the routing seen-sets
+	// suppressed: a fact bound for a worker that already received it in
+	// an earlier superstep or produced it itself in this one.
+	MessagesDeduped int64
+	FactsProduced   int64 // facts reported by workers incl. duplicates
+	PartitionStats  hypart.Stats
+	PartitionTime   time.Duration
+	ERTime          time.Duration
 	// SimulatedTime is the BSP makespan: per superstep, the maximum
 	// compute time over the workers, summed over supersteps. On a
 	// machine with fewer cores than workers this — not wall-clock ERTime
@@ -98,6 +135,9 @@ type Result struct {
 	// timings). The parallel-scalability experiments report it.
 	SimulatedTime time.Duration
 	WorkerStats   []chase.Stats
+	// Rebalances lists the skew-adaptive block migrations the scheduler
+	// performed (empty when none triggered).
+	Rebalances []RebalanceEvent
 
 	timeline Timeline
 	prov     *provenance.Log
@@ -170,31 +210,22 @@ func sameIDs(a, b []relation.TID) bool {
 	return true
 }
 
-// recipientSet accumulates the distinct workers a fact must be routed to,
-// using a generation-stamped membership array and a reusable list instead
-// of a fresh map per fact.
-type recipientSet struct {
-	stamp []int
-	gen   int
-	list  []int
+// factRoute is one routable fact of a superstep with its recipient bitset
+// (an offset into the route arena, so arena growth never invalidates it).
+type factRoute struct {
+	f    chase.Fact
+	from int
+	off  int
 }
 
-func newRecipientSet(n int) *recipientSet {
-	return &recipientSet{stamp: make([]int, n)}
-}
-
-func (r *recipientSet) reset() {
-	r.gen++
-	r.list = r.list[:0]
-}
-
-func (r *recipientSet) add(hosts []int) {
+// hasHost reports whether worker w appears in a host list.
+func hasHost(hosts []int, w int) bool {
 	for _, h := range hosts {
-		if r.stamp[h] != r.gen {
-			r.stamp[h] = r.gen
-			r.list = append(r.list, h)
+		if h == w {
+			return true
 		}
 	}
+	return false
 }
 
 // Run partitions d with HyPart and executes the BSP fixpoint with n
@@ -213,6 +244,7 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 	part, err := hypart.Partition(d, rules, n, hypart.Options{
 		Share:          !opts.NoMQO,
 		ReplicationCap: opts.ReplicationCap,
+		Shards:         opts.PartitionShards,
 		Metrics:        opts.Metrics,
 	})
 	if err != nil {
@@ -228,11 +260,12 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		}
 	}
 
-	// Build one chase engine per worker over its fragment, with each rule
-	// scoped to the union of the worker's blocks generated for that rule
-	// (hypercube semantics: a rule is checked within its own blocks).
+	// buildWorker constructs one chase engine over a fragment, with each
+	// rule scoped to the union of the worker's blocks generated for that
+	// rule (hypercube semantics: a rule is checked within its own blocks).
 	// Identical rule scopes are deduplicated so MQO index sharing applies.
-	workers := make([]*chase.Engine, n)
+	// The adaptive rebalancer re-invokes it when a migration changes a
+	// worker's block set.
 	var provLogs []*provenance.Log
 	if opts.Provenance {
 		provLogs = make([]*provenance.Log, n)
@@ -241,16 +274,15 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			provLogs[i].SetWorker(i)
 		}
 	}
-	hosts := make([][]int, idSpace)
 	type scopeEntry struct {
 		ids []relation.TID
 		sc  *relation.Dataset
 	}
-	for i, frag := range part.Fragments {
+	buildWorker := func(i int, frag []relation.TID, ruleFrags [][]relation.TID) (*chase.Engine, error) {
 		fd := d.Fragment(frag)
 		scopes := make([]*relation.Dataset, len(rules))
 		byContent := map[uint64][]scopeEntry{}
-		for ri, ids := range part.RuleFragments[i] {
+		for ri, ids := range ruleFrags {
 			if len(ids) == len(frag) {
 				scopes[ri] = fd
 				continue
@@ -288,27 +320,67 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		if err != nil {
 			return nil, fmt.Errorf("dmatch: worker %d: %w", i, err)
 		}
-		workers[i] = eng
-		for _, gid := range frag {
-			hosts[gid] = append(hosts[gid], i)
+		return eng, nil
+	}
+
+	workers := make([]*chase.Engine, n)
+	hosts := make([][]int, idSpace)
+	setHosts := func(frags [][]relation.TID) {
+		hosts = make([][]int, idSpace)
+		for i, frag := range frags {
+			for _, gid := range frag {
+				hosts[gid] = append(hosts[gid], i)
+			}
 		}
+	}
+	setHosts(part.Fragments)
+	for i, frag := range part.Fragments {
+		eng, err := buildWorker(i, frag, part.RuleFragments[i])
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = eng
 	}
 
 	t1 := time.Now()
-	// The master tracks the global E_id (with class member lists) so that
-	// a match merging classes Ca and Cb can be routed to every worker
-	// hosting *any* member of either class: a worker hosting x and y
-	// needs the bridging fact (a,b) even when it hosts neither a nor b,
-	// otherwise transitive chains through remote tuples would be lost.
+	// The master tracks the global E_id with, per class root, the bitset
+	// of workers hosting *any* member of the class: a match merging
+	// classes Ca and Cb must reach every worker hosting any member of
+	// either class — a worker hosting x and y needs the bridging fact
+	// (a,b) even when it hosts neither a nor b, otherwise transitive
+	// chains through remote tuples would be lost. Keeping host bitsets at
+	// the roots makes a recipient set two bitword ORs instead of a
+	// member-list walk, and class union a bitset merge.
 	guf := chase.BuildEquivalence(d, nil)
-	members := make(map[int][]relation.TID, d.Size())
-	for _, t := range d.Tuples() {
-		root := guf.Find(int(t.GID))
-		members[root] = append(members[root], t.GID)
+	words := (n + 63) / 64
+	var hostBits map[int][]uint64
+	rebuildHostBits := func() {
+		hostBits = make(map[int][]uint64, d.Size())
+		for _, t := range d.Tuples() {
+			root := guf.Find(int(t.GID))
+			bs := hostBits[root]
+			if bs == nil {
+				bs = make([]uint64, words)
+				hostBits[root] = bs
+			}
+			for _, h := range hosts[t.GID] {
+				bs[h>>6] |= 1 << (uint(h) & 63)
+			}
+		}
 	}
+	rebuildHostBits()
 	seenML := make(map[chase.Fact]bool)
+	// seen[w] is worker w's delivery record: every fact routed to w plus
+	// every fact w produced itself. The per-destination builders consult
+	// it so a fact is never re-sent (Result.MessagesDeduped counts the
+	// suppressions); the rebalancer resets it when it rebuilds a worker.
+	seen := make([]map[chase.Fact]struct{}, n)
+	for i := range seen {
+		seen[i] = make(map[chase.Fact]struct{})
+	}
 	inboxes := make([][]chase.Fact, n)
 	deltas := make([][]chase.Fact, n)
+	freshW := make([]bool, n) // rebuilt by a migration; must re-Deduce
 
 	// BSP instruments. Every instrument is a no-op when opts.Metrics is
 	// nil (nil-safe telemetry handles), so the loop below reads the same
@@ -322,7 +394,10 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 	makespanGauge := mreg.Gauge("dcer_dmatch_step_makespan_ns")
 	skewGauge := mreg.Gauge("dcer_dmatch_step_skew")
 	routedCtr := mreg.Counter("dcer_dmatch_messages_routed")
+	dedupCtr := mreg.Counter("dcer_dmatch_messages_deduped")
 	factsCtr := mreg.Counter("dcer_dmatch_facts_produced")
+	rebalCtr := mreg.Counter("dcer_dmatch_rebalances")
+	movedCtr := mreg.Counter("dcer_dmatch_blocks_moved")
 	routeHist := mreg.Histogram("dcer_dmatch_route_ns")
 	busyHists := make([]*telemetry.Histogram, n)
 	for i := range busyHists {
@@ -333,6 +408,11 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		defer tlMu.Unlock()
 		return Timeline{Workers: tl.Workers, Steps: append([]Superstep(nil), tl.Steps...)}
 	})
+	mreg.SetDebug("dmatch_rebalance", func() any {
+		tlMu.Lock()
+		defer tlMu.Unlock()
+		return append([]RebalanceEvent(nil), res.Rebalances...)
+	})
 	if provLogs != nil {
 		// Replace the per-engine providers registered by the worker
 		// engines with the aggregate view over all worker logs.
@@ -341,23 +421,40 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 
 	elapsed := make([]time.Duration, n)
 	runStep := func(step int) {
+		runOne := func(i int) {
+			start := time.Now()
+			if step == 0 || freshW[i] {
+				// First superstep, or a worker the rebalancer rebuilt:
+				// full partial evaluation over the (new) fragment, then
+				// the replayed/pending inbox through A_Δ.
+				delta := workers[i].Deduce()
+				if len(inboxes[i]) > 0 {
+					delta = append(delta, workers[i].IncDeduce(inboxes[i])...)
+				}
+				deltas[i] = delta
+				freshW[i] = false
+			} else {
+				deltas[i] = workers[i].IncDeduce(inboxes[i])
+			}
+			elapsed[i] = time.Since(start)
+		}
+		skip := func(i int) bool {
+			return step > 0 && len(inboxes[i]) == 0 && !freshW[i]
+		}
 		if opts.Sequential {
 			for i := range workers {
-				start := time.Now()
-				if step == 0 {
-					deltas[i] = workers[i].Deduce()
-				} else if len(inboxes[i]) > 0 {
-					deltas[i] = workers[i].IncDeduce(inboxes[i])
-				} else {
+				if skip(i) {
 					deltas[i] = nil
+					elapsed[i] = 0
+					continue
 				}
-				elapsed[i] = time.Since(start)
+				runOne(i)
 			}
 			return
 		}
 		var wg sync.WaitGroup
 		for i := range workers {
-			if step > 0 && len(inboxes[i]) == 0 {
+			if skip(i) {
 				deltas[i] = nil
 				elapsed[i] = 0
 				continue
@@ -365,17 +462,22 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				start := time.Now()
-				if step == 0 {
-					deltas[i] = workers[i].Deduce()
-				} else {
-					deltas[i] = workers[i].IncDeduce(inboxes[i])
-				}
-				elapsed[i] = time.Since(start)
+				runOne(i)
 			}(i)
 		}
 		wg.Wait()
 	}
+
+	rb := newRebalancer(opts, n, len(part.Blocks))
+	curAssign := make([]int, len(part.Blocks))
+	for i := range part.Blocks {
+		curAssign[i] = part.Blocks[i].Worker
+	}
+
+	// Route scratch, reused across supersteps: the fact list and the
+	// recipient-bitset arena the per-destination builders read.
+	var routes []factRoute
+	var arena []uint64
 
 	msgsIn := make([]int, n)
 	factsOut := make([]int, n)
@@ -400,25 +502,16 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		for i, e := range elapsed {
 			busyHists[i].Observe(uint64(e))
 		}
-		routedBefore, factsBefore := res.MessagesRouted, res.FactsProduced
 		routeStart := time.Now()
-		// Master: take the union of the workers' new facts, record them
-		// in the global Γ, and route each to the other hosts of its
-		// tuples (the ΔΓ_i of the fixpoint equations). The recipient set
-		// is rebuilt per fact in reusable scratch (generation stamps)
-		// instead of a fresh map allocation.
-		next := make([][]chase.Fact, n)
-		rec := newRecipientSet(n)
-		route := func(f chase.Fact, from int) {
-			for _, host := range rec.list {
-				if host == from {
-					continue
-				}
-				next[host] = append(next[host], f)
-				res.MessagesRouted++
-			}
-		}
+		// Master, phase 1 (sequential): fold the union of the workers'
+		// new facts into the global Γ and compute each fact's recipient
+		// bitset — the workers hosting any member of the classes the fact
+		// touches (the ΔΓ_i of the fixpoint equations).
+		routes = routes[:0]
+		arena = arena[:0]
+		var stepFacts int64
 		for w, delta := range deltas {
+			stepFacts += int64(len(delta))
 			res.FactsProduced += int64(len(delta))
 			for _, f := range delta {
 				if f.Kind == chase.FactMatch {
@@ -426,47 +519,117 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 					if ra == rb {
 						continue // globally redundant
 					}
-					rec.reset()
-					for _, gid := range members[ra] {
-						rec.add(hosts[gid])
+					ba, bb := hostBits[ra], hostBits[rb]
+					off := len(arena)
+					for i := 0; i < words; i++ {
+						var x uint64
+						if ba != nil {
+							x = ba[i]
+						}
+						if bb != nil {
+							x |= bb[i]
+						}
+						arena = append(arena, x)
 					}
-					for _, gid := range members[rb] {
-						rec.add(hosts[gid])
-					}
-					merged := append(members[ra], members[rb]...)
 					guf.Union(ra, rb)
 					root := guf.Find(ra)
-					delete(members, ra)
-					delete(members, rb)
-					members[root] = merged
+					delete(hostBits, ra)
+					delete(hostBits, rb)
+					if ba == nil {
+						ba = make([]uint64, words)
+					}
+					copy(ba, arena[off:off+words])
+					hostBits[root] = ba
 					res.Matches = append(res.Matches, f)
-					route(f, w)
+					routes = append(routes, factRoute{f: f, from: w, off: off})
 				} else {
 					if seenML[f] {
 						continue
 					}
 					seenML[f] = true
 					res.Validated = append(res.Validated, f)
-					rec.reset()
-					rec.add(hosts[f.A])
-					rec.add(hosts[f.B])
-					route(f, w)
+					off := len(arena)
+					for i := 0; i < words; i++ {
+						arena = append(arena, 0)
+					}
+					for _, h := range hosts[f.A] {
+						arena[off+h>>6] |= 1 << (uint(h) & 63)
+					}
+					for _, h := range hosts[f.B] {
+						arena[off+h>>6] |= 1 << (uint(h) & 63)
+					}
+					routes = append(routes, factRoute{f: f, from: w, off: off})
 				}
 			}
 		}
+		// Master, phase 2 (parallel): per-destination inbox builders.
+		// Each builder owns its destination's inbox, seen-set, and
+		// counters, so the fan-out is race-free and the built batches
+		// are identical to a sequential build.
+		next := make([][]chase.Fact, n)
+		stepRouted := make([]int64, n)
+		stepDeduped := make([]int64, n)
+		buildDest := func(h int) {
+			sh := seen[h]
+			for _, f := range deltas[h] {
+				sh[f] = struct{}{}
+			}
+			var out []chase.Fact
+			for _, r := range routes {
+				if r.from == h || arena[r.off+(h>>6)]&(1<<(uint(h)&63)) == 0 {
+					continue
+				}
+				if _, dup := sh[r.f]; dup {
+					stepDeduped[h]++
+					continue
+				}
+				sh[r.f] = struct{}{}
+				out = append(out, r.f)
+				stepRouted[h]++
+			}
+			next[h] = out
+		}
+		if opts.Sequential || opts.SequentialRoute || len(routes) == 0 {
+			for h := 0; h < n; h++ {
+				buildDest(h)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for h := 0; h < n; h++ {
+				wg.Add(1)
+				go func(h int) {
+					defer wg.Done()
+					buildDest(h)
+				}(h)
+			}
+			wg.Wait()
+		}
+		var routedStep, dedupedStep int64
+		for h := 0; h < n; h++ {
+			routedStep += stepRouted[h]
+			dedupedStep += stepDeduped[h]
+		}
+		res.MessagesRouted += routedStep
+		res.MessagesDeduped += dedupedStep
 		inboxes = next
 		routeNs := int64(time.Since(routeStart))
-		stepRouted := res.MessagesRouted - routedBefore
 		routeHist.Observe(uint64(routeNs))
-		routedCtr.Add(stepRouted)
-		factsCtr.Add(res.FactsProduced - factsBefore)
+		routedCtr.Add(routedStep)
+		dedupCtr.Add(dedupedStep)
+		factsCtr.Add(stepFacts)
 		for i, dl := range deltas {
 			factsOut[i] = len(dl)
 		}
 		tlMu.Lock()
-		tl.record(step, elapsed, factsOut, msgsIn, routeNs, stepRouted)
+		tl.record(step, elapsed, factsOut, msgsIn, routeNs, routedStep, dedupedStep)
 		ss := &tl.Steps[len(tl.Steps)-1]
 		skew := ss.SkewRatio
+		if len(res.Rebalances) > 0 {
+			last := &res.Rebalances[len(res.Rebalances)-1]
+			if last.Step == step-1 && last.SkewAfter == 0 {
+				last.SkewAfter = skew
+			}
+		}
 		tlMu.Unlock()
 		skewGauge.Set(skew)
 		empty := true
@@ -478,6 +641,72 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		}
 		if empty {
 			break
+		}
+		// Skew-adaptive scheduling: with work still pending and this
+		// superstep over the skew threshold, re-run LPT over the blocks'
+		// observed costs and migrate blocks before the next superstep.
+		if rb.shouldRebalance(skew, stepMax) {
+			t0 := time.Now()
+			newAssign, moved := rb.reassign(part.Blocks, curAssign, elapsed)
+			if moved > 0 {
+				changed := make([]bool, n)
+				for b := range newAssign {
+					if newAssign[b] != curAssign[b] {
+						changed[newAssign[b]] = true
+						changed[curAssign[b]] = true
+					}
+				}
+				frags, ruleFrags := hypart.BuildFragments(part.Blocks, newAssign, n, len(rules))
+				rebuilt := 0
+				for w := range workers {
+					if !changed[w] {
+						continue
+					}
+					eng, err := buildWorker(w, frags[w], ruleFrags[w])
+					if err != nil {
+						return nil, err
+					}
+					workers[w] = eng
+					freshW[w] = true
+					rebuilt++
+				}
+				setHosts(frags)
+				rebuildHostBits()
+				curAssign = newAssign
+				// A rebuilt worker re-runs Deduce over its new fragment
+				// and replays the global fact history: every match fact
+				// (bridging facts may concern tuples it doesn't host) and
+				// the validated predictions over tuples it now hosts.
+				for w := range workers {
+					if !changed[w] {
+						continue
+					}
+					replay := append([]chase.Fact(nil), res.Matches...)
+					for _, f := range res.Validated {
+						if hasHost(hosts[f.A], w) || hasHost(hosts[f.B], w) {
+							replay = append(replay, f)
+						}
+					}
+					sh := make(map[chase.Fact]struct{}, len(replay))
+					for _, f := range replay {
+						sh[f] = struct{}{}
+					}
+					seen[w] = sh
+					inboxes[w] = replay
+				}
+				ev := RebalanceEvent{
+					Step:           step,
+					BlocksMoved:    moved,
+					WorkersRebuilt: rebuilt,
+					SkewBefore:     skew,
+					RebuildNs:      int64(time.Since(t0)),
+				}
+				tlMu.Lock()
+				res.Rebalances = append(res.Rebalances, ev)
+				tlMu.Unlock()
+				rebalCtr.Add(1)
+				movedCtr.Add(int64(moved))
+			}
 		}
 	}
 	res.ERTime = time.Since(t1)

@@ -1,0 +1,125 @@
+package dmatch
+
+import (
+	"time"
+
+	"dcer/internal/hypart"
+)
+
+// Skew-adaptive superstep scheduling (tentpole part 3): HyPart's LPT
+// assignment balances workers by *predicted* block cost (block size), but
+// the chase's actual cost per tuple varies with rule selectivity and ML
+// hit rates, so a superstep can come out skewed even under a perfectly
+// size-balanced assignment. When the observed skew ratio
+// (makespan / mean busy time) of a superstep exceeds a threshold and more
+// work is pending, the scheduler re-runs LPT over the virtual blocks'
+// observed costs — each block's size scaled by its current worker's
+// per-tuple rate this superstep — and migrates blocks between workers
+// before the next superstep. Rebuilt workers re-run partial evaluation
+// over their new fragments and replay the global fact history, so the
+// fixpoint Γ is unchanged (facts are idempotent and the fixpoint is
+// unique); only the schedule moves.
+
+// RebalanceEvent describes one adaptive block migration.
+type RebalanceEvent struct {
+	// Step is the superstep after which the migration ran.
+	Step int
+	// BlocksMoved is how many virtual blocks changed workers.
+	BlocksMoved int
+	// WorkersRebuilt is how many workers got new fragments (≤ 2×moved).
+	WorkersRebuilt int
+	// SkewBefore is the skew ratio that triggered the migration;
+	// SkewAfter is the ratio observed on the following superstep (0 until
+	// that superstep completes).
+	SkewBefore float64
+	SkewAfter  float64
+	// RebuildNs is the master-side cost of the migration: fragment
+	// rebuild, engine construction, and fact replay preparation.
+	RebuildNs int64
+}
+
+const (
+	defaultRebalanceSkew    = 1.5
+	defaultMaxRebalances    = 2
+	defaultRebalanceMinStep = 2 * time.Millisecond
+)
+
+// rebalancer holds the adaptive-scheduling policy knobs resolved from
+// Options and the remaining migration budget.
+type rebalancer struct {
+	enabled bool
+	skewMin float64
+	left    int
+	minStep time.Duration
+}
+
+func newRebalancer(opts Options, n, blocks int) *rebalancer {
+	rb := &rebalancer{
+		enabled: opts.RebalanceSkew >= 0 && opts.MaxRebalances >= 0,
+		skewMin: opts.RebalanceSkew,
+		left:    opts.MaxRebalances,
+		minStep: defaultRebalanceMinStep,
+	}
+	if rb.skewMin == 0 {
+		rb.skewMin = defaultRebalanceSkew
+	}
+	if rb.left == 0 {
+		rb.left = defaultMaxRebalances
+	}
+	switch {
+	case opts.RebalanceMinStepNs < 0:
+		rb.minStep = 0
+	case opts.RebalanceMinStepNs > 0:
+		rb.minStep = time.Duration(opts.RebalanceMinStepNs)
+	}
+	// With n workers and ≤ n blocks every worker holds at most one block,
+	// so no migration can improve the makespan.
+	if n < 2 || blocks <= n {
+		rb.enabled = false
+	}
+	return rb
+}
+
+// shouldRebalance reports whether the just-finished superstep's skew and
+// makespan warrant a migration, consuming one unit of budget when so.
+func (rb *rebalancer) shouldRebalance(skew float64, makespan time.Duration) bool {
+	if !rb.enabled || rb.left <= 0 || skew < rb.skewMin || makespan < rb.minStep {
+		return false
+	}
+	rb.left--
+	return true
+}
+
+// reassign re-runs LPT over the blocks' observed costs and returns the new
+// assignment plus the number of blocks that moved. The observed cost of a
+// block is its size scaled by its current worker's busy time per hosted
+// tuple this superstep — the best per-block signal available without
+// per-block timers inside the engines. Workers that were idle this step
+// contribute their blocks at predicted (size-only) cost.
+func (rb *rebalancer) reassign(blocks []hypart.Block, assign []int, busy []time.Duration) ([]int, int) {
+	n := len(busy)
+	sizeTotal := make([]float64, n)
+	for b := range blocks {
+		sizeTotal[assign[b]] += float64(len(blocks[b].GIDs))
+	}
+	rate := make([]float64, n)
+	for w := 0; w < n; w++ {
+		if sizeTotal[w] > 0 && busy[w] > 0 {
+			rate[w] = float64(busy[w]) / sizeTotal[w]
+		} else {
+			rate[w] = 1 // predicted cost: size alone
+		}
+	}
+	costs := make([]float64, len(blocks))
+	for b := range blocks {
+		costs[b] = float64(len(blocks[b].GIDs)) * rate[assign[b]]
+	}
+	newAssign := hypart.AssignLPT(costs, n)
+	moved := 0
+	for b := range newAssign {
+		if newAssign[b] != assign[b] {
+			moved++
+		}
+	}
+	return newAssign, moved
+}

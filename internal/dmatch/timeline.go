@@ -19,12 +19,15 @@ type WorkerStep struct {
 // Superstep is the timeline entry for one BSP round: the per-worker
 // compute profile, the master's routing time, and the step's skew.
 type Superstep struct {
-	Step           int          `json:"step"`
-	MakespanNs     int64        `json:"makespan_ns"` // max busy over workers
-	RouteNs        int64        `json:"route_ns"`    // master routing after the barrier
-	SkewRatio      float64      `json:"skew_ratio"`  // makespan / mean busy of active workers
-	MessagesRouted int64        `json:"messages_routed"`
-	Workers        []WorkerStep `json:"workers"`
+	Step           int     `json:"step"`
+	MakespanNs     int64   `json:"makespan_ns"` // max busy over workers
+	RouteNs        int64   `json:"route_ns"`    // master routing after the barrier
+	SkewRatio      float64 `json:"skew_ratio"`  // makespan / mean busy of active workers
+	MessagesRouted int64   `json:"messages_routed"`
+	// MessagesDeduped counts deliveries the per-destination seen-sets
+	// suppressed this step (already delivered or locally produced).
+	MessagesDeduped int64        `json:"messages_deduped"`
+	Workers         []WorkerStep `json:"workers"`
 }
 
 // Timeline is the full BSP execution profile of a DMatch run, one entry
@@ -36,12 +39,13 @@ type Timeline struct {
 }
 
 // record appends one superstep from the master's raw measurements.
-func (tl *Timeline) record(step int, elapsed []time.Duration, factsOut, msgsIn []int, routeNs int64, routed int64) {
+func (tl *Timeline) record(step int, elapsed []time.Duration, factsOut, msgsIn []int, routeNs int64, routed, deduped int64) {
 	ss := Superstep{
-		Step:           step,
-		RouteNs:        routeNs,
-		MessagesRouted: routed,
-		Workers:        make([]WorkerStep, len(elapsed)),
+		Step:            step,
+		RouteNs:         routeNs,
+		MessagesRouted:  routed,
+		MessagesDeduped: deduped,
+		Workers:         make([]WorkerStep, len(elapsed)),
 	}
 	var max, sum time.Duration
 	active := 0
@@ -105,9 +109,9 @@ func (tl *Timeline) Gantt() string {
 	}
 	var b strings.Builder
 	for _, ss := range tl.Steps {
-		fmt.Fprintf(&b, "superstep %d  makespan %v  route %v  skew %.2f  msgs %d\n",
+		fmt.Fprintf(&b, "superstep %d  makespan %v  route %v  skew %.2f  msgs %d  deduped %d\n",
 			ss.Step, time.Duration(ss.MakespanNs), time.Duration(ss.RouteNs),
-			ss.SkewRatio, ss.MessagesRouted)
+			ss.SkewRatio, ss.MessagesRouted, ss.MessagesDeduped)
 		for _, w := range ss.Workers {
 			busy := int(w.BusyNs * ganttWidth / maxNs)
 			idle := int((w.BusyNs + w.IdleNs) * ganttWidth / maxNs)

@@ -9,14 +9,24 @@
 // every rule is fully contained in at least one fragment, so checking
 // D ⊨ Σ (and chasing) can be done locally, with only deduced matches and
 // validated ML predictions exchanged between workers.
+//
+// Partition itself is parallel: the (rule, variable) tuple scans are
+// sharded over Options.Shards goroutines, each feeding a private block
+// accumulator keyed by packed-uint64 block fingerprints, and the
+// accumulators are merged commutatively and ordered canonically — the
+// output is byte-identical for every shard count (the snapshot-
+// enumerate-merge discipline of internal/chase applied to partitioning).
 package hypart
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sort"
-	"strconv"
-	"strings"
+	"sync"
+	"sync/atomic"
 
+	"dcer/internal/fnv"
 	"dcer/internal/mqo"
 	"dcer/internal/relation"
 	"dcer/internal/rule"
@@ -39,6 +49,11 @@ type Options struct {
 	// communication-optimal factor for a ρ-wide join is n^(1-1/ρ)), so
 	// the default grows with the worker count: max(4, n/2).
 	ReplicationCap int
+	// Shards is the number of goroutines the tuple scans fan out over;
+	// 0 means GOMAXPROCS, 1 forces the single-threaded path. The output
+	// is byte-identical for every value (merge is commutative and the
+	// final block order canonical).
+	Shards int
 	// Metrics, when non-nil, receives the partition shape as histograms:
 	// dcer_hypart_fragment_size (tuples per worker fragment, one
 	// observation per worker) and dcer_hypart_block_size (tuples per
@@ -57,6 +72,20 @@ type Stats struct {
 	HashFnsBaseline  int   // one-per-distinct-variable baseline
 	MaxFragment      int
 	MinFragment      int
+	Shards           int // goroutines the partition pass actually used
+}
+
+// Block is one virtual block of the computed partition: its canonical
+// identity (the sorted packed (fn, extent, bucket) triples), its member
+// tuples, the rules whose hypercubes generated it, and the worker the LPT
+// assignment placed it on. Blocks are retained in the Result so the
+// scheduler can re-assign them later (skew-adaptive rebalancing in
+// dmatch) without re-partitioning.
+type Block struct {
+	Canon  []uint64       // sorted packed dims; the deterministic identity
+	GIDs   []relation.TID // sorted member tuples
+	Rules  []int          // sorted indices of the rules generating the block
+	Worker int            // LPT assignment
 }
 
 // Result is the computed partition.
@@ -69,8 +98,11 @@ type Result struct {
 	// its own blocks; scoping the chase per rule avoids every rule
 	// re-scanning tuples that other rules' blocks brought to the worker.
 	RuleFragments [][][]relation.TID
-	Plan          *mqo.Plan
-	Stats         Stats
+	// Blocks lists the non-empty virtual blocks in canonical order (nil
+	// on the n=1 fast path, which has no blocks to balance).
+	Blocks []Block
+	Plan   *mqo.Plan
+	Stats  Stats
 }
 
 // dim is one hypercube dimension of a rule: a distinct-variable class with
@@ -81,10 +113,211 @@ type dim struct {
 	size int
 }
 
+func errWorkers(n int) error {
+	return fmt.Errorf("hypart: need at least one worker, got %d", n)
+}
+
+// effectiveRepCap resolves the replication-cap default: max(4, n/2).
+func effectiveRepCap(cap, n int) int {
+	if cap > 0 {
+		return cap
+	}
+	out := 4
+	if n/2 > out {
+		out = n / 2
+	}
+	return out
+}
+
+// partitionSingle is the n=1 fast path: one fragment holding everything.
+func partitionSingle(d *relation.Dataset, rules []*rule.Rule, res *Result, metrics *telemetry.Registry) *Result {
+	ids := make([]relation.TID, 0, d.Size())
+	for _, t := range d.Tuples() {
+		ids = append(ids, t.GID)
+	}
+	res.Fragments = [][]relation.TID{ids}
+	perRule := make([][]relation.TID, len(rules))
+	for r := range perRule {
+		perRule[r] = ids
+	}
+	res.RuleFragments = [][][]relation.TID{perRule}
+	res.Stats.MaxFragment, res.Stats.MinFragment = len(ids), len(ids)
+	metrics.Histogram("dcer_hypart_fragment_size").Observe(uint64(len(ids)))
+	return res
+}
+
+// packDim packs one (fn, extent, bucket) dimension into a uint64 so block
+// identities are short integer vectors instead of concatenated strings.
+// Numeric order on the packed value equals (fn, extent, bucket)
+// lexicographic order, so sorting packed dims canonicalizes a key exactly
+// like the seed partitioner's sorted string parts. The fields are bounded
+// far below the packing widths: fn by the plan's hash-function count,
+// extent and bucket by the virtual-block budget n².
+func packDim(fn, size, coord int) uint64 {
+	return uint64(fn)<<40 | uint64(size)<<20 | uint64(coord)
+}
+
+// blockAcc accumulates one virtual block inside a shard (and, after the
+// merge, globally): identity, member set, and the rules that emitted it.
+type blockAcc struct {
+	canon []uint64
+	gids  map[relation.TID]struct{}
+	rules []uint64 // bitset over rule indices
+}
+
+// shardAcc is one goroutine's private accumulator: blocks keyed by the
+// FNV fingerprint of the canonical key, fingerprint collisions resolved
+// by comparing the canonical keys themselves (the scopeKey/sameIDs
+// discipline — a collision costs a chain walk, never a wrong block).
+type shardAcc struct {
+	blocks    map[uint64][]*blockAcc
+	generated int64
+	ruleWords int
+	key       []uint64 // per-emit scratch
+}
+
+func newShardAcc(numRules int) *shardAcc {
+	return &shardAcc{
+		blocks:    make(map[uint64][]*blockAcc),
+		ruleWords: (numRules + 63) / 64,
+	}
+}
+
+func canonEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// canonLess orders canonical keys: shorter first, then elementwise.
+func canonLess(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// emit registers gid in the block identified by dims/coord for rule ri.
+func (sa *shardAcc) emit(dims []dim, coord []int, ri int, gid relation.TID) {
+	sa.generated++
+	key := sa.key[:0]
+	for i := range dims {
+		key = append(key, packDim(dims[i].fn, dims[i].size, coord[i]))
+	}
+	// Insertion sort: keys are tiny (one element per rule dimension).
+	for i := 1; i < len(key); i++ {
+		for j := i; j > 0 && key[j] < key[j-1]; j-- {
+			key[j], key[j-1] = key[j-1], key[j]
+		}
+	}
+	sa.key = key
+	h := uint64(fnv.Offset64)
+	for _, k := range key {
+		h = fnv.Uint64(h, k)
+	}
+	var acc *blockAcc
+	for _, cand := range sa.blocks[h] {
+		if canonEqual(cand.canon, key) {
+			acc = cand
+			break
+		}
+	}
+	if acc == nil {
+		acc = &blockAcc{
+			canon: append([]uint64(nil), key...),
+			gids:  make(map[relation.TID]struct{}),
+			rules: make([]uint64, sa.ruleWords),
+		}
+		sa.blocks[h] = append(sa.blocks[h], acc)
+	}
+	acc.gids[gid] = struct{}{}
+	acc.rules[ri>>6] |= 1 << (uint(ri) & 63)
+}
+
+// emitBroadcast enumerates the broadcast combinations of coord and emits
+// the tuple into each resulting block. Block keys embed (fn, extent,
+// bucket) per dimension, so rules sharing all hash functions and extents
+// share blocks — the tuple-copy dedup that MQO sharing buys.
+func (sa *shardAcc) emitBroadcast(dims []dim, coord []int, bcast []int, bi, ri int, gid relation.TID) {
+	if bi == len(bcast) {
+		sa.emit(dims, coord, ri, gid)
+		return
+	}
+	di := bcast[bi]
+	for b := 0; b < dims[di].size; b++ {
+		coord[di] = b
+		sa.emitBroadcast(dims, coord, bcast, bi+1, ri, gid)
+	}
+}
+
+// merge folds other into sa. Union is commutative, so the merged content
+// is independent of shard scheduling.
+func (sa *shardAcc) merge(other *shardAcc) {
+	sa.generated += other.generated
+	for h, chain := range other.blocks {
+		for _, in := range chain {
+			var acc *blockAcc
+			for _, cand := range sa.blocks[h] {
+				if canonEqual(cand.canon, in.canon) {
+					acc = cand
+					break
+				}
+			}
+			if acc == nil {
+				sa.blocks[h] = append(sa.blocks[h], in)
+				continue
+			}
+			if len(acc.gids) < len(in.gids) {
+				acc.gids, in.gids = in.gids, acc.gids
+			}
+			for gid := range in.gids {
+				acc.gids[gid] = struct{}{}
+			}
+			for i, w := range in.rules {
+				acc.rules[i] |= w
+			}
+		}
+	}
+}
+
+// varScan is the per-(rule, variable) scan preparation shared by every
+// shard: the rule's dimensions, which of them hash this variable (and on
+// which attribute), which are broadcast, and the base coordinates.
+type varScan struct {
+	ri     int
+	dims   []dim
+	rel    *relation.Relation
+	hashed []int
+	attrs  []int // attribute per hashed dim
+	bcast  []int
+	base   []int // -1 for open dims, 0 for extent-1 dims
+}
+
+// unit is one shard work item: a tuple range of one varScan.
+type unit struct {
+	scan   *varScan
+	lo, hi int
+}
+
+// unitChunk bounds the tuples per work unit so large relations split
+// across shards while the unit list stays short.
+const unitChunk = 2048
+
 // Partition splits dataset d into n fragments for the rule set Σ.
 func Partition(d *relation.Dataset, rules []*rule.Rule, n int, opts Options) (*Result, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("hypart: need at least one worker, got %d", n)
+		return nil, errWorkers(n)
 	}
 	plan, err := mqo.Build(rules, opts.Share)
 	if err != nil {
@@ -93,140 +326,232 @@ func Partition(d *relation.Dataset, rules []*rule.Rule, n int, opts Options) (*R
 	res := &Result{Plan: plan}
 	res.Stats.HashFns, res.Stats.HashFnsBaseline = plan.Savings()
 	if n == 1 {
-		ids := make([]relation.TID, 0, d.Size())
-		for _, t := range d.Tuples() {
-			ids = append(ids, t.GID)
-		}
-		res.Fragments = [][]relation.TID{ids}
-		perRule := make([][]relation.TID, len(rules))
-		for r := range perRule {
-			perRule[r] = ids
-		}
-		res.RuleFragments = [][][]relation.TID{perRule}
-		res.Stats.MaxFragment, res.Stats.MinFragment = len(ids), len(ids)
-		opts.Metrics.Histogram("dcer_hypart_fragment_size").Observe(uint64(len(ids)))
-		return res, nil
+		res.Stats.Shards = 1
+		return partitionSingle(d, rules, res, opts.Metrics), nil
 	}
 
 	vb := opts.VirtualBlocks
 	if vb == 0 {
 		vb = n * n
 	}
-	hasher := mqo.NewHasher()
-	blocks := make(map[string]map[relation.TID]bool)
-	blockRules := make(map[string]map[int]bool)
-
-	repCap := opts.ReplicationCap
-	if repCap <= 0 {
-		repCap = 4
-		if n/2 > repCap {
-			repCap = n / 2
-		}
-	}
+	repCap := effectiveRepCap(opts.ReplicationCap, n)
 	relSizes := make([]int, len(d.Relations))
 	for i, rel := range d.Relations {
 		relSizes[i] = len(rel.Tuples)
 	}
+
+	// Prepare the per-(rule, variable) scans and chunk them into units.
+	var scans []*varScan
 	for ri, ra := range plan.Assignments {
 		dims := buildDims(ra, vb, repCap, relSizes)
-		ruleKeys := make(map[string]bool)
 		for vi, v := range ra.Rule.Vars {
-			rel := d.Relations[v.RelIdx]
-			// Split dimensions into hashed (the variable has a member
-			// attribute in the class) and broadcast.
-			var hashed []int
-			var bcast []int
+			sc := &varScan{ri: ri, dims: dims, rel: d.Relations[v.RelIdx], base: make([]int, len(dims))}
 			for di := range dims {
-				if _, ok := dims[di].dv.AttrOf(vi); ok {
-					hashed = append(hashed, di)
+				sc.base[di] = -1
+				if dims[di].size == 1 {
+					sc.base[di] = 0
+				}
+				if attr, ok := dims[di].dv.AttrOf(vi); ok {
+					sc.hashed = append(sc.hashed, di)
+					sc.attrs = append(sc.attrs, attr)
 				} else if dims[di].size > 1 {
-					bcast = append(bcast, di)
+					sc.bcast = append(sc.bcast, di)
 				}
 			}
-			for _, t := range rel.Tuples {
-				coord := make([]int, len(dims))
-				for di := range coord {
-					coord[di] = -1 // size-1 or broadcast dims default below
-				}
-				for di := range dims {
-					if dims[di].size == 1 {
-						coord[di] = 0
-					}
-				}
-				for _, di := range hashed {
-					attr, _ := dims[di].dv.AttrOf(vi)
-					coord[di] = int(hasher.Hash(dims[di].fn, t.Values[attr])) % dims[di].size
-				}
-				emitBlocks(dims, coord, bcast, 0, t.GID, blocks, ruleKeys, &res.Stats)
-			}
-		}
-		for key := range ruleKeys {
-			rs, ok := blockRules[key]
-			if !ok {
-				rs = make(map[int]bool)
-				blockRules[key] = rs
-			}
-			rs[ri] = true
+			scans = append(scans, sc)
 		}
 	}
-	res.Stats.HashComputations = hasher.Computations
-	res.Stats.HashLookups = hasher.Lookups
-	res.Stats.Blocks = len(blocks)
-	if opts.Metrics != nil {
-		bh := opts.Metrics.Histogram("dcer_hypart_block_size")
-		for _, set := range blocks {
-			bh.Observe(uint64(len(set)))
+	var units []unit
+	for _, sc := range scans {
+		for lo := 0; lo < len(sc.rel.Tuples); lo += unitChunk {
+			hi := lo + unitChunk
+			if hi > len(sc.rel.Tuples) {
+				hi = len(sc.rel.Tuples)
+			}
+			units = append(units, unit{sc, lo, hi})
 		}
 	}
 
-	// LPT minimum-makespan assignment of virtual blocks to workers.
-	type blockInfo struct {
-		key  string
-		size int
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
 	}
-	infos := make([]blockInfo, 0, len(blocks))
-	for k, set := range blocks {
-		infos = append(infos, blockInfo{k, len(set)})
+	if shards > len(units) {
+		shards = len(units)
 	}
-	sort.Slice(infos, func(i, j int) bool {
-		if infos[i].size != infos[j].size {
-			return infos[i].size > infos[j].size
+	if shards < 1 {
+		shards = 1
+	}
+	res.Stats.Shards = shards
+
+	hasher := mqo.NewShardedHasher()
+	runShard := func(sa *shardAcc, take func() (unit, bool)) {
+		var coord []int
+		for {
+			u, ok := take()
+			if !ok {
+				return
+			}
+			sc := u.scan
+			coord = append(coord[:0], sc.base...)
+			for _, t := range sc.rel.Tuples[u.lo:u.hi] {
+				copy(coord, sc.base)
+				for hi, di := range sc.hashed {
+					coord[di] = int(hasher.Hash(sc.dims[di].fn, t.Values[sc.attrs[hi]])) % sc.dims[di].size
+				}
+				sa.emitBroadcast(sc.dims, coord, sc.bcast, 0, sc.ri, t.GID)
+			}
 		}
-		return infos[i].key < infos[j].key
-	})
-	load := make([]int, n)
-	fragSets := make([]map[relation.TID]bool, n)
-	ruleSets := make([][]map[relation.TID]bool, n)
-	for i := range fragSets {
-		fragSets[i] = make(map[relation.TID]bool)
-		ruleSets[i] = make([]map[relation.TID]bool, len(rules))
 	}
-	for _, bi := range infos {
+
+	global := newShardAcc(len(rules))
+	if shards == 1 {
+		i := 0
+		runShard(global, func() (unit, bool) {
+			if i >= len(units) {
+				return unit{}, false
+			}
+			i++
+			return units[i-1], true
+		})
+	} else {
+		accs := make([]*shardAcc, shards)
+		var cursor atomic.Int64
+		take := func() (unit, bool) {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(units) {
+				return unit{}, false
+			}
+			return units[i], true
+		}
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			accs[s] = newShardAcc(len(rules))
+			wg.Add(1)
+			go func(sa *shardAcc) {
+				defer wg.Done()
+				runShard(sa, take)
+			}(accs[s])
+		}
+		wg.Wait()
+		for _, sa := range accs {
+			global.merge(sa)
+		}
+	}
+	res.Stats.HashComputations, res.Stats.HashLookups = hasher.Counts()
+	res.Stats.GeneratedTuples = global.generated
+
+	// Canonical block order: by key, so the result is independent of the
+	// shard count and scheduling.
+	var accs []*blockAcc
+	for _, chain := range global.blocks {
+		accs = append(accs, chain...)
+	}
+	sort.Slice(accs, func(i, j int) bool { return canonLess(accs[i].canon, accs[j].canon) })
+	res.Blocks = make([]Block, len(accs))
+	for bi, acc := range accs {
+		gids := make([]relation.TID, 0, len(acc.gids))
+		for gid := range acc.gids {
+			gids = append(gids, gid)
+		}
+		sort.Slice(gids, func(a, b int) bool { return gids[a] < gids[b] })
+		var ris []int
+		for w, word := range acc.rules {
+			for ; word != 0; word &= word - 1 {
+				ris = append(ris, w*64+bits.TrailingZeros64(word))
+			}
+		}
+		res.Blocks[bi] = Block{Canon: acc.canon, GIDs: gids, Rules: ris}
+		res.Stats.PlacedTuples += int64(len(gids))
+	}
+	res.Stats.Blocks = len(res.Blocks)
+	if opts.Metrics != nil {
+		bh := opts.Metrics.Histogram("dcer_hypart_block_size")
+		for i := range res.Blocks {
+			bh.Observe(uint64(len(res.Blocks[i].GIDs)))
+		}
+	}
+
+	// LPT minimum-makespan assignment of virtual blocks to workers, by
+	// block size (the static cost model; dmatch re-runs this over
+	// observed costs when a run shows skew).
+	costs := make([]float64, len(res.Blocks))
+	for i := range res.Blocks {
+		costs[i] = float64(len(res.Blocks[i].GIDs))
+	}
+	assign := AssignLPT(costs, n)
+	for i := range res.Blocks {
+		res.Blocks[i].Worker = assign[i]
+	}
+	res.Fragments, res.RuleFragments = BuildFragments(res.Blocks, assign, n, len(rules))
+	res.Stats.MinFragment = int(^uint(0) >> 1)
+	for i, ids := range res.Fragments {
+		if len(ids) > res.Stats.MaxFragment {
+			res.Stats.MaxFragment = len(ids)
+		}
+		if len(ids) < res.Stats.MinFragment {
+			res.Stats.MinFragment = len(ids)
+		}
+		opts.Metrics.Histogram("dcer_hypart_fragment_size").Observe(uint64(len(res.Fragments[i])))
+	}
+	return res, nil
+}
+
+// AssignLPT assigns blocks to n workers with the LPT minimum-makespan
+// heuristic over the given per-block costs: blocks in descending cost
+// order (ties by block index, which is canonical key order) go to the
+// least-loaded worker (ties to the lowest worker). Partition calls it
+// with block sizes; the skew-adaptive scheduler in dmatch re-invokes it
+// with observed per-block costs to migrate blocks between supersteps.
+func AssignLPT(costs []float64, n int) []int {
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return costs[order[i]] > costs[order[j]] })
+	load := make([]float64, n)
+	assign := make([]int, len(costs))
+	for _, b := range order {
 		w := 0
 		for i := 1; i < n; i++ {
 			if load[i] < load[w] {
 				w = i
 			}
 		}
-		load[w] += bi.size
-		for gid := range blocks[bi.key] {
-			fragSets[w][gid] = true
+		assign[b] = w
+		load[w] += costs[b]
+	}
+	return assign
+}
+
+// BuildFragments materializes the per-worker fragments and per-rule rule
+// scopes implied by an assignment of blocks to workers: Fragments[i] is
+// the sorted union of worker i's blocks, RuleFragments[i][r] the sorted
+// union of its blocks generated for rule r.
+func BuildFragments(blocks []Block, assign []int, n, numRules int) ([][]relation.TID, [][][]relation.TID) {
+	fragSets := make([]map[relation.TID]struct{}, n)
+	ruleSets := make([][]map[relation.TID]struct{}, n)
+	for i := range fragSets {
+		fragSets[i] = make(map[relation.TID]struct{})
+		ruleSets[i] = make([]map[relation.TID]struct{}, numRules)
+	}
+	for bi := range blocks {
+		w := assign[bi]
+		for _, gid := range blocks[bi].GIDs {
+			fragSets[w][gid] = struct{}{}
 		}
-		for ri := range blockRules[bi.key] {
+		for _, ri := range blocks[bi].Rules {
 			set := ruleSets[w][ri]
 			if set == nil {
-				set = make(map[relation.TID]bool)
+				set = make(map[relation.TID]struct{})
 				ruleSets[w][ri] = set
 			}
-			for gid := range blocks[bi.key] {
-				set[gid] = true
+			for _, gid := range blocks[bi].GIDs {
+				set[gid] = struct{}{}
 			}
 		}
 	}
-	res.Fragments = make([][]relation.TID, n)
-	res.RuleFragments = make([][][]relation.TID, n)
-	res.Stats.MinFragment = int(^uint(0) >> 1)
-	sortIDs := func(set map[relation.TID]bool) []relation.TID {
+	sortIDs := func(set map[relation.TID]struct{}) []relation.TID {
 		ids := make([]relation.TID, 0, len(set))
 		for gid := range set {
 			ids = append(ids, gid)
@@ -234,22 +559,16 @@ func Partition(d *relation.Dataset, rules []*rule.Rule, n int, opts Options) (*R
 		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 		return ids
 	}
-	for i, set := range fragSets {
-		ids := sortIDs(set)
-		res.Fragments[i] = ids
-		res.RuleFragments[i] = make([][]relation.TID, len(rules))
+	frags := make([][]relation.TID, n)
+	ruleFrags := make([][][]relation.TID, n)
+	for i := range fragSets {
+		frags[i] = sortIDs(fragSets[i])
+		ruleFrags[i] = make([][]relation.TID, numRules)
 		for ri, rset := range ruleSets[i] {
-			res.RuleFragments[i][ri] = sortIDs(rset)
+			ruleFrags[i][ri] = sortIDs(rset)
 		}
-		if len(ids) > res.Stats.MaxFragment {
-			res.Stats.MaxFragment = len(ids)
-		}
-		if len(ids) < res.Stats.MinFragment {
-			res.Stats.MinFragment = len(ids)
-		}
-		opts.Metrics.Histogram("dcer_hypart_fragment_size").Observe(uint64(len(ids)))
 	}
-	return res, nil
+	return frags, ruleFrags
 }
 
 // buildDims allocates hypercube extents to a rule's dimensions by greedy
@@ -320,42 +639,4 @@ func buildDims(ra *mqo.RuleAssignment, vb, repCap int, relSizes []int) []dim {
 		product *= 2
 	}
 	return dims
-}
-
-// emitBlocks enumerates the broadcast combinations of coord and registers
-// the tuple in each resulting block. Block keys embed (fn, extent, bucket)
-// per dimension, so rules sharing all hash functions and extents share
-// blocks — the tuple-copy dedup that MQO sharing buys.
-func emitBlocks(dims []dim, coord []int, bcast []int, bi int, gid relation.TID,
-	blocks map[string]map[relation.TID]bool, ruleKeys map[string]bool, stats *Stats) {
-	if bi == len(bcast) {
-		stats.GeneratedTuples++
-		key := blockKey(dims, coord)
-		ruleKeys[key] = true
-		set, ok := blocks[key]
-		if !ok {
-			set = make(map[relation.TID]bool)
-			blocks[key] = set
-		}
-		if !set[gid] {
-			set[gid] = true
-			stats.PlacedTuples++
-		}
-		return
-	}
-	di := bcast[bi]
-	for b := 0; b < dims[di].size; b++ {
-		coord[di] = b
-		emitBlocks(dims, coord, bcast, bi+1, gid, blocks, ruleKeys, stats)
-	}
-	coord[di] = -1
-}
-
-func blockKey(dims []dim, coord []int) string {
-	parts := make([]string, len(dims))
-	for i := range dims {
-		parts[i] = strconv.Itoa(dims[i].fn) + "/" + strconv.Itoa(dims[i].size) + ":" + strconv.Itoa(coord[i])
-	}
-	sort.Strings(parts)
-	return strings.Join(parts, ",")
 }

@@ -1,0 +1,183 @@
+package hypart_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dcer/internal/datagen"
+	"dcer/internal/hypart"
+	"dcer/internal/relation"
+	"dcer/internal/rule"
+)
+
+// checkPartitionEquivalent asserts the sharded partitioner is byte-identical
+// to its own sequential path (Shards=1) on one instance, for several shard
+// counts, and that the seed-era reference partitioner agrees on every
+// schedule-independent invariant.
+func checkPartitionEquivalent(t *testing.T, d *relation.Dataset, rules []*rule.Rule, n int) {
+	t.Helper()
+	seq, err := hypart.Partition(d, rules, n, hypart.Options{Share: true, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 8} {
+		par, err := hypart.Partition(d, rules, n, hypart.Options{Share: true, Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(par.Fragments, seq.Fragments) {
+			t.Fatalf("shards=%d: fragments differ from sequential path", shards)
+		}
+		if !reflect.DeepEqual(par.RuleFragments, seq.RuleFragments) {
+			t.Fatalf("shards=%d: rule fragments differ from sequential path", shards)
+		}
+		if !reflect.DeepEqual(par.Blocks, seq.Blocks) {
+			t.Fatalf("shards=%d: virtual blocks differ from sequential path", shards)
+		}
+		ps, ss := par.Stats, seq.Stats
+		ps.Shards, ss.Shards = 0, 0
+		if ps != ss {
+			t.Fatalf("shards=%d: stats differ:\n  par %+v\n  seq %+v", shards, ps, ss)
+		}
+	}
+	// The reference implementation assigns blocks to workers with a
+	// different LPT tie-break, so fragments may differ; every
+	// assignment-independent quantity must agree exactly.
+	ref, err := hypart.PartitionReference(d, rules, n, hypart.Options{Share: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.Blocks != seq.Stats.Blocks {
+		t.Errorf("reference found %d blocks, rewrite %d", ref.Stats.Blocks, seq.Stats.Blocks)
+	}
+	if ref.Stats.GeneratedTuples != seq.Stats.GeneratedTuples {
+		t.Errorf("reference generated %d tuples, rewrite %d",
+			ref.Stats.GeneratedTuples, seq.Stats.GeneratedTuples)
+	}
+	if ref.Stats.PlacedTuples != seq.Stats.PlacedTuples {
+		t.Errorf("reference placed %d tuples, rewrite %d",
+			ref.Stats.PlacedTuples, seq.Stats.PlacedTuples)
+	}
+	if ref.Stats.HashComputations != seq.Stats.HashComputations ||
+		ref.Stats.HashLookups != seq.Stats.HashLookups {
+		t.Errorf("hasher stats diverge: reference %d/%d, rewrite %d/%d",
+			ref.Stats.HashComputations, ref.Stats.HashLookups,
+			seq.Stats.HashComputations, seq.Stats.HashLookups)
+	}
+	if len(ref.Fragments) != len(seq.Fragments) {
+		t.Errorf("reference built %d fragments, rewrite %d", len(ref.Fragments), len(seq.Fragments))
+	}
+}
+
+// TestPartitionParallelEquivalence is the property test of the tentpole:
+// for random rule sets and datasets, the sharded Partition is byte-
+// identical to the sequential path at every shard count, and the seed-era
+// reference partitioner agrees on all assignment-independent invariants.
+func TestPartitionParallelEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		d, rules := randomPartitionInstance(t, seed)
+		for _, n := range []int{2, 4, 8} {
+			checkPartitionEquivalent(t, d, rules, n)
+		}
+	}
+}
+
+// TestPartitionParallelEquivalenceTPCH runs the same equivalence check on
+// the realistic TPC-H-derived workload the benchmarks use.
+func TestPartitionParallelEquivalenceTPCH(t *testing.T) {
+	g := datagen.TPCH(datagen.TPCHOptions{Scale: 0.03, Dup: 0.3, Seed: 5})
+	rules, err := g.Rules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitionEquivalent(t, g.D, rules, 8)
+}
+
+// TestReplicationCapOne: with the per-tuple copy factor capped at 1 no
+// dimension may broadcast, so every (rule, variable, tuple) emits exactly
+// one generated tuple and the partition is still a correct cover (checked
+// against brute-force valuations via Lemma 6).
+func TestReplicationCapOne(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		d, rules := randomPartitionInstance(t, seed)
+		res, err := hypart.Partition(d, rules, 4, hypart.Options{Share: true, ReplicationCap: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(0)
+		for _, r := range rules {
+			for _, v := range r.Vars {
+				want += int64(len(d.Relations[v.RelIdx].Tuples))
+			}
+		}
+		if res.Stats.GeneratedTuples != want {
+			t.Errorf("seed %d: cap=1 generated %d tuples, want exactly %d (no broadcast)",
+				seed, res.Stats.GeneratedTuples, want)
+		}
+		checkLocality(t, d, rules, res)
+	}
+}
+
+// TestReplicationCapBelowBroadcastDims pins the cap below what the
+// broadcast dimensions of a multi-atom rule would need: the allocator must
+// degrade extents (fewer, coarser blocks) rather than violate the cap or
+// lose valuations.
+func TestReplicationCapBelowBroadcastDims(t *testing.T) {
+	d, rules := randomPartitionInstance(t, 3)
+	uncapped, err := hypart.Partition(d, rules, 8, hypart.Options{Share: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := hypart.Partition(d, rules, 8, hypart.Options{Share: true, ReplicationCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Stats.GeneratedTuples > uncapped.Stats.GeneratedTuples {
+		t.Errorf("cap=2 generated more tuples (%d) than uncapped (%d)",
+			capped.Stats.GeneratedTuples, uncapped.Stats.GeneratedTuples)
+	}
+	if d.Size() > 0 {
+		factor := float64(capped.Stats.GeneratedTuples) / float64(d.Size())
+		// Per (rule, variable) each tuple may generate at most cap copies.
+		bound := 0.0
+		for _, r := range rules {
+			bound += 2 * float64(len(r.Vars))
+		}
+		if factor > bound {
+			t.Errorf("copy factor %.1f exceeds cap-implied bound %.1f", factor, bound)
+		}
+	}
+	checkLocality(t, d, rules, capped)
+}
+
+// checkLocality asserts Lemma 6 for a partition result: every valuation of
+// every rule is fully contained in at least one worker's scope for that
+// rule.
+func checkLocality(t *testing.T, d *relation.Dataset, rules []*rule.Rule, res *hypart.Result) {
+	t.Helper()
+	for ri, r := range rules {
+		scopes := make([]map[relation.TID]bool, len(res.RuleFragments))
+		for w := range res.RuleFragments {
+			set := make(map[relation.TID]bool)
+			for _, gid := range res.RuleFragments[w][ri] {
+				set[gid] = true
+			}
+			scopes[w] = set
+		}
+		bruteValuations(d, r, func(binding []*relation.Tuple) {
+			for _, scope := range scopes {
+				all := true
+				for _, tu := range binding {
+					if !scope[tu.GID] {
+						all = false
+						break
+					}
+				}
+				if all {
+					return
+				}
+			}
+			t.Fatalf("rule %d: valuation not local to any worker", ri)
+		})
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"dcer/internal/relation"
 	"dcer/internal/rule"
@@ -293,7 +295,9 @@ func (p *Plan) String() string {
 // Hasher evaluates hash functions over values with cross-rule memoization:
 // the same (function, value) pair is computed once, which is exactly the
 // computation MQO sharing saves. Computations and lookups are counted for
-// the experiments.
+// the experiments. Hasher is single-threaded; the parallel partitioner
+// uses ShardedHasher, which keeps the same memo semantics under
+// concurrency.
 type Hasher struct {
 	memo         map[hkey]uint32
 	Computations int64
@@ -319,6 +323,68 @@ func (h *Hasher) Hash(fn int, v relation.Value) uint32 {
 	r := fnvHash(fn, k.val)
 	h.memo[k] = r
 	return r
+}
+
+// hasherStripes is the stripe count of ShardedHasher. 64 keeps the
+// per-stripe maps small and the lock contention negligible at any
+// realistic shard count.
+const hasherStripes = 64
+
+// ShardedHasher is the concurrency-safe Hasher used by the parallel
+// partitioner: the memo is striped over lock-guarded shards keyed by the
+// (function, value) fingerprint, and the counters are atomics. All
+// partition shards share one ShardedHasher, so each distinct (fn, value)
+// pair is still computed exactly once — the memo semantics (and the
+// Computations/Lookups accounting the Exp-2 experiments report) are
+// identical to the sequential Hasher.
+type ShardedHasher struct {
+	stripes      [hasherStripes]hasherStripe
+	computations atomic.Int64
+	lookups      atomic.Int64
+}
+
+type hasherStripe struct {
+	mu   sync.Mutex
+	memo map[hkey]uint32
+	_    [40]byte // pad to a cache line so stripes don't false-share
+}
+
+// NewShardedHasher creates an empty concurrency-safe memoizing hasher.
+func NewShardedHasher() *ShardedHasher {
+	h := &ShardedHasher{}
+	for i := range h.stripes {
+		h.stripes[i].memo = make(map[hkey]uint32)
+	}
+	return h
+}
+
+// Hash evaluates hash function fn on value v, memoized across all
+// goroutines sharing the hasher.
+func (h *ShardedHasher) Hash(fn int, v relation.Value) uint32 {
+	h.lookups.Add(1)
+	k := hkey{fn, v.Key()}
+	// Stripe by a cheap fingerprint of the key; any distribution works,
+	// only the per-stripe map lookup must stay exact.
+	fp := uint32(fn) * 2654435761
+	for i := 0; i < len(k.val); i++ {
+		fp = fp*31 + uint32(k.val[i])
+	}
+	st := &h.stripes[fp%hasherStripes]
+	st.mu.Lock()
+	if r, ok := st.memo[k]; ok {
+		st.mu.Unlock()
+		return r
+	}
+	r := fnvHash(fn, k.val)
+	st.memo[k] = r
+	st.mu.Unlock()
+	h.computations.Add(1)
+	return r
+}
+
+// Counts reports the hash evaluations performed and requested so far.
+func (h *ShardedHasher) Counts() (computations, lookups int64) {
+	return h.computations.Load(), h.lookups.Load()
 }
 
 func fnvHash(seed int, s string) uint32 {

@@ -28,14 +28,18 @@ go build ./...
 echo "== go test -short ./..."
 go test -short ./...
 
-echo "== go test -race -short ./internal/chase ./internal/dmatch ./internal/telemetry ./internal/provenance"
-go test -race -short ./internal/chase ./internal/dmatch ./internal/telemetry ./internal/provenance
+echo "== go test -race -short ./internal/chase ./internal/dmatch ./internal/hypart ./internal/telemetry ./internal/provenance"
+go test -race -short ./internal/chase ./internal/dmatch ./internal/hypart ./internal/telemetry ./internal/provenance
 
 echo "== provenance equivalence (proof replay vs the reference verifier, all drain modes + DMatch w>=2)"
 go test -short -run 'TestProofReplaysAgainstVerifier|TestDMatchProofEveryPair' ./internal/provenance
 
-echo "== bench smoke (IncDeduce, 1 iteration)"
-go test -run=NONE -bench=IncDeduce -benchtime=1x -short .
+echo "== distribution equivalence guards (parallel Partition byte-identity + dedup-routing Gamma equality)"
+go test -short -count=1 -run 'TestPartitionParallelEquivalence' ./internal/hypart
+go test -short -count=1 -run 'TestRoutingDedupGammaEquality|TestAdaptiveRebalance' ./internal/dmatch
+
+echo "== bench smoke (IncDeduce + HyPart incl. the Partition equivalence assert, 1 iteration)"
+go test -run=NONE -bench='IncDeduce|HyPart' -benchtime=1x -short .
 
 echo "== telemetry smoke (ephemeral /metrics + provenance scrape over a live DMatch run)"
 go run ./scripts/telemetrysmoke
