@@ -9,12 +9,26 @@
 // instrumented DMatch run's routing profile (messages routed/deduped,
 // route time per superstep, adaptive rebalances) as routing_stats.
 //
-//	go run ./cmd/bench                   # full run, writes BENCH_5.json
+//	go run ./cmd/bench                   # full run, writes BENCH_6.json
 //	go run ./cmd/bench -fig6=false       # hot-path benchmarks only
 //	go run ./cmd/bench -scale 1.0 -out /tmp/bench.json
 //	go run ./cmd/bench -cpuprofile cpu.out -memprofile mem.out
 //	go run ./cmd/bench -repeat 5         # more noise suppression
 //	go run ./cmd/bench -telemetry :9090  # live /metrics + pprof while it runs
+//	go run ./cmd/bench -arms '^Ingest'   # only arms matching the regex
+//	go run ./cmd/bench -mem1m            # 1M-tuple arm under its 1.5 GiB default budget
+//
+// Besides the timing arms the harness runs storage arms at -memscale
+// (default 20, ≈573K tuples): a bulk-ingest arm and a full Deduce arm,
+// each recording total allocations, live heap after a forced GC, bytes
+// per tuple, and the process peak RSS (VmHWM, reset per arm via
+// /proc/self/clear_refs where permitted). -membudget bounds the Deduce
+// arm's chase (Options.MemBudgetBytes); -mem1m adds a ~1M-tuple
+// ingest+chase arm bounded by -mem1mbudget (default 1.5 GiB). A
+// budgeted arm also sets the Go runtime soft memory limit to the
+// budget so GC headroom stays inside the same envelope. The memory
+// rows land in the report's "memory" section and are delta-printed
+// against -prev.
 //
 // Besides the timings the report embeds the per-stage latency histograms
 // of a telemetry-enabled pass (rule enumeration/merge, drain batches, BSP
@@ -41,10 +55,12 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"regexp"
 	"runtime"
 	"runtime/debug"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -73,6 +89,36 @@ type entry struct {
 	BytesPerOp      int64  `json:"bytes_per_op"`
 	AllocsPerOp     int64  `json:"allocs_per_op"`
 	SimulatedTimeNs int64  `json:"simulated_time_ns,omitempty"`
+}
+
+// memEntry is one storage-arm measurement: how much memory a bulk
+// ingest or a full chase leaves live, per tuple, and the process peak
+// RSS the arm drove. NsTotal/AllocsTotal cover the whole arm (these
+// arms run once, not under testing.Benchmark — at scale 20 a single
+// Deduce is tens of seconds and the interesting axis is bytes, not
+// noise-suppressed ns).
+type memEntry struct {
+	Name            string  `json:"name"`
+	Scale           float64 `json:"scale"`
+	Tuples          int     `json:"tuples"`
+	Facts           int     `json:"facts,omitempty"`
+	NsTotal         int64   `json:"ns_total"`
+	AllocsTotal     int64   `json:"allocs_total"`
+	AllocBytesTotal int64   `json:"alloc_bytes_total"`
+	// LiveHeapBytes is the absolute HeapAlloc after a forced GC at the
+	// end of the arm; DeltaLiveBytes is the arm's own addition over the
+	// heap it started from, and BytesPerTuple = DeltaLiveBytes / Tuples.
+	LiveHeapBytes  int64   `json:"live_heap_bytes"`
+	DeltaLiveBytes int64   `json:"delta_live_bytes"`
+	BytesPerTuple  float64 `json:"bytes_per_tuple"`
+	// PeakRSSBytes is VmHWM from /proc/self/status after the arm.
+	// PeakRSSReset records whether the peak was reset at arm start
+	// (requires /proc/self/clear_refs write permission); when false the
+	// peak accumulates across arms and only the last arm's value is a
+	// faithful per-arm number.
+	PeakRSSBytes   int64 `json:"peak_rss_bytes"`
+	PeakRSSReset   bool  `json:"peak_rss_reset"`
+	MemBudgetBytes int64 `json:"mem_budget_bytes,omitempty"`
 }
 
 // stageHist is one per-stage latency histogram snapshot from the
@@ -112,6 +158,10 @@ type report struct {
 	Rules            int     `json:"rules"`
 	ClassesIdentical bool    `json:"classes_identical"`
 	Benchmarks       []entry `json:"benchmarks"`
+	// Memory holds the storage-arm rows (bulk ingest, scale-20 Deduce,
+	// optional 1M budgeted chase): live-heap bytes per tuple and peak
+	// RSS, the axes the columnar-storage work is measured on.
+	Memory []memEntry `json:"memory,omitempty"`
 	// IncDeduceStats snapshots the engine counters of the best parallel
 	// IncDeduce run: ML pair-cache hits/misses/size and feature-store
 	// hits/misses/entries, so the cache effectiveness is tracked in-repo
@@ -223,6 +273,151 @@ func stageSnapshot(reg *telemetry.Registry) []stageHist {
 	return out
 }
 
+// armRE, when non-nil, restricts which benchmark arms run (-arms).
+var armRE *regexp.Regexp
+
+// armOn reports whether the named arm is selected by -arms.
+func armOn(name string) bool { return armRE == nil || armRE.MatchString(name) }
+
+// peakRSSBytes reads the process high-water resident set (VmHWM) from
+// /proc/self/status. Returns 0 if unreadable (non-Linux).
+func peakRSSBytes() int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			f := strings.Fields(rest)
+			if len(f) >= 1 {
+				kb, _ := strconv.ParseInt(f[0], 10, 64)
+				return kb * 1024
+			}
+		}
+	}
+	return 0
+}
+
+// resetPeakRSS resets VmHWM to the current RSS so each storage arm
+// reports its own peak. Writing "5" to /proc/self/clear_refs needs
+// CAP_SYS_RESOURCE; failure is reported, not fatal.
+func resetPeakRSS() bool {
+	return os.WriteFile("/proc/self/clear_refs", []byte("5"), 0) == nil
+}
+
+// runStorageArms measures the memory axes the columnar storage work
+// targets: a bulk-ingest arm and a full Deduce arm at memscale
+// (~573K tuples at 20), plus an optional ~1M-tuple ingest+chase arm
+// under a memory budget (-mem1m/-membudget). Each arm starts from a
+// GC'd, OS-returned heap with the RSS high-water mark reset, so
+// DeltaLiveBytes and PeakRSSBytes attribute to the arm alone.
+func runStorageArms(memscale float64, mem1m bool, budget, budget1m int64) []memEntry {
+	var out []memEntry
+	reg := mlpred.DefaultRegistry()
+
+	measure := func(name string, scale float64, budget int64, run func() (tuples, facts int)) {
+		if !armOn(name) {
+			return
+		}
+		logg.Infof("measuring %s...", name)
+		runtime.GC()
+		debug.FreeOSMemory()
+		rssReset := resetPeakRSS()
+		if budget > 0 {
+			// A budgeted arm is a budgeted process: the engine bounds its
+			// own structures against MemBudgetBytes, and the runtime soft
+			// limit keeps GC headroom inside the same envelope so peak RSS
+			// tracks the budget rather than 2x the live heap.
+			prev := debug.SetMemoryLimit(budget)
+			defer debug.SetMemoryLimit(prev)
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		tuples, facts := run()
+		el := time.Since(t0)
+		runtime.GC()
+		runtime.ReadMemStats(&ms1)
+		e := memEntry{
+			Name:            name,
+			Scale:           scale,
+			Tuples:          tuples,
+			Facts:           facts,
+			NsTotal:         el.Nanoseconds(),
+			AllocsTotal:     int64(ms1.Mallocs - ms0.Mallocs),
+			AllocBytesTotal: int64(ms1.TotalAlloc - ms0.TotalAlloc),
+			LiveHeapBytes:   int64(ms1.HeapAlloc),
+			DeltaLiveBytes:  int64(ms1.HeapAlloc) - int64(ms0.HeapAlloc),
+			PeakRSSBytes:    peakRSSBytes(),
+			PeakRSSReset:    rssReset,
+			MemBudgetBytes:  budget,
+		}
+		if tuples > 0 {
+			e.BytesPerTuple = float64(e.DeltaLiveBytes) / float64(tuples)
+		}
+		out = append(out, e)
+	}
+
+	if memscale > 0 {
+		var g *datagen.Generated
+		var rules []*dcer.Rule
+		scaleName := strconv.FormatFloat(memscale, 'g', -1, 64)
+		measure("Ingest/scale"+scaleName, memscale, 0, func() (int, int) {
+			g = datagen.TPCH(datagen.TPCHOptions{Scale: memscale, Dup: 0.3, Seed: 1})
+			var err error
+			if rules, err = g.Rules(); err != nil {
+				fatal(err)
+			}
+			return g.D.Size(), 0
+		})
+		if g == nil {
+			// The ingest arm was filtered out but Deduce still needs data.
+			g = datagen.TPCH(datagen.TPCHOptions{Scale: memscale, Dup: 0.3, Seed: 1})
+			var err error
+			if rules, err = g.Rules(); err != nil {
+				fatal(err)
+			}
+		}
+		var eng *chase.Engine
+		measure("Deduce/scale"+scaleName, memscale, budget, func() (int, int) {
+			var err error
+			eng, err = chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true, MemBudgetBytes: budget})
+			if err != nil {
+				fatal(err)
+			}
+			facts := eng.Deduce()
+			return g.D.Size(), len(facts)
+		})
+		runtime.KeepAlive(eng)
+		// Drop the references so the 1M arm (or the caller) starts from a
+		// reclaimable heap.
+		eng, g, rules = nil, nil, nil
+		runtime.KeepAlive(eng)
+	}
+
+	if mem1m {
+		// TPCH scale 35 ≈ 1.0M tuples: ingest and chase measured as one
+		// arm, the whole pipeline held under the configured budget.
+		const mScale = 35.0
+		var eng *chase.Engine
+		measure("Chase1M/membudget", mScale, budget1m, func() (int, int) {
+			g := datagen.TPCH(datagen.TPCHOptions{Scale: mScale, Dup: 0.3, Seed: 1})
+			rules, err := g.Rules()
+			if err != nil {
+				fatal(err)
+			}
+			eng, err = chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true, MemBudgetBytes: budget1m})
+			if err != nil {
+				fatal(err)
+			}
+			facts := eng.Deduce()
+			return g.D.Size(), len(facts)
+		})
+		runtime.KeepAlive(eng)
+	}
+	return out
+}
+
 func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, expScale float64) *pass {
 	reg := mlpred.DefaultRegistry()
 	p := &pass{}
@@ -232,6 +427,9 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 		name := "Deduce/concurrent"
 		if seq {
 			name = "Deduce/sequential"
+		}
+		if !armOn(name) {
+			continue
 		}
 		logg.Infof("benchmarking %s...", name)
 		var last *chase.Engine
@@ -249,7 +447,7 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 		classes[seq] = dcer.CanonicalClasses(last.Classes())
 		p.entries = append(p.entries, toEntry(name, r))
 	}
-	if classes[true] != classes[false] {
+	if len(classes) == 2 && classes[true] != classes[false] {
 		fatal(fmt.Errorf("sequential and concurrent Deduce disagree on equivalence classes"))
 	}
 
@@ -266,19 +464,29 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 	// discards the triples a load spike corrupted outright — on this
 	// host a single spike otherwise moves even a best-pass sum by
 	// several percent, above the effect being measured.
-	logg.Infof("benchmarking Deduce/telemetry and Deduce/provenance (paired overhead samples)...")
 	treg := telemetry.NewRegistry()
+	if armOn("Deduce/telemetry") {
+		logg.Infof("benchmarking Deduce/telemetry and Deduce/provenance (paired overhead samples)...")
+		runOverheadTriples(p, g, rules, reg)
+	}
+	runIncDeduceArms(p, g, rules, reg, workers, fig6, expScale, treg)
+	return p
+}
+
+// runOverheadTriples measures the telemetry and provenance overhead arms
+// as tightly interleaved triples (see the comment at the call site).
+// Each instrumented run gets a throwaway registry: the engine's
+// gauge views close over engine state, so a registry shared across
+// runs would keep the previous engine reachable — ~100MB of GC
+// ballast that skews the pacing of whichever arm runs next. With a
+// fresh registry both arms allocate and drop the same object graph.
+// GC is disabled inside the timed region (a single chase allocates
+// ~50MB, well within budget): whether a run catches 1 or 2 GC
+// cycles moves it ±10%, two orders above the instrumentation cost,
+// while instrumentation's own GC pressure is visible in the
+// bytes/allocs columns (~200 allocs per chase).
+func runOverheadTriples(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *mlpred.Registry) {
 	const deducePairs = 6
-	// Each instrumented run gets a throwaway registry: the engine's
-	// gauge views close over engine state, so a registry shared across
-	// runs would keep the previous engine reachable — ~100MB of GC
-	// ballast that skews the pacing of whichever arm runs next. With a
-	// fresh registry both arms allocate and drop the same object graph.
-	// GC is disabled inside the timed region (a single chase allocates
-	// ~50MB, well within budget): whether a run catches 1 or 2 GC
-	// cycles moves it ±10%, two orders above the instrumentation cost,
-	// while instrumentation's own GC pressure is visible in the
-	// bytes/allocs columns (~200 allocs per chase).
 	oneDeduce := func(instrumented, prov bool) (time.Duration, int64, int64) {
 		runtime.GC()
 		var m *telemetry.Registry
@@ -330,80 +538,55 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 		e.AllocsPerOp /= deducePairs
 	}
 	p.entries = append(p.entries, pairTel, pairProv, pairBase)
+}
 
+// runIncDeduceArms runs the remaining arms of a pass: IncDeduce, the ML
+// cache microbenchmarks, the Partition arms, DMatch, and the Fig. 6
+// drivers, each gated by -arms.
+func runIncDeduceArms(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *mlpred.Registry, workers int, fig6 bool, expScale float64, treg *telemetry.Registry) {
 	// IncDeduce: replay a full chase's facts into a fresh engine through
 	// the incremental path A_Δ. The run is pure update-driven drain — the
 	// component that dominates the Fig. 6 drivers — A/B'd between the
 	// sequential and the batched parallel drain.
-	base, err := chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true})
-	if err != nil {
-		fatal(err)
-	}
-	facts := base.Deduce()
-	wantClasses := dcer.CanonicalClasses(base.Classes())
-	for _, seq := range []bool{true, false} {
-		name := "IncDeduce/parallel"
-		// An explicit DrainParallelMin forces the batched path even where
-		// the default would fall back to sequential (GOMAXPROCS=1 hosts).
-		opts := chase.Options{ShareIndexes: true, DrainParallelMin: chase.DefaultDrainParallelMin}
-		if seq {
-			name = "IncDeduce/sequential"
-			opts = chase.Options{ShareIndexes: true, SequentialDrain: true}
-		}
-		logg.Infof("benchmarking %s...", name)
-		var last *chase.Engine
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				eng, err := chase.New(g.D, rules, reg, opts)
-				if err != nil {
-					b.Fatal(err)
-				}
-				eng.IncDeduce(facts)
-				last = eng
-			}
-		})
-		if got := dcer.CanonicalClasses(last.Classes()); got != wantClasses {
-			fatal(fmt.Errorf("%s classes diverge from the full chase", name))
-		}
-		p.entries = append(p.entries, toEntry(name, r))
-		if !seq {
-			st := last.Stats()
-			p.incDeduceStats = &st
-		}
+	if armOn("IncDeduce") {
+		runIncDeduce(p, g, rules, reg)
 	}
 
 	// Cache microbenchmarks: the packed-key hit path of the sharded pair
 	// cache, and the feature store's bundle reuse over generated records.
-	logg.Infof("benchmarking MLCache/paircache...")
-	pc := mlpred.NewPairCache()
-	pcID := pc.ClassifierID("bench")
-	rPC := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			x := relation.TID(i % (1 << 16))
-			y := relation.TID((i * 7) % (1 << 16))
-			if _, ok := pc.Lookup(pcID, x, y); !ok {
-				pc.Store(pcID, x, y, true)
+	if armOn("MLCache/paircache") {
+		logg.Infof("benchmarking MLCache/paircache...")
+		pc := mlpred.NewPairCache()
+		pcID := pc.ClassifierID("bench")
+		rPC := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x := relation.TID(i % (1 << 16))
+				y := relation.TID((i * 7) % (1 << 16))
+				if _, ok := pc.Lookup(pcID, x, y); !ok {
+					pc.Store(pcID, x, y, true)
+				}
 			}
-		}
-	})
-	p.entries = append(p.entries, toEntry("MLCache/paircache", rPC))
+		})
+		p.entries = append(p.entries, toEntry("MLCache/paircache", rPC))
+	}
 
-	logg.Infof("benchmarking MLCache/featurestore...")
-	fs := mlpred.NewFeatureStore(0)
-	fsAttrs := fs.AttrsID([]int{1})
-	tuples := g.D.Tuples()
-	rFS := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		var vals []relation.Value
-		for i := 0; i < b.N; i++ {
-			t := tuples[i%len(tuples)]
-			vals = append(vals[:0], t.Values[1])
-			fs.Get(t.GID, fsAttrs, vals)
-		}
-	})
-	p.entries = append(p.entries, toEntry("MLCache/featurestore", rFS))
+	if armOn("MLCache/featurestore") {
+		logg.Infof("benchmarking MLCache/featurestore...")
+		fs := mlpred.NewFeatureStore(0)
+		fsAttrs := fs.AttrsID([]int{1})
+		tuples := g.D.Tuples()
+		rFS := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var vals []relation.Value
+			for i := 0; i < b.N; i++ {
+				t := tuples[i%len(tuples)]
+				vals = append(vals[:0], t.Val(1))
+				fs.Get(t.GID, fsAttrs, vals)
+			}
+		})
+		p.entries = append(p.entries, toEntry("MLCache/featurestore", rFS))
+	}
 
 	// Partition arms: the seed-era string-keyed reference partitioner vs
 	// the packed-key rewrite on its sequential path and at 8 shards. The
@@ -411,7 +594,7 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 	// byte-identical to the sequential one (the reference differs only in
 	// its LPT tie-break, so it is compared by its invariants in the
 	// hypart tests, not here).
-	{
+	if armOn("Partition") {
 		seqPart, err := hypart.Partition(g.D, rules, workers, hypart.Options{Share: true, Shards: 1})
 		if err != nil {
 			fatal(err)
@@ -454,6 +637,9 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 
 	for _, n := range []int{1, workers} {
 		name := fmt.Sprintf("DMatch/workers=%d", n)
+		if !armOn(name) {
+			continue
+		}
 		logg.Infof("benchmarking %s...", name)
 		var sim time.Duration
 		r := testing.Benchmark(func(b *testing.B) {
@@ -475,25 +661,27 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 	// per-worker busy time) and the HyPart shape to the same registry,
 	// then the combined snapshot is embedded in the report together with
 	// the run's routing profile.
-	dres, err := dmatch.Run(g.D, rules, reg, dmatch.Options{Workers: workers, Metrics: treg})
-	if err != nil {
-		fatal(err)
-	}
-	p.stageHists = stageSnapshot(treg)
-	var routeNs int64
-	for _, ss := range dres.Timeline().Steps {
-		routeNs += ss.RouteNs
-	}
-	p.routing = &routingStats{
-		Workers:         workers,
-		Supersteps:      dres.Supersteps,
-		MessagesRouted:  dres.MessagesRouted,
-		MessagesDeduped: dres.MessagesDeduped,
-		RouteNsTotal:    routeNs,
-		Rebalances:      len(dres.Rebalances),
-	}
-	if dres.Supersteps > 0 {
-		p.routing.RouteNsPerStep = routeNs / int64(dres.Supersteps)
+	if armOn("DMatch") {
+		dres, err := dmatch.Run(g.D, rules, reg, dmatch.Options{Workers: workers, Metrics: treg})
+		if err != nil {
+			fatal(err)
+		}
+		p.stageHists = stageSnapshot(treg)
+		var routeNs int64
+		for _, ss := range dres.Timeline().Steps {
+			routeNs += ss.RouteNs
+		}
+		p.routing = &routingStats{
+			Workers:         workers,
+			Supersteps:      dres.Supersteps,
+			MessagesRouted:  dres.MessagesRouted,
+			MessagesDeduped: dres.MessagesDeduped,
+			RouteNsTotal:    routeNs,
+			Rebalances:      len(dres.Rebalances),
+		}
+		if dres.Supersteps > 0 {
+			p.routing.RouteNsPerStep = routeNs / int64(dres.Supersteps)
+		}
 	}
 
 	if fig6 {
@@ -510,6 +698,9 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 			{"Fig6kl", experiments.Fig6KL},
 		}
 		for _, d := range drivers {
+			if !armOn(d.name) {
+				continue
+			}
 			logg.Infof("benchmarking %s...", d.name)
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
@@ -520,7 +711,48 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 			p.entries = append(p.entries, toEntry(d.name, r))
 		}
 	}
-	return p
+}
+
+// runIncDeduce measures the sequential and batched-parallel drain over a
+// replayed fact set and snapshots the parallel run's engine counters.
+func runIncDeduce(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *mlpred.Registry) {
+	base, err := chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true})
+	if err != nil {
+		fatal(err)
+	}
+	facts := base.Deduce()
+	wantClasses := dcer.CanonicalClasses(base.Classes())
+	for _, seq := range []bool{true, false} {
+		name := "IncDeduce/parallel"
+		// An explicit DrainParallelMin forces the batched path even where
+		// the default would fall back to sequential (GOMAXPROCS=1 hosts).
+		opts := chase.Options{ShareIndexes: true, DrainParallelMin: chase.DefaultDrainParallelMin}
+		if seq {
+			name = "IncDeduce/sequential"
+			opts = chase.Options{ShareIndexes: true, SequentialDrain: true}
+		}
+		logg.Infof("benchmarking %s...", name)
+		var last *chase.Engine
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng, err := chase.New(g.D, rules, reg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.IncDeduce(facts)
+				last = eng
+			}
+		})
+		if got := dcer.CanonicalClasses(last.Classes()); got != wantClasses {
+			fatal(fmt.Errorf("%s classes diverge from the full chase", name))
+		}
+		p.entries = append(p.entries, toEntry(name, r))
+		if !seq {
+			st := last.Stats()
+			p.incDeduceStats = &st
+		}
+	}
 }
 
 func main() {
@@ -529,14 +761,26 @@ func main() {
 	workers := flag.Int("workers", 8, "DMatch worker count")
 	fig6 := flag.Bool("fig6", true, "also run the Fig. 6 experiment drivers")
 	repeat := flag.Int("repeat", 3, "measure every benchmark this many times and keep the per-benchmark minimum")
-	out := flag.String("out", "BENCH_5.json", "output JSON path")
-	prev := flag.String("prev", "BENCH_4.json", "previous report to print the delta table against (empty or missing = skip)")
+	out := flag.String("out", "BENCH_6.json", "output JSON path")
+	prev := flag.String("prev", "BENCH_5.json", "previous report to print the delta table against (empty or missing = skip)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
+	arms := flag.String("arms", "", "regex selecting which benchmark arms run (empty = all)")
+	memscale := flag.Float64("memscale", 20, "TPCH scale for the storage arms (20 ≈ 573k tuples; 0 = skip)")
+	mem1m := flag.Bool("mem1m", false, "also run the ~1M-tuple ingest+chase arm (TPCH scale 35)")
+	membudget := flag.Int64("membudget", 0, "chase.Options.MemBudgetBytes for the memscale storage arms (0 = unbounded)")
+	mem1mbudget := flag.Int64("mem1mbudget", 1610612736, "MemBudgetBytes for the -mem1m arm (0 = unbounded; default 1.5 GiB)")
 	obs := cliutil.Register()
 	flag.Parse()
 	if *repeat < 1 {
 		*repeat = 1
+	}
+	if *arms != "" {
+		re, err := regexp.Compile(*arms)
+		if err != nil {
+			fatal(fmt.Errorf("bad -arms regex: %w", err))
+		}
+		armRE = re
 	}
 	var stopTel func()
 	var err error
@@ -626,6 +870,10 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, best[name])
 	}
 
+	// Storage arms run once, after the timing passes: the axes are live
+	// bytes and peak RSS, which repeated minima would not sharpen.
+	rep.Memory = runStorageArms(*memscale, *mem1m, *membudget, *mem1mbudget)
+
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -659,8 +907,41 @@ func main() {
 		rep.TelemetryOverheadPct)
 	fmt.Printf("provenance overhead: %+.2f%% (Deduce with an unbounded justification log vs the same arm; budget ≤ 5%%)\n",
 		rep.ProvenanceOverheadPct)
+	printMemTable(rep)
 	printAttribution(rep)
 	printDelta(rep, *prev)
+}
+
+// printMemTable renders the storage arms as a bytes/tuple table.
+func printMemTable(rep *report) {
+	if len(rep.Memory) == 0 {
+		return
+	}
+	fmt.Println("storage arms (live heap after GC; peak RSS per arm where resettable):")
+	fmt.Printf("  %-20s %9s %10s %8s %11s %11s %10s\n",
+		"arm", "tuples", "time", "B/tuple", "live-heap", "peak-RSS", "allocs")
+	for _, m := range rep.Memory {
+		rss := fmtBytes(m.PeakRSSBytes)
+		if !m.PeakRSSReset {
+			rss += "*"
+		}
+		fmt.Printf("  %-20s %9d %10s %8.1f %11s %11s %10d\n",
+			m.Name, m.Tuples, time.Duration(m.NsTotal).Round(time.Millisecond),
+			m.BytesPerTuple, fmtBytes(m.DeltaLiveBytes), rss, m.AllocsTotal)
+	}
+}
+
+// fmtBytes renders a byte count with a binary suffix.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30 || b <= -(1<<30):
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20 || b <= -(1<<20):
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10 || b <= -(1<<10):
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 // medianOverheadPct reduces the interleaved overhead triples to one
@@ -761,6 +1042,31 @@ func printDelta(rep *report, path string) {
 			newPerStep := float64(rep.RoutingStats.RouteNsPerStep)
 			fmt.Printf("  %-24s %12.0f -> %12.0f ns/superstep  %+6.1f%%\n",
 				"DMatch/route", oldPerStep, newPerStep, 100*(newPerStep-oldPerStep)/oldPerStep)
+		}
+	}
+	// Memory deltas: allocations and live/resident bytes per storage arm,
+	// with the × factor the acceptance criteria are stated in.
+	if len(rep.Memory) > 0 && len(old.Memory) > 0 {
+		prevMem := make(map[string]memEntry, len(old.Memory))
+		for _, m := range old.Memory {
+			prevMem[m.Name] = m
+		}
+		ratio := func(oldV, newV int64) string {
+			if newV <= 0 || oldV <= 0 {
+				return "n/a"
+			}
+			return fmt.Sprintf("%.2fx", float64(oldV)/float64(newV))
+		}
+		fmt.Printf("memory vs %s:\n", path)
+		for _, m := range rep.Memory {
+			o, ok := prevMem[m.Name]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-20s allocs %d -> %d (%s fewer)  live %s -> %s (%s lower)  peakRSS %s -> %s (%s lower)\n",
+				m.Name, o.AllocsTotal, m.AllocsTotal, ratio(o.AllocsTotal, m.AllocsTotal),
+				fmtBytes(o.DeltaLiveBytes), fmtBytes(m.DeltaLiveBytes), ratio(o.DeltaLiveBytes, m.DeltaLiveBytes),
+				fmtBytes(o.PeakRSSBytes), fmtBytes(m.PeakRSSBytes), ratio(o.PeakRSSBytes, m.PeakRSSBytes))
 		}
 	}
 }

@@ -93,11 +93,11 @@ func main() {
 		base := d.Relation("Account").Tuples[i]
 		alias := fmt.Sprintf("AF%d", i)
 		// Abbreviate "Alice Keller 42" -> "A. Keller 42".
-		nm := base.Values[1].Str
+		nm := base.Val(1).Str
 		abbrev := nm[:1] + "." + nm[ixSpace(nm):]
 		d.MustAppend("Account",
-			s(alias), s(abbrev), s(base.Values[2].Str),
-			s(base.Values[3].Str), s(base.Values[4].Str), s(base.Values[5].Str))
+			s(alias), s(abbrev), s(base.Val(2).Str),
+			s(base.Val(3).Str), s(base.Val(4).Str), s(base.Val(5).Str))
 		cloneShop := fmt.Sprintf("SF%d", i)
 		d.MustAppend("Shop",
 			s(cloneShop), s("Shop "+abbrev), s(alias), s(fmt.Sprintf("shop%d@mail.com", i)))
@@ -128,21 +128,21 @@ func main() {
 	ownerGID := map[string]dcer.TID{}
 	for _, sh := range d.Relation("Shop").Tuples {
 		for _, a := range d.Relation("Account").Tuples {
-			if a.Values[0].Str == sh.Values[2].Str {
-				ownerGID[sh.Values[0].Str] = a.GID
+			if a.Val(0).Str == sh.Val(2).Str {
+				ownerGID[sh.Val(0).Str] = a.GID
 			}
 		}
 	}
 	buyerGID := map[string]dcer.TID{}
 	for _, a := range d.Relation("Account").Tuples {
-		buyerGID[a.Values[0].Str] = a.GID
+		buyerGID[a.Val(0).Str] = a.GID
 	}
 	exposed := map[string]bool{}
 	for _, o := range d.Relation("Order").Tuples {
-		buyer, okB := buyerGID[o.Values[1].Str]
-		owner, okO := ownerGID[o.Values[2].Str]
+		buyer, okB := buyerGID[o.Val(1).Str]
+		owner, okO := ownerGID[o.Val(2).Str]
 		if okB && okO && buyer != owner && res.Same(buyer, owner) {
-			exposed[o.Values[2].Str] = true
+			exposed[o.Val(2).Str] = true
 		}
 	}
 	fmt.Printf("self-dealing shops exposed: %d\n", len(exposed))

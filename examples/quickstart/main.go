@@ -107,9 +107,9 @@ func main() {
 	shops := d.Relation("Shops")
 	ownerOf := func(shopNo string) *dcer.Tuple {
 		for _, sh := range shops.Tuples {
-			if sh.Values[0].Str == shopNo {
+			if sh.Val(0).Str == shopNo {
 				for _, c := range customers.Tuples {
-					if c.Values[0].Str == sh.Values[2].Str {
+					if c.Val(0).Str == sh.Val(2).Str {
 						return c
 					}
 				}
@@ -120,36 +120,36 @@ func main() {
 	reported := map[string]bool{}
 	for _, o1 := range orders.Tuples {
 		for _, o2 := range orders.Tuples {
-			if o1 == o2 || o1.Values[3].Str != o2.Values[3].Str {
+			if o1 == o2 || o1.Val(3).Str != o2.Val(3).Str {
 				continue // different products
 			}
 			// o1: buyer B1 buys from seller S1; o2: buyer B2 from S2.
 			// Fraud when B1 owns S2 and B2 owns S1 (as entities).
 			var b1, b2 *dcer.Tuple
 			for _, c := range customers.Tuples {
-				if c.Values[0].Str == o1.Values[1].Str {
+				if c.Val(0).Str == o1.Val(1).Str {
 					b1 = c
 				}
-				if c.Values[0].Str == o2.Values[1].Str {
+				if c.Val(0).Str == o2.Val(1).Str {
 					b2 = c
 				}
 			}
-			s1o, s2o := ownerOf(o1.Values[2].Str), ownerOf(o2.Values[2].Str)
+			s1o, s2o := ownerOf(o1.Val(2).Str), ownerOf(o2.Val(2).Str)
 			if b1 == nil || b2 == nil || s1o == nil || s2o == nil {
 				continue
 			}
 			if eng.Same(b1.GID, s2o.GID) && eng.Same(b2.GID, s1o.GID) {
-				sa, sb := o1.Values[2].Str, o2.Values[2].Str
+				sa, sb := o1.Val(2).Str, o2.Val(2).Str
 				if sb < sa {
 					sa, sb = sb, sa
 				}
-				key := sa + "|" + sb + "|" + o1.Values[3].Str
+				key := sa + "|" + sb + "|" + o1.Val(3).Str
 				if reported[key] {
 					continue
 				}
 				reported[key] = true
 				fmt.Printf("  shops %s and %s buy product %s from each other (owners %s / %s)\n",
-					sa, sb, o1.Values[3].Str, s1o.Values[0].Str, s2o.Values[0].Str)
+					sa, sb, o1.Val(3).Str, s1o.Val(0).Str, s2o.Val(0).Str)
 			}
 		}
 	}

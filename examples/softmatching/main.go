@@ -66,7 +66,7 @@ func main() {
 	fmt.Println("Soft match scores:")
 	for _, m := range res.Matches(0.1) {
 		ta, tb := d.Tuple(m.A), d.Tuple(m.B)
-		fmt.Printf("  P=%.3f  %s  ~  %s\n", m.P, ta.Values[0].Str, tb.Values[0].Str)
+		fmt.Printf("  P=%.3f  %s  ~  %s\n", m.P, ta.Val(0).Str, tb.Val(0).Str)
 	}
 
 	fmt.Println("\nHardened at τ=0.8:")
@@ -77,7 +77,7 @@ func main() {
 			} else {
 				fmt.Print("  ")
 			}
-			fmt.Print(d.Tuple(gid).Values[0].Str)
+			fmt.Print(d.Tuple(gid).Val(0).Str)
 		}
 		fmt.Println()
 	}
@@ -89,7 +89,7 @@ func main() {
 			} else {
 				fmt.Print("  ")
 			}
-			fmt.Print(d.Tuple(gid).Values[0].Str)
+			fmt.Print(d.Tuple(gid).Val(0).Str)
 		}
 		fmt.Println()
 	}

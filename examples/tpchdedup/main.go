@@ -70,8 +70,8 @@ func main() {
 			continue
 		}
 		a, b := g.D.Tuple(p[0]), g.D.Tuple(p[1])
-		fmt.Printf("  lineitem %s == %s\n", a.Values[0].Str, b.Values[0].Str)
-		ok1, ok2 := a.Values[1].Str, b.Values[1].Str
+		fmt.Printf("  lineitem %s == %s\n", a.Val(0).Str, b.Val(0).Str)
+		ok1, ok2 := a.Val(1).Str, b.Val(1).Str
 		fmt.Printf("  <- orders  %s == %s (same totalprice/date, matched customers)\n", ok1, ok2)
 		cust1, cust2 := findOrderCust(g.D, ok1), findOrderCust(g.D, ok2)
 		fmt.Printf("  <- customer %s == %s (same phone, ML-similar names, matched nations)\n", cust1[0], cust2[0])
@@ -85,14 +85,14 @@ func main() {
 func findOrderCust(d *dcer.Dataset, orderkey string) [2]string {
 	var custkey string
 	for _, o := range d.Relation("orders").Tuples {
-		if o.Values[0].Str == orderkey {
-			custkey = o.Values[1].Str
+		if o.Val(0).Str == orderkey {
+			custkey = o.Val(1).Str
 			break
 		}
 	}
 	for _, c := range d.Relation("customer").Tuples {
-		if c.Values[0].Str == custkey {
-			return [2]string{custkey, c.Values[3].Str}
+		if c.Val(0).Str == custkey {
+			return [2]string{custkey, c.Val(3).Str}
 		}
 	}
 	return [2]string{custkey, "?"}
@@ -100,8 +100,8 @@ func findOrderCust(d *dcer.Dataset, orderkey string) [2]string {
 
 func nationName(d *dcer.Dataset, nationkey string) string {
 	for _, n := range d.Relation("nation").Tuples {
-		if n.Values[0].Str == nationkey {
-			return strings.TrimSpace(n.Values[1].Str)
+		if n.Val(0).Str == nationkey {
+			return strings.TrimSpace(n.Val(1).Str)
 		}
 	}
 	return "?"

@@ -35,7 +35,7 @@ func recordText(s *relation.Schema, t *relation.Tuple) string {
 		if b.Len() > 0 {
 			b.WriteByte(' ')
 		}
-		b.WriteString(t.Values[i].Str)
+		b.WriteString(t.Val(i).Str)
 	}
 	return b.String()
 }
@@ -82,7 +82,7 @@ func keyBlocks(rel *relation.Relation, maxBlock int) [][]*relation.Tuple {
 		}
 		groups := make(map[string][]*relation.Tuple)
 		for _, t := range rel.Tuples {
-			v := t.Values[ai]
+			v := t.Val(ai)
 			if v.IsZero() {
 				continue
 			}
@@ -128,8 +128,8 @@ func avgSimilarity(s *relation.Schema, a, b *relation.Tuple) float64 {
 		}
 		cnt++
 		if attr.Type == relation.TypeString {
-			sum += mlpred.JaroWinkler(a.Values[i].Str, b.Values[i].Str)
-		} else if a.Values[i].Equal(b.Values[i]) {
+			sum += mlpred.JaroWinkler(a.Val(i).Str, b.Val(i).Str)
+		} else if a.Val(i).Equal(b.Val(i)) {
 			sum++
 		}
 	}

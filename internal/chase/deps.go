@@ -1,24 +1,91 @@
 package chase
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"dcer/internal/fnv"
 	"dcer/internal/relation"
 )
 
-// Literal is one id or ML literal appearing in a dependency of H.
+// Literal is one id or ML literal appearing in a dependency of H. The
+// classifier name of an ML literal is held as an index into the
+// process-wide model table, packing a literal into 12 bytes — H holds
+// hundreds of thousands of these at million-tuple scale, so the
+// per-literal string header is the difference between H fitting a
+// memory budget and not.
 type Literal struct {
-	Kind  FactKind
 	A, B  relation.TID
-	Model string
+	model uint16
+	Kind  FactKind
 }
 
-// less orders literals for the normalized dependency bodies.
+// mlLit builds an ML-prediction literal, interning the model name.
+func mlLit(model string, a, b relation.TID) Literal {
+	return Literal{Kind: FactML, A: a, B: b, model: internModel(model)}
+}
+
+// matchLit builds an id-match literal.
+func matchLit(a, b relation.TID) Literal {
+	return Literal{Kind: FactMatch, A: a, B: b}
+}
+
+// ModelName resolves the classifier name of an ML literal ("" for a
+// match literal).
+func (l Literal) ModelName() string { return modelName(l.model) }
+
+// modelTab interns ML model names process-wide. A ruleset references a
+// handful of classifiers, so the table stays tiny and is never pruned;
+// reads go through an atomically published slice so the chase hot path
+// never takes the lock.
+var modelTab = struct {
+	mu    sync.Mutex
+	idx   map[string]uint16
+	names atomic.Pointer[[]string]
+}{idx: map[string]uint16{"": 0}}
+
+func init() {
+	names := []string{""}
+	modelTab.names.Store(&names)
+}
+
+func internModel(s string) uint16 {
+	if s == "" {
+		return 0
+	}
+	names := *modelTab.names.Load()
+	// Fast path: linear scan of the published table — it holds a handful
+	// of entries and stays resident in cache.
+	for i, n := range names {
+		if n == s {
+			return uint16(i)
+		}
+	}
+	modelTab.mu.Lock()
+	defer modelTab.mu.Unlock()
+	if i, ok := modelTab.idx[s]; ok {
+		return i
+	}
+	old := *modelTab.names.Load()
+	i := uint16(len(old))
+	modelTab.idx[s] = i
+	next := append(append(make([]string, 0, len(old)+1), old...), s)
+	modelTab.names.Store(&next)
+	return i
+}
+
+func modelName(i uint16) string { return (*modelTab.names.Load())[i] }
+
+// less orders literals for the normalized dependency bodies. ML
+// literals compare by model name (not table index) so body order — and
+// therefore dependency fingerprints and provenance output — does not
+// depend on interning order.
 func (l Literal) less(o Literal) bool {
 	if l.Kind != o.Kind {
 		return l.Kind < o.Kind
 	}
-	if l.Model != o.Model {
-		return l.Model < o.Model
+	if l.model != o.model {
+		return l.ModelName() < o.ModelName()
 	}
 	if l.A != o.A {
 		return l.A < o.A
@@ -29,7 +96,7 @@ func (l Literal) less(o Literal) bool {
 // hashInto folds the literal into an FNV-1a state.
 func (l Literal) hashInto(h uint64) uint64 {
 	h = fnv.Byte(h, byte(l.Kind))
-	h = fnv.String(h, l.Model)
+	h = fnv.String(h, modelName(l.model))
 	h = fnv.Uint64(h, uint64(l.A))
 	return fnv.Uint64(h, uint64(l.B))
 }
@@ -43,38 +110,89 @@ type Dep struct {
 	Body []Literal
 	Head Literal
 	J    *justification
+
+	// seq distinguishes reincarnations of a recycled slab slot, so stale
+	// insertion-order entries are skipped instead of evicting a newcomer.
+	seq uint64
 }
 
-// key fingerprints the dependency with FNV-1a over its normalized body
+// depKey fingerprints a dependency with FNV-1a over its normalized body
 // (the caller sorts) and head. The store treats equal fingerprints as
 // duplicates; in the astronomically unlikely event of a collision the
 // dropped dependency is recovered by the update-driven re-evaluation
 // path, which never relies on H for correctness.
-func (d *Dep) key() uint64 {
+func depKey(body []Literal, head Literal) uint64 {
 	h := uint64(fnv.Offset64)
-	for _, l := range d.Body {
+	for _, l := range body {
 		h = l.hashInto(h)
 		h = fnv.Byte(h, ';')
 	}
 	h = fnv.Byte(h, '>')
-	return d.Head.hashInto(h)
+	return head.hashInto(h)
 }
 
-// DepStore is the bounded dependency set H. Capacity K bounds memory;
-// when full, new dependencies are dropped and correctness falls back to
+// key fingerprints the dependency. See depKey.
+func (d *Dep) key() uint64 { return depKey(d.Body, d.Head) }
+
+// Byte-accounting constants: a stored dependency costs roughly one Dep
+// struct, a cell in the deps map, a cell (amortized) in byHead, and one
+// insertion-order entry; each body literal costs one Literal slot. The
+// estimates only steer the byte budget — they are deliberately on the
+// generous side so a budgeted store undershoots rather than overshoots.
+const (
+	depSlab       = 512 // Deps per slab chunk (stable pointers)
+	depFixedBytes = 176
+	depLitBytes   = 16
+)
+
+// fifoEnt is one insertion-order record; key resolves through the deps
+// map at eviction time and seq guards against recycled slots.
+type fifoEnt struct {
+	key uint64
+	seq uint64
+}
+
+// DepStore is the bounded dependency set H. Capacity K bounds the entry
+// count and ByteBudget bounds the resident bytes; when either bound is
+// hit, dependencies are shed (newcomers dropped at the count bound,
+// oldest entries evicted at the byte bound) and correctness falls back to
 // the update-driven re-evaluation path of IncDeduce. Whenever a head
 // becomes validated, every dependency with that head is discarded
 // (it "will no longer be checked later on").
+//
+// Dep structs live in slab chunks and their body buffers are recycled
+// across insert/remove cycles, so a chase run allocates O(peak resident
+// deps) for H rather than O(deps ever recorded).
 type DepStore struct {
 	cap     int
+	budget  int64 // resident-byte bound; 0 = unbounded
+	bytes   int64 // current estimated resident bytes
 	deps    map[uint64]*Dep
 	byHead  map[Literal][]uint64 // head -> dep keys
 	dropped int
+	evicted int
+
+	slabs  [][]Dep
+	free   []*Dep
+	fifo   []fifoEnt // insertion order; may carry stale entries
+	fifoLo int
+	seq    uint64
 }
 
 // NewDepStore creates a store with capacity k (k ≤ 0 means unbounded).
 func NewDepStore(k int) *DepStore {
 	return &DepStore{cap: k, deps: make(map[uint64]*Dep), byHead: make(map[Literal][]uint64)}
+}
+
+// SetByteBudget bounds the store's estimated resident bytes; inserting
+// past the bound evicts the oldest dependencies first (spill-to-
+// regeneration: the update-driven path re-derives anything evicted that
+// still matters). n ≤ 0 removes the bound.
+func (s *DepStore) SetByteBudget(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	s.budget = n
 }
 
 // Len returns the number of stored dependencies.
@@ -83,10 +201,23 @@ func (s *DepStore) Len() int { return len(s.deps) }
 // Dropped returns how many dependencies were rejected for capacity.
 func (s *DepStore) Dropped() int { return s.dropped }
 
+// Evicted returns how many resident dependencies were displaced by the
+// byte budget to make room for newer ones.
+func (s *DepStore) Evicted() int { return s.evicted }
+
+// MemBytes returns the store's estimated resident bytes.
+func (s *DepStore) MemBytes() int64 { return s.bytes }
+
 // Add inserts a dependency unless it is a duplicate or the store is full.
 // It reports whether the dependency is stored (true also for duplicates).
-func (s *DepStore) Add(d *Dep) bool {
-	k := d.key()
+// The store copies the body into its own storage; the argument is not
+// retained.
+func (s *DepStore) Add(d *Dep) bool { return s.add(d.Body, d.Head, d.J) }
+
+// add is the allocation-free insert path: body is copied into a recycled
+// slab slot, so callers may pass scratch buffers.
+func (s *DepStore) add(body []Literal, head Literal, j *justification) bool {
+	k := depKey(body, head)
 	if _, dup := s.deps[k]; dup {
 		return true
 	}
@@ -94,15 +225,100 @@ func (s *DepStore) Add(d *Dep) bool {
 		s.dropped++
 		return false
 	}
+	if s.budget > 0 {
+		need := int64(depFixedBytes + len(body)*depLitBytes)
+		for s.bytes+need > s.budget && s.evictOldest() {
+		}
+		if s.bytes+need > s.budget {
+			s.dropped++
+			return false
+		}
+	}
+	d := s.alloc()
+	d.Body = append(d.Body[:0], body...)
+	d.Head = head
+	d.J = j
+	s.seq++
+	d.seq = s.seq
 	s.deps[k] = d
-	s.byHead[d.Head] = append(s.byHead[d.Head], k)
+	s.byHead[head] = append(s.byHead[head], k)
+	s.fifo = append(s.fifo, fifoEnt{key: k, seq: d.seq})
+	s.bytes += int64(depFixedBytes + cap(d.Body)*depLitBytes)
 	return true
+}
+
+// alloc hands out a Dep slot: a recycled one (body capacity retained) if
+// available, else the next cell of the current slab chunk.
+func (s *DepStore) alloc() *Dep {
+	if n := len(s.free); n > 0 {
+		d := s.free[n-1]
+		s.free = s.free[:n-1]
+		return d
+	}
+	if len(s.slabs) == 0 || len(s.slabs[len(s.slabs)-1]) == cap(s.slabs[len(s.slabs)-1]) {
+		s.slabs = append(s.slabs, make([]Dep, 0, depSlab))
+	}
+	sl := &s.slabs[len(s.slabs)-1]
+	*sl = append(*sl, Dep{})
+	return &(*sl)[len(*sl)-1]
+}
+
+// release returns a slot to the free list, dropping references the GC
+// cares about but keeping the body buffer for the next occupant.
+func (s *DepStore) release(d *Dep) {
+	s.bytes -= int64(depFixedBytes + cap(d.Body)*depLitBytes)
+	d.Body = d.Body[:0]
+	d.J = nil
+	s.free = append(s.free, d)
+}
+
+// evictOldest removes the oldest resident dependency, skipping stale
+// insertion-order entries. It reports whether anything was evicted.
+func (s *DepStore) evictOldest() bool {
+	for s.fifoLo < len(s.fifo) {
+		ent := s.fifo[s.fifoLo]
+		s.fifoLo++
+		if s.fifoLo > 1024 && s.fifoLo > len(s.fifo)/2 {
+			s.fifo = append(s.fifo[:0], s.fifo[s.fifoLo:]...)
+			s.fifoLo = 0
+		}
+		d, ok := s.deps[ent.key]
+		if !ok || d.seq != ent.seq {
+			continue // the slot was removed or recycled since insertion
+		}
+		s.removeKey(ent.key, d)
+		s.evicted++
+		return true
+	}
+	return false
+}
+
+// removeKey unlinks one dependency from the maps and recycles its slot.
+func (s *DepStore) removeKey(k uint64, d *Dep) {
+	delete(s.deps, k)
+	keys := s.byHead[d.Head]
+	for i, dk := range keys {
+		if dk == k {
+			keys[i] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+			break
+		}
+	}
+	if len(keys) == 0 {
+		delete(s.byHead, d.Head)
+	} else {
+		s.byHead[d.Head] = keys
+	}
+	s.release(d)
 }
 
 // RemoveHead discards every dependency whose head is l.
 func (s *DepStore) RemoveHead(l Literal) {
 	for _, dk := range s.byHead[l] {
-		delete(s.deps, dk)
+		if d, ok := s.deps[dk]; ok {
+			delete(s.deps, dk)
+			s.release(d)
+		}
 	}
 	delete(s.byHead, l)
 }
@@ -111,10 +327,13 @@ func (s *DepStore) RemoveHead(l Literal) {
 // fully satisfied according to sat; fired dependencies are removed (along
 // with every other dependency sharing the same head). The full scan
 // mirrors lines 2-3 of IncDeduce in the paper; H is bounded so the scan
-// is cheap. The *Dep is returned (not just the head) so the caller can
-// reconstruct the derivation's justification from the stored evidence.
-func (s *DepStore) Fire(sat func(Literal) bool) []*Dep {
-	var fired []*Dep
+// is cheap. The whole Dep is returned (not just the head) so the caller
+// can reconstruct the derivation's justification from the stored
+// evidence. The returned entries are value copies whose body buffers stay
+// intact until a later Add recycles the freed slots, so consume them
+// before inserting again.
+func (s *DepStore) Fire(sat func(Literal) bool) []Dep {
+	var fired []Dep
 	for _, d := range s.deps {
 		ok := true
 		for _, l := range d.Body {
@@ -124,11 +343,11 @@ func (s *DepStore) Fire(sat func(Literal) bool) []*Dep {
 			}
 		}
 		if ok {
-			fired = append(fired, d)
+			fired = append(fired, *d)
 		}
 	}
-	for _, d := range fired {
-		s.RemoveHead(d.Head)
+	for i := range fired {
+		s.RemoveHead(fired[i].Head)
 	}
 	return fired
 }

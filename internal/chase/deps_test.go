@@ -77,8 +77,8 @@ func TestDepStoreRemoveHead(t *testing.T) {
 
 func TestLiteralKeysDistinct(t *testing.T) {
 	a := Literal{Kind: FactMatch, A: 1, B: 2}
-	b := Literal{Kind: FactML, Model: "m", A: 1, B: 2}
-	c := Literal{Kind: FactML, Model: "n", A: 1, B: 2}
+	b := mlLit("m", 1, 2)
+	c := mlLit("n", 1, 2)
 	const basis = 14695981039346656037
 	if a.hashInto(basis) == b.hashInto(basis) || b.hashInto(basis) == c.hashInto(basis) {
 		t.Error("literal hashes collide across kinds/models")

@@ -47,9 +47,11 @@ type drainJob struct {
 func (e *Engine) drain() {
 	for {
 		progressed := false
+		e.rebudget()
 		// Lines 2-3 of IncDeduce: fire satisfied dependencies.
 		fired := e.H.Fire(e.satisfied)
-		for _, dp := range fired {
+		for i := range fired {
+			dp := &fired[i]
 			e.cnt.depsFired.Add(1)
 			var j *justification
 			if e.prov != nil {
@@ -250,14 +252,15 @@ func (e *Engine) mergeCtx(ctx *evalCtx) {
 		e.applyFactJ(literalFact(l), j)
 	}
 	for i := range ctx.deps {
-		// H retains the *Dep it is handed; copy out of the buffer so the
-		// context can be reused.
-		d := ctx.deps[i]
-		if e.H.Add(&d) {
+		// The store copies the body into its own slab storage, so the
+		// context's literal arena can be reused immediately after.
+		d := &ctx.deps[i]
+		if e.H.add(d.Body, d.Head, d.J) {
 			e.cnt.depsRecorded.Add(1)
 		}
 	}
 	ctx.facts = ctx.facts[:0]
 	ctx.deps = ctx.deps[:0]
 	ctx.justs = ctx.justs[:0]
+	ctx.litArena = ctx.litArena[:0]
 }

@@ -70,6 +70,14 @@ type Options struct {
 	// branch per applied fact, nothing on the valuation hot path. The
 	// parallel engine passes each worker a log stamped with its id.
 	Provenance *provenance.Log
+	// MemBudgetBytes caps the engine's accounted memory: the dataset's
+	// arenas, the Γ fact log, and the dependency store H. When the live
+	// estimate exceeds the budget the engine spills H oldest-first
+	// (spill-to-regeneration: a dropped dependency is re-derived by the
+	// update-driven path on demand, the same invariant that makes the
+	// MaxDeps drop path safe), so a chase over a dataset that fits the
+	// budget completes without Γ/H pushing it over. 0 means unbounded.
+	MemBudgetBytes int64
 }
 
 // DefaultMaxDeps is the default capacity of the dependency store.
@@ -174,19 +182,26 @@ type Engine struct {
 	reg   *mlpred.Registry
 	opts  Options
 
-	uf        *unionfind.UnionFind
-	members   map[int][]relation.TID // root -> hosted members of the class
+	uf *unionfind.UnionFind
+	// members maps a class root to the hosted members of the class.
+	// Singleton classes are implicit: a root with no entry is the class
+	// {root} when the engine hosts that tuple (and empty otherwise), so
+	// the map only materializes classes an actual merge touched — at
+	// million-tuple scale that is the difference between |D| seeded
+	// slices and |matches| merged ones.
+	members   map[int][]relation.TID
 	validated map[mlKey]bool
 	H         *DepStore
 	ixSets    map[*relation.Dataset]*relation.IndexSet // shared per scope
 	pairCache *mlpred.PairCache
 	feats     *mlpred.FeatureStore
 
-	// idIndex maps, per relation, the canonical key of a literal id value
-	// to the first tuple carrying it, so setup pre-merging and the ΔD path
-	// of InsertTuples find duplicate ids in O(1) instead of scanning the
-	// relation per tuple.
-	idIndex []map[string]relation.TID
+	// idIndex maps, per relation, the packed storage word of a literal id
+	// value to the first tuple carrying it, so setup pre-merging and the
+	// ΔD path of InsertTuples find duplicate ids in O(1) instead of
+	// scanning the relation per tuple. Words are exact within a relation
+	// (one typed id column), so no canonical key strings are built.
+	idIndex []map[uint64]relation.TID
 
 	dynamicModels map[string]bool
 
@@ -273,7 +288,7 @@ func NewScoped(d *relation.Dataset, rules []*rule.Rule, scopes []*relation.Datas
 		reg:           reg,
 		opts:          opts,
 		uf:            unionfind.New(idSpace),
-		members:       make(map[int][]relation.TID, d.Size()),
+		members:       make(map[int][]relation.TID),
 		validated:     make(map[mlKey]bool),
 		H:             NewDepStore(opts.MaxDeps),
 		ixSets:        make(map[*relation.Dataset]*relation.IndexSet),
@@ -288,9 +303,6 @@ func NewScoped(d *relation.Dataset, rules []*rule.Rule, scopes []*relation.Datas
 	e.provOrigin = provenance.OriginIDDup
 	if opts.Metrics != nil {
 		e.initMetrics(opts.Metrics, opts.MetricsLabels)
-	}
-	for _, t := range d.Tuples() {
-		e.members[int(t.GID)] = []relation.TID{t.GID}
 	}
 	for _, r := range rules {
 		if r.Head.Kind == rule.PredML {
@@ -311,19 +323,20 @@ func NewScoped(d *relation.Dataset, rules []*rule.Rule, scopes []*relation.Datas
 			e.anyIDs = true
 		}
 	}
+	e.rebudget()
 	// Tuples sharing a literal id value within a relation denote the same
 	// entity by definition; pre-merge them (these trivial matches are not
 	// reported in Γ). The id index is retained so InsertTuples can find
 	// later duplicates without re-scanning the relation.
-	e.idIndex = make([]map[string]relation.TID, len(d.Relations))
+	e.idIndex = make([]map[uint64]relation.TID, len(d.Relations))
 	for ri, rel := range d.Relations {
-		byID := make(map[string]relation.TID, len(rel.Tuples))
+		byID := make(map[uint64]relation.TID, len(rel.Tuples))
 		for _, t := range rel.Tuples {
-			k := t.Values[rel.Schema.IDAttr].Key()
-			if first, ok := byID[k]; ok {
+			w := t.IDWord()
+			if first, ok := byID[w]; ok {
 				e.unionInternal(first, t.GID)
 			} else {
-				byID[k] = t.GID
+				byID[w] = t.GID
 			}
 		}
 		e.idIndex[ri] = byID
@@ -468,6 +481,73 @@ func (e *Engine) frozenRoots() []int32 {
 	return roots
 }
 
+// MemUsage is the engine's accounted memory estimate under
+// Options.MemBudgetBytes: the dataset's columnar arenas (packed columns,
+// symbol table, tuple handles), the deduced set Γ (fact logs, class
+// members, validated predictions, pending events), and the dependency
+// store H. Inverted indexes and ML caches are not part of the account —
+// the budget governs the structures that grow with the chase itself.
+type MemUsage struct {
+	DatasetBytes int64
+	GammaBytes   int64
+	DepsBytes    int64
+	BudgetBytes  int64
+}
+
+// Total sums the accounted components.
+func (m MemUsage) Total() int64 { return m.DatasetBytes + m.GammaBytes + m.DepsBytes }
+
+// Mem returns the engine's current accounted memory estimate.
+func (e *Engine) Mem() MemUsage {
+	return MemUsage{
+		DatasetBytes: e.d.MemBytes(),
+		GammaBytes:   e.gammaBytes(),
+		DepsBytes:    e.H.MemBytes(),
+		BudgetBytes:  e.opts.MemBudgetBytes,
+	}
+}
+
+// gammaBytes estimates Γ's resident footprint: the match and validated
+// fact logs (gamma + delta copies), the validated map, the materialized
+// class-member slices, and the pending event queue.
+func (e *Engine) gammaBytes() int64 {
+	n := int64(cap(e.gamma.Matches)+cap(e.gamma.Validated)+cap(e.delta)) * 32
+	n += int64(len(e.validated)) * 64
+	n += int64(len(e.members)) * 48
+	for _, ms := range e.members {
+		n += int64(cap(ms)) * 4
+	}
+	n += int64(cap(e.queue)) * 64
+	return n
+}
+
+// rebudget refreshes H's byte bound from the live estimate: H may keep
+// whatever Options.MemBudgetBytes leaves after the dataset and Γ, and
+// sheds oldest-first when Γ's growth squeezes it (spill-to-regeneration —
+// an evicted dependency is re-derived by the update-driven path when its
+// head still matters, the invariant the MaxDeps drop path already relies
+// on). Called at setup and once per drain round; Γ only grows, so between
+// calls H can overshoot by at most one round's Γ growth.
+func (e *Engine) rebudget() {
+	b := e.opts.MemBudgetBytes
+	if b <= 0 && e.tel == nil {
+		return
+	}
+	ds, gb := e.d.MemBytes(), e.gammaBytes()
+	e.cnt.memDataset.Store(ds)
+	e.cnt.memGamma.Store(gb)
+	e.cnt.memDeps.Store(e.H.MemBytes())
+	e.cnt.memEvicted.Store(int64(e.H.Evicted()))
+	if b <= 0 {
+		return
+	}
+	rem := b - ds - gb
+	if rem < 1 {
+		rem = 1 // keep the bound active: every insert sheds immediately
+	}
+	e.H.SetByteBudget(rem)
+}
+
 // Same reports whether two tuples are currently matched (t.id = s.id ∈ Γ).
 func (e *Engine) Same(a, b relation.TID) bool {
 	return a == b || e.uf.Same(int(a), int(b))
@@ -478,6 +558,21 @@ func (e *Engine) Validated(model string, a, b relation.TID) bool {
 	return e.validated[mlKey{model, a, b}]
 }
 
+// membersOf returns the hosted members of the class rooted at r. A root
+// with no stored entry is an implicit singleton: {r} when the engine
+// hosts tuple r, empty otherwise (remote ids merged in from other
+// workers). Only call with current roots — a stale root's absence would
+// read as a singleton.
+func (e *Engine) membersOf(r int) []relation.TID {
+	if ms, ok := e.members[r]; ok {
+		return ms
+	}
+	if e.d.Has(relation.TID(r)) {
+		return []relation.TID{relation.TID(r)}
+	}
+	return nil
+}
+
 // unionInternal merges two classes without reporting a fact; used for
 // literal id-value duplicates at setup.
 func (e *Engine) unionInternal(a, b relation.TID) {
@@ -485,7 +580,7 @@ func (e *Engine) unionInternal(a, b relation.TID) {
 	if ra == rb {
 		return
 	}
-	ma, mb := e.members[ra], e.members[rb]
+	ma, mb := e.membersOf(ra), e.membersOf(rb)
 	e.uf.Union(ra, rb)
 	root := e.uf.Find(ra)
 	merged := append(append(make([]relation.TID, 0, len(ma)+len(mb)), ma...), mb...)
@@ -514,7 +609,7 @@ func (e *Engine) applyFactJ(f Fact, j *justification) bool {
 		if ra == rb {
 			return false
 		}
-		ma, mb := e.members[ra], e.members[rb]
+		ma, mb := e.membersOf(ra), e.membersOf(rb)
 		e.uf.Union(ra, rb)
 		root := e.uf.Find(ra)
 		merged := append(append(make([]relation.TID, 0, len(ma)+len(mb)), ma...), mb...)
@@ -663,7 +758,7 @@ func literalFact(l Literal) Fact {
 	if l.Kind == FactMatch {
 		return MatchFact(l.A, l.B)
 	}
-	return MLFact(l.Model, l.A, l.B)
+	return MLFact(l.ModelName(), l.A, l.B)
 }
 
 // satisfied reports whether a dependency literal currently holds in Γ.
@@ -671,7 +766,7 @@ func (e *Engine) satisfied(l Literal) bool {
 	if l.Kind == FactMatch {
 		return e.Same(l.A, l.B)
 	}
-	return e.validated[mlKey{l.Model, l.A, l.B}]
+	return e.validated[mlKey{l.ModelName(), l.A, l.B}]
 }
 
 // Run executes the full sequential algorithm Match and returns Γ.

@@ -48,6 +48,12 @@ type evalCtx struct {
 	rvals   []relation.Value
 	unsat   []Literal
 	seedBuf []*relation.Tuple
+
+	// litArena batches the buffered path's dependency-body copies into
+	// chunked appends; the slices handed out stay valid because a full
+	// chunk is replaced, never regrown. Reset by mergeCtx once the deps
+	// have been copied into H's own storage.
+	litArena []Literal
 }
 
 // reset points the context at rule br and clears the binding scratch.
@@ -88,18 +94,37 @@ func (c *evalCtx) apply(l Literal, j *justification) {
 	c.e.applyFactJ(literalFact(l), j)
 }
 
-// recordDep stores dependency body → head, copying the body out of the
-// scratch buffer. The justification holds the evidence already satisfied
-// at emit time, completed by the body when the dependency fires.
+// recordDep stores dependency body → head. The direct path hands the
+// scratch body straight to H, which copies it into slab storage; the
+// buffered path copies it into the context's literal arena so the scratch
+// buffer can be reused before the merge. The justification holds the
+// evidence already satisfied at emit time, completed by the body when the
+// dependency fires.
 func (c *evalCtx) recordDep(body []Literal, head Literal, j *justification) {
-	owned := append([]Literal(nil), body...)
 	if c.buffered {
-		c.deps = append(c.deps, Dep{Body: owned, Head: head, J: j})
+		c.deps = append(c.deps, Dep{Body: c.ownLits(body), Head: head, J: j})
 		return
 	}
-	if c.e.H.Add(&Dep{Body: owned, Head: head, J: j}) {
+	if c.e.H.add(body, head, j) {
 		c.e.cnt.depsRecorded.Add(1)
 	}
+}
+
+// ownLits copies body into the context's chunked literal arena and
+// returns a capacity-clipped view. A chunk that cannot fit the copy is
+// swapped for a fresh one (the old chunk stays alive through the views
+// already handed out), so views never move.
+func (c *evalCtx) ownLits(body []Literal) []Literal {
+	if len(c.litArena)+len(body) > cap(c.litArena) {
+		n := 1024
+		if len(body) > n {
+			n = len(body)
+		}
+		c.litArena = make([]Literal, 0, n)
+	}
+	lo := len(c.litArena)
+	c.litArena = append(c.litArena, body...)
+	return c.litArena[lo:len(c.litArena):len(c.litArena)]
 }
 
 // enumerate walks the valuations of the context's rule, starting from an
@@ -175,10 +200,10 @@ func (c *evalCtx) candidatesFor(v int) []*relation.Tuple {
 	for _, p := range br.eqs {
 		if p.V1 == v && binding[p.V2] != nil {
 			ix := c.e.indexFor(br, relIdx, p.A1)
-			consider(ix.Lookup(binding[p.V2].Values[p.A2]))
+			consider(ix.LookupTuple(binding[p.V2], p.A2))
 		} else if p.V2 == v && binding[p.V1] != nil {
 			ix := c.e.indexFor(br, relIdx, p.A2)
-			consider(ix.Lookup(binding[p.V1].Values[p.A1]))
+			consider(ix.LookupTuple(binding[p.V1], p.A1))
 		}
 	}
 	for _, p := range br.consts[v] {
@@ -198,22 +223,22 @@ func (c *evalCtx) candidatesFor(v int) []*relation.Tuple {
 func (c *evalCtx) checkNewBinding(v int, t *relation.Tuple) bool {
 	br, binding := c.br, c.binding
 	for _, p := range br.consts[v] {
-		if !t.Values[p.A1].Equal(p.Const) {
+		if !t.Val(p.A1).Equal(p.Const) {
 			return false
 		}
 	}
 	for _, p := range br.intra[v] {
-		if !t.Values[p.A1].Equal(t.Values[p.A2]) {
+		if !t.Val(p.A1).Equal(t.Val(p.A2)) {
 			return false
 		}
 	}
 	for _, p := range br.eqs {
 		if p.V1 == v && binding[p.V2] != nil {
-			if !t.Values[p.A1].Equal(binding[p.V2].Values[p.A2]) {
+			if !t.Val(p.A1).Equal(binding[p.V2].Val(p.A2)) {
 				return false
 			}
 		} else if p.V2 == v && binding[p.V1] != nil {
-			if !t.Values[p.A2].Equal(binding[p.V1].Values[p.A1]) {
+			if !t.Val(p.A2).Equal(binding[p.V1].Val(p.A1)) {
 				return false
 			}
 		}
@@ -326,7 +351,7 @@ func (c *evalCtx) runSeed(j *drainJob) {
 func gatherInto(buf []relation.Value, t *relation.Tuple, attrs []int) []relation.Value {
 	buf = buf[:0]
 	for _, a := range attrs {
-		buf = append(buf, t.Values[a])
+		buf = append(buf, t.Val(a))
 	}
 	return buf
 }
@@ -348,13 +373,13 @@ func (c *evalCtx) emit() {
 		if y < x {
 			x, y = y, x
 		}
-		headLit = Literal{Kind: FactMatch, A: x, B: y}
+		headLit = matchLit(x, y)
 	} else {
 		a, b := binding[h.V1], binding[h.V2]
 		if a == b || c.e.validated[mlKey{h.Model, a.GID, b.GID}] {
 			return // trivial self prediction, or already validated
 		}
-		headLit = Literal{Kind: FactML, Model: h.Model, A: a.GID, B: b.GID}
+		headLit = mlLit(h.Model, a.GID, b.GID)
 	}
 
 	unsat := c.unsat[:0]
@@ -367,7 +392,7 @@ func (c *evalCtx) emit() {
 		if y < x {
 			x, y = y, x
 		}
-		unsat = append(unsat, Literal{Kind: FactMatch, A: x, B: y})
+		unsat = append(unsat, matchLit(x, y))
 	}
 	for i := range br.mls {
 		m := &br.mls[i]
@@ -382,7 +407,7 @@ func (c *evalCtx) emit() {
 		if c.predict(m, a, b) {
 			continue
 		}
-		unsat = append(unsat, Literal{Kind: FactML, Model: p.Model, A: a.GID, B: b.GID})
+		unsat = append(unsat, mlLit(p.Model, a.GID, b.GID))
 	}
 	c.unsat = unsat
 

@@ -21,7 +21,7 @@ func BuildEquivalence(d *relation.Dataset, facts []Fact) *unionfind.UnionFind {
 	for _, rel := range d.Relations {
 		byID := make(map[string]relation.TID)
 		for _, t := range rel.Tuples {
-			k := t.Values[rel.Schema.IDAttr].Key()
+			k := t.Val(rel.Schema.IDAttr).Key()
 			if first, ok := byID[k]; ok {
 				uf.Union(int(first), int(t.GID))
 			} else {

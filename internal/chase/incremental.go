@@ -32,12 +32,9 @@ func (e *Engine) InsertTuples(tuples []*relation.Tuple) ([]Fact, error) {
 			maxGID = int(t.GID)
 		}
 	}
+	// Singleton classes are implicit in the members map (membersOf), so
+	// growing the union-find is the only per-tuple bookkeeping needed.
 	e.uf.Grow(maxGID + 1)
-	for _, t := range tuples {
-		if _, ok := e.members[e.uf.Find(int(t.GID))]; !ok {
-			e.members[int(t.GID)] = []relation.TID{t.GID}
-		}
-	}
 	// Maintain every materialized index (shared and rule-private).
 	seenIx := make(map[*relation.IndexSet]bool)
 	for _, br := range e.rules {
@@ -55,14 +52,13 @@ func (e *Engine) InsertTuples(tuples []*relation.Tuple) ([]Fact, error) {
 	// duplicate probe in O(1) per tuple instead of scanning the relation.
 	e.delta = e.delta[:0]
 	for _, t := range tuples {
-		s := e.d.SchemaOf(t)
-		k := t.Values[s.IDAttr].Key()
-		if first, ok := e.idIndex[t.Rel][k]; ok {
+		w := t.IDWord()
+		if first, ok := e.idIndex[t.Rel][w]; ok {
 			if first != t.GID {
 				e.applyFact(MatchFact(first, t.GID))
 			}
 		} else {
-			e.idIndex[t.Rel][k] = t.GID
+			e.idIndex[t.Rel][w] = t.GID
 		}
 	}
 	// Update-driven pass: only valuations involving a new tuple are new,

@@ -28,7 +28,7 @@ func TestInsertTuplesPaperExample(t *testing.T) {
 			continue
 		}
 		name := src.DB.Schemas[tt.Rel].Name
-		label[fmt.Sprintf("t%d", i+1)] = d.MustAppend(name, tt.Values...)
+		label[fmt.Sprintf("t%d", i+1)] = d.MustAppend(name, tt.Values()...)
 	}
 	rules, err := datagen.PaperRules(d.DB)
 	if err != nil {
@@ -46,7 +46,7 @@ func TestInsertTuplesPaperExample(t *testing.T) {
 
 	var inserted []*relation.Tuple
 	for _, name := range []string{"t16", "t17"} {
-		inserted = append(inserted, d.MustAppend("Orders", labels[name].Values...))
+		inserted = append(inserted, d.MustAppend("Orders", labels[name].Values()...))
 	}
 	delta, err := eng.InsertTuples(inserted)
 	if err != nil {
@@ -89,7 +89,7 @@ func TestInsertTuplesMatchesScratch(t *testing.T) {
 			heldSrc = append(heldSrc, tt)
 			continue
 		}
-		nt := d.MustAppend(g.D.DB.Schemas[tt.Rel].Name, tt.Values...)
+		nt := d.MustAppend(g.D.DB.Schemas[tt.Rel].Name, tt.Values()...)
 		gidMap[tt.GID] = nt.GID
 	}
 	rules2, err := g.Rules()
@@ -103,7 +103,7 @@ func TestInsertTuplesMatchesScratch(t *testing.T) {
 	eng.Run()
 	var held []*relation.Tuple
 	for _, tt := range heldSrc {
-		nt := d.MustAppend(g.D.DB.Schemas[tt.Rel].Name, tt.Values...)
+		nt := d.MustAppend(g.D.DB.Schemas[tt.Rel].Name, tt.Values()...)
 		gidMap[tt.GID] = nt.GID
 		held = append(held, nt)
 	}

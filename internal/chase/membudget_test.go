@@ -1,0 +1,128 @@
+package chase
+
+import (
+	"sort"
+	"testing"
+
+	"dcer/internal/datagen"
+	"dcer/internal/mlpred"
+	"dcer/internal/relation"
+)
+
+// TestDepStoreByteBudget pins the eviction contract: the store sheds its
+// oldest entries to stay under the byte bound, newest entries survive,
+// and the byte estimate tracks what is resident.
+func TestDepStoreByteBudget(t *testing.T) {
+	s := NewDepStore(-1)
+	// Room for roughly three single-literal deps.
+	s.SetByteBudget(3 * (depFixedBytes + depLitBytes))
+	for i := relation.TID(0); i < 10; i++ {
+		s.Add(&Dep{Body: []Literal{lit(i, i+1)}, Head: lit(i+100, i+101)})
+	}
+	if s.Len() > 3 {
+		t.Fatalf("Len = %d, want ≤ 3 under the byte budget", s.Len())
+	}
+	if s.Evicted()+s.Dropped() < 7 {
+		t.Fatalf("evicted %d + dropped %d, want ≥ 7 shed", s.Evicted(), s.Dropped())
+	}
+	// The survivors must be the newest insertions.
+	for i := relation.TID(10 - s.Len()); i < 10; i++ {
+		if _, ok := s.deps[depKey([]Literal{lit(i, i+1)}, lit(i+100, i+101))]; !ok {
+			t.Errorf("newest dep %d should have survived eviction", i)
+		}
+	}
+	if s.MemBytes() <= 0 || s.MemBytes() > s.budget {
+		t.Errorf("MemBytes = %d, want within (0, %d]", s.MemBytes(), s.budget)
+	}
+	// Removing the bound lets the store grow again.
+	s.SetByteBudget(0)
+	before := s.Len()
+	s.Add(&Dep{Body: []Literal{lit(50, 51)}, Head: lit(150, 151)})
+	if s.Len() != before+1 {
+		t.Error("unbounded store should accept new deps")
+	}
+}
+
+// TestDepStoreSlotRecycling checks that removed slots are reused and that
+// recycled bodies do not leak into new occupants.
+func TestDepStoreSlotRecycling(t *testing.T) {
+	s := NewDepStore(-1)
+	s.Add(&Dep{Body: []Literal{lit(1, 2), lit(3, 4)}, Head: lit(5, 6)})
+	s.RemoveHead(lit(5, 6))
+	if len(s.free) != 1 {
+		t.Fatalf("free list has %d slots, want 1", len(s.free))
+	}
+	s.Add(&Dep{Body: []Literal{lit(7, 8)}, Head: lit(9, 10)})
+	if len(s.free) != 0 {
+		t.Fatal("recycled slot not reused")
+	}
+	d := s.deps[depKey([]Literal{lit(7, 8)}, lit(9, 10))]
+	if len(d.Body) != 1 || d.Body[0] != lit(7, 8) {
+		t.Fatalf("recycled slot carries stale body: %v", d.Body)
+	}
+}
+
+// TestMemBudgetGammaEquivalence is the spill-to-regeneration correctness
+// check: a chase squeezed under a tight memory budget (H constantly
+// shedding) must deduce exactly the same Γ as an unbounded run — only
+// slower, via the update-driven re-evaluation path.
+func TestMemBudgetGammaEquivalence(t *testing.T) {
+	run := func(budget int64) ([]Fact, MemUsage, int) {
+		g := datagen.TPCH(datagen.TPCHOptions{Scale: 0.3, Dup: 0.3, Seed: 11})
+		rules, err := g.Rules()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(g.D, rules, mlpred.DefaultRegistry(), Options{
+			ShareIndexes:   true,
+			MemBudgetBytes: budget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Deduce()
+		gm := e.Gamma()
+		facts := append(append([]Fact(nil), gm.Matches...), gm.Validated...)
+		sort.Slice(facts, func(i, j int) bool {
+			a, b := facts[i], facts[j]
+			if a.Kind != b.Kind {
+				return a.Kind < b.Kind
+			}
+			if a.Model != b.Model {
+				return a.Model < b.Model
+			}
+			if a.A != b.A {
+				return a.A < b.A
+			}
+			return a.B < b.B
+		})
+		return facts, e.Mem(), e.H.Evicted()
+	}
+	unbounded, _, _ := run(0)
+	// Budget: the dataset plus a little headroom, so H is squeezed hard
+	// but the run itself fits.
+	g := datagen.TPCH(datagen.TPCHOptions{Scale: 0.3, Dup: 0.3, Seed: 11})
+	base := g.D.MemBytes()
+	bounded, mem, evicted := run(base + base/4)
+	if evicted == 0 {
+		t.Error("budget did not squeeze H: no deps evicted, equivalence check is vacuous")
+	}
+	if len(unbounded) == 0 {
+		t.Fatal("unbounded run deduced nothing")
+	}
+	if len(bounded) != len(unbounded) {
+		t.Fatalf("budgeted run deduced %d facts, unbounded %d", len(bounded), len(unbounded))
+	}
+	for i := range bounded {
+		if bounded[i] != unbounded[i] {
+			t.Fatalf("fact %d differs: budgeted %v, unbounded %v", i, bounded[i], unbounded[i])
+		}
+	}
+	if mem.BudgetBytes == 0 {
+		t.Error("budgeted run should report its budget")
+	}
+	if mem.Total() > mem.BudgetBytes+mem.BudgetBytes/10 {
+		t.Errorf("accounted memory %d exceeds budget %d by more than the per-round slack",
+			mem.Total(), mem.BudgetBytes)
+	}
+}

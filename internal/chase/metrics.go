@@ -20,6 +20,14 @@ type engineCounters struct {
 	depsRecorded atomic.Int64
 	depsFired    atomic.Int64
 	rounds       atomic.Int64
+
+	// Memory-account mirrors, refreshed by rebudget on the engine
+	// goroutine once per drain round so the /metrics scrape goroutine
+	// never walks the live maps.
+	memDataset atomic.Int64
+	memGamma   atomic.Int64
+	memDeps    atomic.Int64
+	memEvicted atomic.Int64
 }
 
 // chaseMetrics is the engine's telemetry wiring: the per-stage histograms
@@ -91,6 +99,14 @@ func (e *Engine) initMetrics(reg *telemetry.Registry, labels []telemetry.Label) 
 		{"dcer_chase_mlcache_entries", func() float64 { p, _ := e.cacheSnapshots(); return float64(p.Entries) }},
 		{"dcer_chase_featstore_hit_rate", func() float64 { _, f := e.cacheSnapshots(); return hitRate(f) }},
 		{"dcer_chase_featstore_entries", func() float64 { _, f := e.cacheSnapshots(); return float64(f.Entries) }},
+		{"dcer_mem_dataset_bytes", func() float64 { return float64(e.cnt.memDataset.Load()) }},
+		{"dcer_mem_gamma_bytes", func() float64 { return float64(e.cnt.memGamma.Load()) }},
+		{"dcer_mem_deps_bytes", func() float64 { return float64(e.cnt.memDeps.Load()) }},
+		{"dcer_mem_total_bytes", func() float64 {
+			return float64(e.cnt.memDataset.Load() + e.cnt.memGamma.Load() + e.cnt.memDeps.Load())
+		}},
+		{"dcer_mem_budget_bytes", func() float64 { return float64(e.opts.MemBudgetBytes) }},
+		{"dcer_mem_deps_evicted", func() float64 { return float64(e.cnt.memEvicted.Load()) }},
 	}
 	for _, v := range views {
 		reg.GaugeFunc(v.name, v.fn, labels...)

@@ -152,7 +152,7 @@ func TestInsertTuplesRandomSplitEquivalence(t *testing.T) {
 				heldSrc = append(heldSrc, tt)
 				continue
 			}
-			nt := d2.MustAppend(d.DB.Schemas[tt.Rel].Name, tt.Values...)
+			nt := d2.MustAppend(d.DB.Schemas[tt.Rel].Name, tt.Values()...)
 			gidMap[tt.GID] = nt.GID
 		}
 		eng, err := chase.New(d2, rules, reg, chase.Options{ShareIndexes: true, DrainParallelMin: 1})
@@ -162,7 +162,7 @@ func TestInsertTuplesRandomSplitEquivalence(t *testing.T) {
 		eng.Run()
 		var held []*relation.Tuple
 		for _, tt := range heldSrc {
-			nt := d2.MustAppend(d.DB.Schemas[tt.Rel].Name, tt.Values...)
+			nt := d2.MustAppend(d.DB.Schemas[tt.Rel].Name, tt.Values()...)
 			gidMap[tt.GID] = nt.GID
 			held = append(held, nt)
 		}

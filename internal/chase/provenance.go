@@ -72,7 +72,7 @@ func literalID(l Literal) provenance.FactID {
 	if l.Kind == FactMatch {
 		return provenance.MatchID(l.A, l.B)
 	}
-	return provenance.MLID(l.Model, l.A, l.B)
+	return provenance.MLID(l.ModelName(), l.A, l.B)
 }
 
 // recordProvenance logs the derivation of a newly applied fact. A nil
@@ -141,7 +141,7 @@ func (c *evalCtx) buildJust() *justification {
 		if y < x {
 			x, y = y, x
 		}
-		l := Literal{Kind: FactMatch, A: x, B: y}
+		l := matchLit(x, y)
 		if litIn(unsat, l) {
 			continue
 		}
@@ -154,10 +154,10 @@ func (c *evalCtx) buildJust() *justification {
 		ta, tb := binding[p.V1], binding[p.V2]
 		if m.dynamic {
 			if c.e.validated[mlKey{p.Model, ta.GID, tb.GID}] {
-				ar.deps = append(ar.deps, Literal{Kind: FactML, Model: p.Model, A: ta.GID, B: tb.GID})
+				ar.deps = append(ar.deps, mlLit(p.Model, ta.GID, tb.GID))
 				continue
 			}
-			if litIn(unsat, Literal{Kind: FactML, Model: p.Model, A: ta.GID, B: tb.GID}) {
+			if litIn(unsat, mlLit(p.Model, ta.GID, tb.GID)) {
 				continue
 			}
 		}

@@ -91,11 +91,19 @@ func NaiveChase(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry) (
 		}
 	}
 	res := &Result{Eq: unionfind.New(size), d: d}
+	// Materialize every tuple's boxed attribute vector once. The naive
+	// enumeration evaluates predicates Ω(|D|^(k-1)) times per tuple, so
+	// rehydrating values from the packed columns inside the cross
+	// product would dominate the run.
+	mat := make([][]relation.Value, size)
+	for _, t := range d.Tuples() {
+		mat[t.GID] = t.Values()
+	}
 	// Literal id-value duplicates are the same entity by definition.
 	for _, rel := range d.Relations {
 		byID := make(map[string]relation.TID)
 		for _, t := range rel.Tuples {
-			k := t.Values[rel.Schema.IDAttr].Key()
+			k := mat[t.GID][rel.Schema.IDAttr].Key()
 			if first, ok := byID[k]; ok {
 				res.Eq.Union(int(first), int(t.GID))
 			} else {
@@ -137,7 +145,7 @@ func NaiveChase(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry) (
 	gather := func(t *relation.Tuple, attrs []int) []relation.Value {
 		vs := make([]relation.Value, len(attrs))
 		for i, a := range attrs {
-			vs[i] = t.Values[a]
+			vs[i] = mat[t.GID][a]
 		}
 		return vs
 	}
@@ -154,11 +162,11 @@ func NaiveChase(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry) (
 					p := &r.Body[i]
 					switch p.Kind {
 					case rule.PredConst:
-						if !binding[p.V1].Values[p.A1].Equal(p.Const) {
+						if !mat[binding[p.V1].GID][p.A1].Equal(p.Const) {
 							return
 						}
 					case rule.PredEq:
-						if !binding[p.V1].Values[p.A1].Equal(binding[p.V2].Values[p.A2]) {
+						if !mat[binding[p.V1].GID][p.A1].Equal(mat[binding[p.V2].GID][p.A2]) {
 							return
 						}
 					case rule.PredID:

@@ -35,7 +35,7 @@ func VerifyProof(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, 
 	for _, rel := range d.Relations {
 		byID := make(map[string]relation.TID)
 		for _, t := range rel.Tuples {
-			k := t.Values[rel.Schema.IDAttr].Key()
+			k := t.Val(rel.Schema.IDAttr).Key()
 			if first, ok := byID[k]; ok {
 				eq.Union(int(first), int(t.GID))
 			} else {
@@ -103,11 +103,11 @@ func checkBody(r *rule.Rule, reg *mlpred.Registry, cache *mlpred.Cache,
 		p := &r.Body[i]
 		switch p.Kind {
 		case rule.PredConst:
-			if !binding[p.V1].Values[p.A1].Equal(p.Const) {
+			if !binding[p.V1].Val(p.A1).Equal(p.Const) {
 				return false, nil
 			}
 		case rule.PredEq:
-			if !binding[p.V1].Values[p.A1].Equal(binding[p.V2].Values[p.A2]) {
+			if !binding[p.V1].Val(p.A1).Equal(binding[p.V2].Val(p.A2)) {
 				return false, nil
 			}
 		case rule.PredID:
@@ -126,11 +126,11 @@ func checkBody(r *rule.Rule, reg *mlpred.Registry, cache *mlpred.Cache,
 			}
 			la := make([]relation.Value, len(p.A1Vec))
 			for j, at := range p.A1Vec {
-				la[j] = a.Values[at]
+				la[j] = a.Val(at)
 			}
 			lb := make([]relation.Value, len(p.A2Vec))
 			for j, at := range p.A2Vec {
-				lb[j] = b.Values[at]
+				lb[j] = b.Val(at)
 			}
 			if !cache.Predict(cl, la, lb) {
 				return false, nil

@@ -38,19 +38,19 @@ func DenormalizeTPCH(g *Generated) (*relation.Dataset, [][2]relation.TID, error)
 	// Hash joins over the foreign keys.
 	custByKey := map[string]*relation.Tuple{}
 	for _, c := range src.Relation("customer").Tuples {
-		custByKey[c.Values[0].Str] = c
+		custByKey[c.Val(0).Str] = c
 	}
 	nationByKey := map[string]*relation.Tuple{}
 	for _, n := range src.Relation("nation").Tuples {
-		nationByKey[n.Values[0].Str] = n
+		nationByKey[n.Val(0).Str] = n
 	}
 	partByKey := map[string]*relation.Tuple{}
 	for _, p := range src.Relation("part").Tuples {
-		partByKey[p.Values[0].Str] = p
+		partByKey[p.Val(0).Str] = p
 	}
 	linesByOrder := map[string][]*relation.Tuple{}
 	for _, l := range src.Relation("lineitem").Tuples {
-		linesByOrder[l.Values[1].Str] = append(linesByOrder[l.Values[1].Str], l)
+		linesByOrder[l.Val(1).Str] = append(linesByOrder[l.Val(1).Str], l)
 	}
 
 	// One joined row per (order, lineitem); remember which source order
@@ -58,25 +58,25 @@ func DenormalizeTPCH(g *Generated) (*relation.Dataset, [][2]relation.TID, error)
 	rowsOfOrder := map[relation.TID][]relation.TID{}
 	rowCount := 0
 	for _, o := range src.Relation("orders").Tuples {
-		c := custByKey[o.Values[1].Str]
+		c := custByKey[o.Val(1).Str]
 		if c == nil {
 			continue
 		}
-		n := nationByKey[c.Values[3].Str]
+		n := nationByKey[c.Val(3).Str]
 		if n == nil {
 			continue
 		}
-		for _, l := range linesByOrder[o.Values[0].Str] {
-			p := partByKey[l.Values[2].Str]
+		for _, l := range linesByOrder[o.Val(0).Str] {
+			p := partByKey[l.Val(2).Str]
 			if p == nil {
 				continue
 			}
 			row, err := d.Append("tpchd",
 				relation.S(fmt.Sprintf("r%d", rowCount)),
-				o.Values[0], o.Values[3], o.Values[4], o.Values[6],
-				c.Values[1], c.Values[4], c.Values[2],
-				n.Values[1],
-				p.Values[1], relation.S(l.Values[4].String()), relation.S(l.Values[5].String()),
+				o.Val(0), o.Val(3), o.Val(4), o.Val(6),
+				c.Val(1), c.Val(4), c.Val(2),
+				n.Val(1),
+				p.Val(1), relation.S(l.Val(4).String()), relation.S(l.Val(5).String()),
 			)
 			if err != nil {
 				return nil, nil, err

@@ -100,11 +100,11 @@ im: movie(a) ^ movie(b) ^ a.year = b.year ^ jaro085(a.title, b.title) ^ lev080(a
 	for _, mi := range n.Perm(numMovies)[:int(dup*float64(numMovies))] {
 		orig := movies[mi]
 		dupT := d.MustAppend("movie",
-			s(orig.Values[0].Str+"d"),
-			s(n.Typo(orig.Values[1].Str, 1)),
-			orig.Values[2],
-			s(n.MaybeTypo(orig.Values[3].Str, 0.5)),
-			orig.Values[4])
+			s(orig.Val(0).Str+"d"),
+			s(n.Typo(orig.Val(1).Str, 1)),
+			orig.Val(2),
+			s(n.MaybeTypo(orig.Val(3).Str, 0.5)),
+			orig.Val(4))
 		lab.Truth = append(lab.Truth, [2]relation.TID{orig.GID, dupT.GID})
 	}
 	sampleNegatives(n, lab, d.Relation("movie").Tuples, 3)
@@ -143,7 +143,7 @@ db: pub(a) ^ pub(b) ^ a.year = b.year ^ jaccard05(a.title, b.title) ^ surnames06
 		orig := pubs[pi]
 		// Abbreviate the first author and drift the venue name.
 		var abbrev string
-		for k, name := range splitComma(orig.Values[2].Str) {
+		for k, name := range splitComma(orig.Val(2).Str) {
 			if k > 0 {
 				abbrev += ", "
 			} else {
@@ -152,11 +152,11 @@ db: pub(a) ^ pub(b) ^ a.year = b.year ^ jaccard05(a.title, b.title) ^ surnames06
 			abbrev += name
 		}
 		dupT := d.MustAppend("pub",
-			s("dblp"+orig.Values[0].Str[3:]),
-			s(n.Typo(orig.Values[1].Str, 1)),
+			s("dblp"+orig.Val(0).Str[3:]),
+			s(n.Typo(orig.Val(1).Str, 1)),
 			s(abbrev),
-			s(orig.Values[3].Str+" Conf."),
-			orig.Values[4])
+			s(orig.Val(3).Str+" Conf."),
+			orig.Val(4))
 		lab.Truth = append(lab.Truth, [2]relation.TID{orig.GID, dupT.GID})
 	}
 	sampleNegatives(n, lab, d.Relation("pub").Tuples, 3)
@@ -254,9 +254,9 @@ mvm: movie(a) ^ movie(b) ^ director(x) ^ director(y) ^ a.directorkey = x.dkey ^
 			return dk
 		}
 		orig := directors[di]
-		dk := orig.Values[0].Str + "d"
+		dk := orig.Val(0).Str + "d"
 		dupT := d.MustAppend("director",
-			s(dk), s(n.Typo(orig.Values[1].Str, 1)), orig.Values[2], orig.Values[3])
+			s(dk), s(n.Typo(orig.Val(1).Str, 1)), orig.Val(2), orig.Val(3))
 		lab.Truth = append(lab.Truth, [2]relation.TID{orig.GID, dupT.GID})
 		dupDirOf[di] = dk
 		return dk
@@ -264,12 +264,12 @@ mvm: movie(a) ^ movie(b) ^ director(x) ^ director(y) ^ a.directorkey = x.dkey ^
 	for _, mi := range n.Perm(numMovies)[:int(dup*float64(numMovies))] {
 		orig := movies[mi]
 		dupT := d.MustAppend("movie",
-			s(orig.Values[0].Str+"d"),
-			s(n.Typo(orig.Values[1].Str, 1)),
-			orig.Values[2],
-			orig.Values[3],
+			s(orig.Val(0).Str+"d"),
+			s(n.Typo(orig.Val(1).Str, 1)),
+			orig.Val(2),
+			orig.Val(3),
 			s(dupDirFor(mi%numDirectors)),
-			orig.Values[5])
+			orig.Val(5))
 		lab.Truth = append(lab.Truth, [2]relation.TID{orig.GID, dupT.GID})
 	}
 	sampleNegatives(n, lab, d.Relation("movie").Tuples, 3)
@@ -304,14 +304,14 @@ sg: song(a) ^ song(b) ^ a.year = b.year ^ a.duration = b.duration ^ jaro085(a.ti
 	for _, si := range n.Perm(numSongs)[:int(dup*float64(numSongs))] {
 		orig := songs[si]
 		dupT := d.MustAppend("song",
-			s(orig.Values[0].Str+"d"),
-			s(n.Typo(orig.Values[1].Str, 1)),
-			s(n.MaybeTypo(orig.Values[2].Str, 0.5)),
-			s(n.Drift(orig.Values[3].Str)),
-			orig.Values[4],
-			orig.Values[5],
-			orig.Values[6],
-			orig.Values[7])
+			s(orig.Val(0).Str+"d"),
+			s(n.Typo(orig.Val(1).Str, 1)),
+			s(n.MaybeTypo(orig.Val(2).Str, 0.5)),
+			s(n.Drift(orig.Val(3).Str)),
+			orig.Val(4),
+			orig.Val(5),
+			orig.Val(6),
+			orig.Val(7))
 		lab.Truth = append(lab.Truth, [2]relation.TID{orig.GID, dupT.GID})
 	}
 	sampleNegatives(n, lab, d.Relation("song").Tuples, 3)

@@ -366,15 +366,15 @@ func TFACC(opts TFACCOptions) *Generated {
 		}
 		var orig *relation.Tuple
 		for _, mt := range models {
-			if mt.Values[0].Str == mk {
+			if mt.Val(0).Str == mk {
 				orig = mt
 				break
 			}
 		}
 		dk := freshKey()
 		dup := d.MustAppend("model",
-			s(dk), s(n.Typo(orig.Values[1].Str, 1)), orig.Values[2], orig.Values[3],
-			orig.Values[4], orig.Values[5])
+			s(dk), s(n.Typo(orig.Val(1).Str, 1)), orig.Val(2), orig.Val(3),
+			orig.Val(4), orig.Val(5))
 		truth(orig, dup)
 		dupModelOf[mk] = dk
 		return dk
@@ -386,16 +386,16 @@ func TFACC(opts TFACCOptions) *Generated {
 		}
 		var orig *relation.Tuple
 		for _, ot := range owners {
-			if ot.Values[0].Str == ok {
+			if ot.Val(0).Str == ok {
 				orig = ot
 				break
 			}
 		}
 		dk := freshKey()
 		dup := d.MustAppend("owner",
-			s(dk), s(n.Abbrev(orig.Values[1].Str)), orig.Values[2],
+			s(dk), s(n.Abbrev(orig.Val(1).Str)), orig.Val(2),
 			s(fmt.Sprintf("07%09d", 900000000+dupCounter)),
-			s(n.Drift(orig.Values[4].Str)), orig.Values[5], orig.Values[6])
+			s(n.Drift(orig.Val(4).Str)), orig.Val(5), orig.Val(6))
 		truth(orig, dup)
 		dupOwnerOf[ok] = dk
 		return dk
@@ -407,7 +407,7 @@ func TFACC(opts TFACCOptions) *Generated {
 		}
 		orig := vehicles[vi]
 		vk := freshKey()
-		year := orig.Values[6]
+		year := orig.Val(6)
 		if n.Float64() < 0.08 {
 			// Hard case: wrong first-registration year; the chain costs
 			// recall like the residual errors in the paper's Table VI.
@@ -415,19 +415,19 @@ func TFACC(opts TFACCOptions) *Generated {
 		}
 		dup := d.MustAppend("vehicle",
 			s(vk),
-			s(n.Drift(orig.Values[1].Str)),
-			s(n.Typo(orig.Values[2].Str, 1)),
-			s(dupModelFor(orig.Values[3].Str)),
-			orig.Values[4], orig.Values[5], year, orig.Values[7],
-			s(dupOwnerFor(orig.Values[8].Str)),
-			orig.Values[9], orig.Values[10], orig.Values[11], orig.Values[12], orig.Values[13])
+			s(n.Drift(orig.Val(1).Str)),
+			s(n.Typo(orig.Val(2).Str, 1)),
+			s(dupModelFor(orig.Val(3).Str)),
+			orig.Val(4), orig.Val(5), year, orig.Val(7),
+			s(dupOwnerFor(orig.Val(8).Str)),
+			orig.Val(9), orig.Val(10), orig.Val(11), orig.Val(12), orig.Val(13))
 		truth(orig, dup)
 		// The duplicate registration carries its own policy record with
 		// the same insurer and expiry.
 		origPol := policies[vi]
 		dupPol := d.MustAppend("policy",
-			s(freshKey()), s(vk), origPol.Values[2], origPol.Values[3],
-			origPol.Values[4], origPol.Values[5], origPol.Values[6])
+			s(freshKey()), s(vk), origPol.Val(2), origPol.Val(3),
+			origPol.Val(4), origPol.Val(5), origPol.Val(6))
 		truth(origPol, dupPol)
 		dupVehOf[vi] = vk
 		return vk
@@ -438,26 +438,26 @@ func TFACC(opts TFACCOptions) *Generated {
 		ch := chains[ti]
 		dv := dupVehFor(ch.veh)
 		tk := freshKey()
-		mileage := ch.test.Values[5]
+		mileage := ch.test.Val(5)
 		if n.Float64() < 0.08 {
 			// Hard case: mis-keyed odometer reading.
 			mileage = relation.I(mileage.Int() + 3)
 		}
 		dupTest := d.MustAppend("mottest",
-			s(tk), s(dv), ch.test.Values[2], ch.test.Values[3], ch.test.Values[4],
-			mileage, ch.test.Values[6], s(fmt.Sprintf("CRT9%07d", dupCounter)),
-			ch.test.Values[8], ch.test.Values[9], ch.test.Values[10])
+			s(tk), s(dv), ch.test.Val(2), ch.test.Val(3), ch.test.Val(4),
+			mileage, ch.test.Val(6), s(fmt.Sprintf("CRT9%07d", dupCounter)),
+			ch.test.Val(8), ch.test.Val(9), ch.test.Val(10))
 		truth(ch.test, dupTest)
 		for _, it := range ch.items {
 			dupItem := d.MustAppend("testitem",
-				s(freshKey()), s(tk), it.Values[2], it.Values[3], s("dup item"),
-				it.Values[5], it.Values[6])
+				s(freshKey()), s(tk), it.Val(2), it.Val(3), s("dup item"),
+				it.Val(5), it.Val(6))
 			truth(it, dupItem)
 		}
 		if ch.advisory != nil {
 			dupAdv := d.MustAppend("advisory",
-				s(freshKey()), s(tk), s(n.Drift(ch.advisory.Values[2].Str)),
-				ch.advisory.Values[3], ch.advisory.Values[4])
+				s(freshKey()), s(tk), s(n.Drift(ch.advisory.Val(2).Str)),
+				ch.advisory.Val(3), ch.advisory.Val(4))
 			truth(ch.advisory, dupAdv)
 		}
 	}
@@ -466,9 +466,9 @@ func TFACC(opts TFACCOptions) *Generated {
 		orig := stations[si]
 		dup := d.MustAppend("station",
 			s(freshKey()),
-			s(n.Typo(orig.Values[1].Str, 1)),
-			orig.Values[2], orig.Values[3], orig.Values[4], orig.Values[5],
-			orig.Values[6], orig.Values[7])
+			s(n.Typo(orig.Val(1).Str, 1)),
+			orig.Val(2), orig.Val(3), orig.Val(4), orig.Val(5),
+			orig.Val(6), orig.Val(7))
 		truth(orig, dup)
 	}
 	return g

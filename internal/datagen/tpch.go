@@ -156,20 +156,37 @@ func TPCH(opts TPCHOptions) *Generated {
 	numPart := scale(1500)
 	numOrders := scale(5000)
 
+	// The generator constructs every value with the schema's own kind, so
+	// the bulk loops take the trusted AppendUnchecked path with the
+	// relation indexes resolved once and the columns pre-sized.
+	riNation := d.DB.SchemaIndex("nation")
+	riSupp := d.DB.SchemaIndex("supplier")
+	riCust := d.DB.SchemaIndex("customer")
+	riPart := d.DB.SchemaIndex("part")
+	riPS := d.DB.SchemaIndex("partsupp")
+	riOrd := d.DB.SchemaIndex("orders")
+	riLine := d.DB.SchemaIndex("lineitem")
+	d.Reserve("supplier", numSupp)
+	d.Reserve("customer", numCust)
+	d.Reserve("part", numPart)
+	d.Reserve("partsupp", 2*numPart)
+	d.Reserve("orders", numOrders)
+	d.Reserve("lineitem", 2*numOrders)
+
 	// Static relations.
 	for ri, rn := range tpchRegions {
 		d.MustAppend("region", s(fmt.Sprintf("R%d", ri)), s(rn), s("region comment"))
 	}
 	nations := make([]*relation.Tuple, len(tpchNations))
 	for ni, nn := range tpchNations {
-		nations[ni] = d.MustAppend("nation",
+		nations[ni] = d.AppendUnchecked(riNation,
 			s(fmt.Sprintf("N%d", ni)), s(nn), s(fmt.Sprintf("R%d", ni%len(tpchRegions))), s("nation comment"))
 	}
 
 	// Suppliers.
 	supps := make([]*relation.Tuple, numSupp)
 	for si := 0; si < numSupp; si++ {
-		supps[si] = d.MustAppend("supplier",
+		supps[si] = d.AppendUnchecked(riSupp,
 			s(fmt.Sprintf("S%d", si)),
 			s(fmt.Sprintf("Supplier %s %s %d", n.Pick(tpchAdjies), n.Pick(tpchNouns), si)),
 			s(fmt.Sprintf("%d Main Street", 100+si)),
@@ -182,7 +199,7 @@ func TPCH(opts TPCHOptions) *Generated {
 	// Customers.
 	custs := make([]*relation.Tuple, numCust)
 	for ci := 0; ci < numCust; ci++ {
-		custs[ci] = d.MustAppend("customer",
+		custs[ci] = d.AppendUnchecked(riCust,
 			s(fmt.Sprintf("C%d", ci)),
 			s(fmt.Sprintf("Customer %s %s %d", n.Pick(tpchNouns), n.Pick(tpchAdjies), ci)),
 			s(fmt.Sprintf("%d Oak Avenue", 10+ci)),
@@ -198,7 +215,7 @@ func TPCH(opts TPCHOptions) *Generated {
 	partSupps := make(map[int][]*relation.Tuple, numPart)
 	psCount := 0
 	for pi := 0; pi < numPart; pi++ {
-		parts[pi] = d.MustAppend("part",
+		parts[pi] = d.AppendUnchecked(riPart,
 			s(fmt.Sprintf("P%d", pi)),
 			s(fmt.Sprintf("%s %s part %d", n.Pick(tpchAdjies), n.Pick(tpchNouns), pi)),
 			s(fmt.Sprintf("Manufacturer#%d", pi%5+1)),
@@ -209,7 +226,7 @@ func TPCH(opts TPCHOptions) *Generated {
 			f(900+float64(pi)*0.1),
 			s("part comment"))
 		for k := 0; k < 2; k++ {
-			ps := d.MustAppend("partsupp",
+			ps := d.AppendUnchecked(riPS,
 				s(fmt.Sprintf("PS%d", psCount)),
 				s(fmt.Sprintf("P%d", pi)),
 				s(fmt.Sprintf("S%d", (pi+k*7)%numSupp)),
@@ -258,7 +275,7 @@ func TPCH(opts TPCHOptions) *Generated {
 				break
 			}
 		}
-		o := d.MustAppend("orders",
+		o := d.AppendUnchecked(riOrd,
 			s(fmt.Sprintf("O%d", oi)),
 			s(fmt.Sprintf("C%d", cust)),
 			s("F"),
@@ -272,7 +289,7 @@ func TPCH(opts TPCHOptions) *Generated {
 		var lines []*relation.Tuple
 		for li := 0; li < nl; li++ {
 			part := n.Intn(numPart)
-			l := d.MustAppend("lineitem",
+			l := d.AppendUnchecked(riLine,
 				s(fmt.Sprintf("L%d", lineCount)),
 				s(fmt.Sprintf("O%d", oi)),
 				s(fmt.Sprintf("P%d", part)),
@@ -312,14 +329,14 @@ func TPCH(opts TPCHOptions) *Generated {
 		}
 		var orig *relation.Tuple
 		for _, nt := range nations {
-			if nt.Values[0].Str == nkey {
+			if nt.Val(0).Str == nkey {
 				orig = nt
 				break
 			}
 		}
 		dk := freshKey()
-		dup := d.MustAppend("nation",
-			s(dk), s(n.Sub(orig.Values[1].Str)), orig.Values[2], s("dup nation"))
+		dup := d.AppendUnchecked(riNation,
+			s(dk), s(n.Sub(orig.Val(1).Str)), orig.Val(2), s("dup nation"))
 		truth(orig, dup)
 		dupNationOf[nkey] = dk
 		return dk
@@ -332,21 +349,21 @@ func TPCH(opts TPCHOptions) *Generated {
 		}
 		orig := custs[ci]
 		ck := freshKey()
-		phone := orig.Values[4]
+		phone := orig.Val(4)
 		if n.Float64() < 0.08 {
 			// Hard case: the duplicate lost its phone digits; this chain
 			// becomes unrecoverable and costs recall, like the residual
 			// errors in the paper's Table VI.
 			phone = relation.S("unknown")
 		}
-		dup := d.MustAppend("customer",
+		dup := d.AppendUnchecked(riCust,
 			s(ck),
-			s(n.Typo(orig.Values[1].Str, 1)),
-			s(n.Drift(orig.Values[2].Str)),
-			s(dupNationFor(orig.Values[3].Str)),
+			s(n.Typo(orig.Val(1).Str, 1)),
+			s(n.Drift(orig.Val(2).Str)),
+			s(dupNationFor(orig.Val(3).Str)),
 			phone,
-			orig.Values[5],
-			orig.Values[6],
+			orig.Val(5),
+			orig.Val(6),
 			s("dup customer"))
 		truth(orig, dup)
 		dupCustOf[ci] = ck
@@ -359,29 +376,29 @@ func TPCH(opts TPCHOptions) *Generated {
 		ch := chains[oi]
 		dupCust := dupCustFor(ch.cust)
 		ok := freshKey()
-		date := ch.order.Values[4]
+		date := ch.order.Val(4)
 		if n.Float64() < 0.08 {
 			// Hard case: the duplicate order was re-entered on a later
 			// date and cannot be recovered by the rules.
 			date = relation.S("1997-01-01")
 		}
-		dupOrder := d.MustAppend("orders",
+		dupOrder := d.AppendUnchecked(riOrd,
 			s(ok),
 			s(dupCust),
-			ch.order.Values[2],
-			ch.order.Values[3], // same totalprice
+			ch.order.Val(2),
+			ch.order.Val(3), // same totalprice
 			date,
-			ch.order.Values[5],
-			s(n.Typo(ch.order.Values[6].Str, 1)), // noisy clerk
-			ch.order.Values[7],
+			ch.order.Val(5),
+			s(n.Typo(ch.order.Val(6).Str, 1)), // noisy clerk
+			ch.order.Val(7),
 			s("dup order"))
 		truth(ch.order, dupOrder)
 		for _, l := range ch.lines {
-			dupLine := d.MustAppend("lineitem",
+			dupLine := d.AppendUnchecked(riLine,
 				s(freshKey()),
 				s(ok),
-				l.Values[2], l.Values[3], l.Values[4], l.Values[5],
-				l.Values[6], l.Values[7], l.Values[8], l.Values[9], l.Values[10],
+				l.Val(2), l.Val(3), l.Val(4), l.Val(5),
+				l.Val(6), l.Val(7), l.Val(8), l.Val(9), l.Val(10),
 				s("dup lineitem"))
 			truth(l, dupLine)
 		}
@@ -391,20 +408,20 @@ func TPCH(opts TPCHOptions) *Generated {
 	for _, pi := range n.Perm(numPart)[:numDupParts] {
 		orig := parts[pi]
 		pk := freshKey()
-		dup := d.MustAppend("part",
+		dup := d.AppendUnchecked(riPart,
 			s(pk),
-			s(n.Typo(orig.Values[1].Str, 1)),
-			orig.Values[2], orig.Values[3], orig.Values[4], orig.Values[5],
-			orig.Values[6], orig.Values[7],
+			s(n.Typo(orig.Val(1).Str, 1)),
+			orig.Val(2), orig.Val(3), orig.Val(4), orig.Val(5),
+			orig.Val(6), orig.Val(7),
 			s("dup part"))
 		truth(orig, dup)
 		for _, ps := range partSupps[pi] {
-			d.MustAppend("partsupp",
+			d.AppendUnchecked(riPS,
 				s(freshKey()),
 				s(pk),
-				ps.Values[2], // same supplier
-				ps.Values[3],
-				ps.Values[4], // same supply cost
+				ps.Val(2), // same supplier
+				ps.Val(3),
+				ps.Val(4), // same supply cost
 				s("dup partsupp"))
 		}
 	}
@@ -412,13 +429,13 @@ func TPCH(opts TPCHOptions) *Generated {
 	numDupSupp := int(opts.Dup * float64(numSupp))
 	for _, si := range n.Perm(numSupp)[:numDupSupp] {
 		orig := supps[si]
-		dup := d.MustAppend("supplier",
+		dup := d.AppendUnchecked(riSupp,
 			s(freshKey()),
-			s(n.Typo(orig.Values[1].Str, 1)),
-			s(n.Drift(orig.Values[2].Str)),
-			orig.Values[3],
-			orig.Values[4], // same phone
-			orig.Values[5],
+			s(n.Typo(orig.Val(1).Str, 1)),
+			s(n.Drift(orig.Val(2).Str)),
+			orig.Val(3),
+			orig.Val(4), // same phone
+			orig.Val(5),
 			s("dup supplier"))
 		truth(orig, dup)
 	}

@@ -106,7 +106,7 @@ func Mine(d *relation.Dataset, pairs []LabeledPair, reg *mlpred.Registry, opts O
 		}
 		space = append(space, predicate{
 			text: fmt.Sprintf("a.%s = b.%s", attr.Name, attr.Name),
-			eval: func(x, y *relation.Tuple) bool { return x.Values[ai].Equal(y.Values[ai]) },
+			eval: func(x, y *relation.Tuple) bool { return x.Val(ai).Equal(y.Val(ai)) },
 		})
 		if attr.Type != relation.TypeString {
 			continue
@@ -120,7 +120,7 @@ func Mine(d *relation.Dataset, pairs []LabeledPair, reg *mlpred.Registry, opts O
 				text: fmt.Sprintf("%s(a.%s, b.%s)", cn, attr.Name, attr.Name),
 				eval: func(x, y *relation.Tuple) bool {
 					return cache.Predict(cl,
-						[]relation.Value{x.Values[ai]}, []relation.Value{y.Values[ai]})
+						[]relation.Value{x.Val(ai)}, []relation.Value{y.Val(ai)})
 				},
 			})
 		}

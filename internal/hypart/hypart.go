@@ -397,7 +397,7 @@ func Partition(d *relation.Dataset, rules []*rule.Rule, n int, opts Options) (*R
 			for _, t := range sc.rel.Tuples[u.lo:u.hi] {
 				copy(coord, sc.base)
 				for hi, di := range sc.hashed {
-					coord[di] = int(hasher.Hash(sc.dims[di].fn, t.Values[sc.attrs[hi]])) % sc.dims[di].size
+					coord[di] = int(hasher.Hash(sc.dims[di].fn, t.Val(sc.attrs[hi]))) % sc.dims[di].size
 				}
 				sa.emitBroadcast(sc.dims, coord, sc.bcast, 0, sc.ri, t.GID)
 			}

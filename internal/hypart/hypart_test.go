@@ -22,20 +22,20 @@ func bruteValuations(d *relation.Dataset, r *rule.Rule, emit func([]*relation.Tu
 			p := &r.Body[i]
 			switch p.Kind {
 			case rule.PredConst:
-				if p.V1 == v && !t.Values[p.A1].Equal(p.Const) {
+				if p.V1 == v && !t.Val(p.A1).Equal(p.Const) {
 					return false
 				}
 			case rule.PredEq:
 				if p.V1 == v && p.V2 == v {
-					if !t.Values[p.A1].Equal(t.Values[p.A2]) {
+					if !t.Val(p.A1).Equal(t.Val(p.A2)) {
 						return false
 					}
 				} else if p.V1 == v && p.V2 < v && binding[p.V2] != nil {
-					if !t.Values[p.A1].Equal(binding[p.V2].Values[p.A2]) {
+					if !t.Val(p.A1).Equal(binding[p.V2].Val(p.A2)) {
 						return false
 					}
 				} else if p.V2 == v && p.V1 < v && binding[p.V1] != nil {
-					if !t.Values[p.A2].Equal(binding[p.V1].Values[p.A1]) {
+					if !t.Val(p.A2).Equal(binding[p.V1].Val(p.A1)) {
 						return false
 					}
 				}

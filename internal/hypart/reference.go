@@ -72,7 +72,7 @@ func PartitionReference(d *relation.Dataset, rules []*rule.Rule, n int, opts Opt
 				}
 				for _, di := range hashed {
 					attr, _ := dims[di].dv.AttrOf(vi)
-					coord[di] = int(hasher.Hash(dims[di].fn, t.Values[attr])) % dims[di].size
+					coord[di] = int(hasher.Hash(dims[di].fn, t.Val(attr))) % dims[di].size
 				}
 				refEmitBlocks(dims, coord, bcast, 0, t.GID, blocks, ruleKeys, &res.Stats)
 			}

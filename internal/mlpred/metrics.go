@@ -23,7 +23,27 @@ import (
 	"math"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
+
+// Stack-scratch bounds of the ASCII fast paths below: strings at most
+// this long are scored without any heap allocation. Longer or non-ASCII
+// inputs take the general rune paths, which produce identical results
+// (for ASCII text, byte indexing and rune indexing coincide).
+const (
+	jaroStack = 64
+	levStack  = 128
+)
+
+// isASCII reports whether s contains only single-byte runes.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
 
 // Tokenize splits s into lowercase word tokens on any non-alphanumeric rune.
 func Tokenize(s string) []string {
@@ -53,6 +73,9 @@ func NGrams(s string, n int) []string {
 
 // Levenshtein computes the edit distance between a and b.
 func Levenshtein(a, b string) int {
+	if len(b) < levStack && isASCII(a) && isASCII(b) {
+		return levASCII(a, b)
+	}
 	ra, rb := []rune(a), []rune(b)
 	if len(ra) == 0 {
 		return len(rb)
@@ -79,6 +102,34 @@ func Levenshtein(a, b string) int {
 	return prev[len(rb)]
 }
 
+// levASCII is the allocation-free byte-wise edit distance for ASCII
+// inputs with len(b) < levStack; same recurrence as the rune path.
+func levASCII(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	var prevBuf, curBuf [levStack]int
+	prev, cur := prevBuf[:len(b)+1], curBuf[:len(b)+1]
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
 func min3(a, b, c int) int {
 	if b < a {
 		a = b
@@ -94,7 +145,7 @@ func LevenshteinSim(a, b string) float64 {
 	if a == "" && b == "" {
 		return 1
 	}
-	la, lb := len([]rune(a)), len([]rune(b))
+	la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
 	max := la
 	if lb > max {
 		max = lb
@@ -107,6 +158,9 @@ func LevenshteinSim(a, b string) float64 {
 
 // Jaro computes the Jaro similarity of a and b.
 func Jaro(a, b string) float64 {
+	if len(a) <= jaroStack && len(b) <= jaroStack && isASCII(a) && isASCII(b) {
+		return jaroASCII(a, b)
+	}
 	ra, rb := []rune(a), []rune(b)
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
@@ -167,13 +221,80 @@ func Jaro(a, b string) float64 {
 	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
 }
 
+// jaroASCII is the allocation-free byte-wise Jaro similarity for ASCII
+// inputs up to jaroStack bytes; same algorithm as the rune path.
+func jaroASCII(a, b string) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	var matchA, matchB [jaroStack]bool
+	matches := 0
+	for i := 0; i < la; i++ {
+		ca := a[i]
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if matchB[j] || b[j] != ca {
+				continue
+			}
+			matchA[i] = true
+			matchB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
 // JaroWinkler boosts Jaro similarity for shared prefixes (standard p=0.1,
 // prefix capped at 4).
 func JaroWinkler(a, b string) float64 {
 	j := Jaro(a, b)
 	prefix := 0
-	ra, rb := []rune(a), []rune(b)
-	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+	for prefix < 4 && len(a) > 0 && len(b) > 0 {
+		ca, na := utf8.DecodeRuneInString(a)
+		cb, nb := utf8.DecodeRuneInString(b)
+		if ca != cb {
+			break
+		}
+		a, b = a[na:], b[nb:]
 		prefix++
 	}
 	return j + float64(prefix)*0.1*(1-j)

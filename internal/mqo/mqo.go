@@ -9,7 +9,9 @@ package mqo
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -304,9 +306,24 @@ type Hasher struct {
 	Lookups      int64
 }
 
+// hkey identifies a memoized (function, value) pair without rendering the
+// value's canonical key string: strings carry their payload directly
+// (the header is shared, not copied) and numerics their exact bit
+// pattern, so distinct canonical keys — including -0 vs +0 and int vs
+// float of equal magnitude — stay distinct memo entries, exactly as the
+// old string-keyed memo had them.
 type hkey struct {
-	fn  int
-	val string
+	fn   int
+	kind relation.Type
+	bits uint64
+	str  string
+}
+
+func hkeyOf(fn int, v relation.Value) hkey {
+	if v.Kind == relation.TypeString {
+		return hkey{fn: fn, kind: v.Kind, str: v.Str}
+	}
+	return hkey{fn: fn, kind: v.Kind, bits: math.Float64bits(v.Num)}
 }
 
 // NewHasher creates an empty memoizing hasher.
@@ -315,12 +332,12 @@ func NewHasher() *Hasher { return &Hasher{memo: make(map[hkey]uint32)} }
 // Hash evaluates hash function fn on value v (FNV-1a seeded by fn).
 func (h *Hasher) Hash(fn int, v relation.Value) uint32 {
 	h.Lookups++
-	k := hkey{fn, v.Key()}
+	k := hkeyOf(fn, v)
 	if r, ok := h.memo[k]; ok {
 		return r
 	}
 	h.Computations++
-	r := fnvHash(fn, k.val)
+	r := fnvHashValue(fn, v)
 	h.memo[k] = r
 	return r
 }
@@ -362,12 +379,17 @@ func NewShardedHasher() *ShardedHasher {
 // goroutines sharing the hasher.
 func (h *ShardedHasher) Hash(fn int, v relation.Value) uint32 {
 	h.lookups.Add(1)
-	k := hkey{fn, v.Key()}
+	k := hkeyOf(fn, v)
 	// Stripe by a cheap fingerprint of the key; any distribution works,
 	// only the per-stripe map lookup must stay exact.
 	fp := uint32(fn) * 2654435761
-	for i := 0; i < len(k.val); i++ {
-		fp = fp*31 + uint32(k.val[i])
+	if k.kind == relation.TypeString {
+		for i := 0; i < len(k.str); i++ {
+			fp = fp*31 + uint32(k.str[i])
+		}
+	} else {
+		fp = fp*31 + uint32(k.kind)
+		fp = fp*31 + uint32(k.bits) + uint32(k.bits>>32)
 	}
 	st := &h.stripes[fp%hasherStripes]
 	st.mu.Lock()
@@ -375,7 +397,7 @@ func (h *ShardedHasher) Hash(fn int, v relation.Value) uint32 {
 		st.mu.Unlock()
 		return r
 	}
-	r := fnvHash(fn, k.val)
+	r := fnvHashValue(fn, v)
 	st.memo[k] = r
 	st.mu.Unlock()
 	h.computations.Add(1)
@@ -387,15 +409,46 @@ func (h *ShardedHasher) Counts() (computations, lookups int64) {
 	return h.computations.Load(), h.lookups.Load()
 }
 
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
 func fnvHash(seed int, s string) uint32 {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	x := uint32(offset32) ^ uint32(seed*2654435761)
+	return fnvFold(uint32(fnvOffset32)^uint32(seed*2654435761), s)
+}
+
+func fnvFold(x uint32, s string) uint32 {
 	for i := 0; i < len(s); i++ {
 		x ^= uint32(s[i])
-		x *= prime32
+		x *= fnvPrime32
+	}
+	return x
+}
+
+// fnvHashValue computes fnvHash(seed, v.Key()) without materializing the
+// canonical key string: the kind prefix and payload rendering are folded
+// into the FNV state incrementally, numerics through stack buffers. The
+// resulting hash — and therefore every partitioning decision downstream —
+// is bit-identical to the string-keyed path.
+func fnvHashValue(seed int, v relation.Value) uint32 {
+	x := uint32(fnvOffset32) ^ uint32(seed*2654435761)
+	var buf [32]byte
+	var payload []byte
+	switch v.Kind {
+	case relation.TypeString:
+		x = fnvFold(x, "s:")
+		return fnvFold(x, v.Str)
+	case relation.TypeInt:
+		x = fnvFold(x, "i:")
+		payload = strconv.AppendInt(buf[:0], int64(v.Num), 10)
+	default:
+		x = fnvFold(x, "f:")
+		payload = strconv.AppendFloat(buf[:0], v.Num, 'g', -1, 64)
+	}
+	for _, c := range payload {
+		x ^= uint32(c)
+		x *= fnvPrime32
 	}
 	return x
 }

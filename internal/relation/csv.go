@@ -27,8 +27,8 @@ func WriteCSV(w io.Writer, rel *Relation) error {
 	}
 	row := make([]string, rel.Schema.Arity())
 	for _, t := range rel.Tuples {
-		for i, v := range t.Values {
-			row[i] = v.String()
+		for i := range row {
+			row[i] = t.Val(i).String()
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -83,6 +83,11 @@ func LoadCSVInto(d *Dataset, name string, r io.Reader) error {
 	if len(rows[0]) != s.Arity() {
 		return fmt.Errorf("relation: %s: header has %d columns, schema %d", name, len(rows[0]), s.Arity())
 	}
+	// The rows were just parsed by the schema's own attribute types, so
+	// they take the trusted bulk path: no per-value kind re-checks, and
+	// the scratch vals buffer is reused (Append* never retains it).
+	ri := d.DB.SchemaIndex(name)
+	d.Reserve(name, len(rows)-1)
 	vals := make([]Value, s.Arity())
 	for rn, row := range rows[1:] {
 		if len(row) != s.Arity() {
@@ -95,9 +100,7 @@ func LoadCSVInto(d *Dataset, name string, r io.Reader) error {
 			}
 			vals[i] = v
 		}
-		if _, err := d.Append(name, append([]Value(nil), vals...)...); err != nil {
-			return err
-		}
+		d.AppendUnchecked(ri, vals...)
 	}
 	return nil
 }

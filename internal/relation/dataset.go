@@ -8,47 +8,157 @@ import (
 // The chase engine keys its id-equivalence relation on TIDs.
 type TID int32
 
-// Tuple is one row of a relation. Values is aligned with the schema's
-// attributes. GID is assigned by the owning Dataset when the tuple is
-// appended and is unique dataset-wide.
+// Tuple is one row of a relation. It is a fixed-size handle into the
+// owning relation's columnar storage: the attribute payloads live in
+// per-attribute word columns (interned Syms for strings, bit-packed
+// numerics), addressed by Row. GID is assigned by the owning Dataset
+// when the tuple is appended and is unique dataset-wide. Tuples are
+// slab-allocated by the dataset, so taking *Tuple pointers stays cheap
+// and stable while the boxed per-tuple Values slice of the seed layout
+// is gone entirely.
 type Tuple struct {
-	GID    TID
-	Rel    int // index of the relation within the dataset
-	Values []Value
+	GID TID
+	Rel int   // index of the relation within the dataset
+	Row int32 // row within the owning relation's columns
+	rel *Relation
+}
+
+// Arity returns the tuple's attribute count.
+func (t *Tuple) Arity() int { return len(t.rel.cols) }
+
+// Word returns the packed storage word of attribute i: the Sym for
+// string attributes, PackNum(payload) for numerics. Words of the same
+// attribute (or any equality-joined attribute of the same type) compare
+// equal iff the boxed values do, except NaN (see PackNum).
+func (t *Tuple) Word(i int) uint64 { return t.rel.cols[i][t.Row] }
+
+// Val unboxes attribute i into a Value. String payloads are the interned
+// arena-backed strings, so two equal Vals from the same dataset compare
+// by pointer before falling back to byte comparison.
+func (t *Tuple) Val(i int) Value {
+	w := t.rel.cols[i][t.Row]
+	switch t.rel.Schema.Attrs[i].Type {
+	case TypeString:
+		return Value{Kind: TypeString, Str: t.rel.syms.Str(Sym(w))}
+	case TypeInt:
+		return Value{Kind: TypeInt, Num: unpackNum(w)}
+	default:
+		return Value{Kind: TypeFloat, Num: unpackNum(w)}
+	}
+}
+
+// Values materializes the full attribute vector. Compatibility shim for
+// cold paths (CSV output, debug rendering, tests); it allocates, so hot
+// paths use Val/Word instead.
+func (t *Tuple) Values() []Value {
+	out := make([]Value, t.Arity())
+	for i := range out {
+		out[i] = t.Val(i)
+	}
+	return out
 }
 
 // ID returns the tuple's designated id-attribute value under schema s.
-func (t *Tuple) ID(s *Schema) Value { return t.Values[s.IDAttr] }
+func (t *Tuple) ID(s *Schema) Value { return t.Val(s.IDAttr) }
 
-// Relation is an instance D_i of a relation schema.
+// IDWord returns the packed word of the tuple's designated id attribute.
+func (t *Tuple) IDWord() uint64 { return t.Word(t.rel.Schema.IDAttr) }
+
+// Relation is an instance D_i of a relation schema. Fragments share the
+// parent's tuples (and therefore its columns, reached through each
+// tuple's owner); only a root relation owns cols.
 type Relation struct {
 	Schema *Schema
 	Tuples []*Tuple
+
+	syms *SymTab
+	cols [][]uint64 // one packed column per attribute; row = Tuple.Row
 }
+
+// Syms returns the symbol table backing this relation's string columns.
+func (r *Relation) Syms() *SymTab { return r.syms }
+
+// tupleSlab is how many Tuple handles one slab chunk holds (96KiB per
+// chunk at 24 bytes per handle).
+const tupleSlab = 4096
+
+// fragSlotsMaxWaste gates the fragment lookup layout: a fragment whose
+// id space is at most this many times its tuple count gets a flat
+// []int32 slot array (O(1) array lookup, 4 bytes per id-space slot);
+// sparser fragments fall back to a map. 16 is where the array's memory
+// crosses a map's ~50 bytes/entry.
+const fragSlotsMaxWaste = 16
 
 // Dataset is an instance D = (D_1, ..., D_m) of a database schema.
 type Dataset struct {
 	DB        *Database
 	Relations []*Relation
 
+	// syms interns every string payload in the dataset. Fragments share
+	// the parent's table so Syms (and packed words) stay globally
+	// meaningful.
+	syms *SymTab
+
 	// tuples lists all tuples in insertion order. For a root dataset the
 	// position of a tuple equals its GID; fragments share tuples with
-	// their parent and use byGID for lookup instead.
+	// their parent and use slots (dense) or byGID (sparse) for lookup.
 	tuples []*Tuple
 	byGID  map[TID]*Tuple
+	slots  []int32 // GID -> index into tuples, -1 when absent
+
+	// idSpace is the GID space fragments inherit (the parent's tuple
+	// count at fragmentation time); 0 for root datasets.
+	idSpace int
+
+	slab []Tuple // current tuple slab chunk; full chunks are only
+	// reachable through the *Tuple pointers handed out
 }
 
 // NewDataset creates an empty dataset over db.
 func NewDataset(db *Database) *Dataset {
-	d := &Dataset{DB: db, Relations: make([]*Relation, len(db.Schemas))}
+	d := &Dataset{
+		DB:        db,
+		Relations: make([]*Relation, len(db.Schemas)),
+		syms:      NewSymTab(),
+	}
 	for i, s := range db.Schemas {
-		d.Relations[i] = &Relation{Schema: s}
+		d.Relations[i] = &Relation{Schema: s, syms: d.syms, cols: make([][]uint64, s.Arity())}
 	}
 	return d
 }
 
+// Syms returns the dataset's symbol table.
+func (d *Dataset) Syms() *SymTab { return d.syms }
+
+// Reserve pre-sizes the named relation's columns and tuple list for n
+// additional rows, so bulk loaders avoid growth copies.
+func (d *Dataset) Reserve(rel string, n int) {
+	ri := d.DB.SchemaIndex(rel)
+	if ri < 0 || n <= 0 {
+		return
+	}
+	r := d.Relations[ri]
+	for i := range r.cols {
+		if free := cap(r.cols[i]) - len(r.cols[i]); free < n {
+			grown := make([]uint64, len(r.cols[i]), len(r.cols[i])+n)
+			copy(grown, r.cols[i])
+			r.cols[i] = grown
+		}
+	}
+	if free := cap(r.Tuples) - len(r.Tuples); free < n {
+		grown := make([]*Tuple, len(r.Tuples), len(r.Tuples)+n)
+		copy(grown, r.Tuples)
+		r.Tuples = grown
+	}
+}
+
 // Append adds a tuple with the given values to the named relation and
-// returns it. The values must match the schema arity.
+// returns it. The values must match the schema arity and every value's
+// Kind must match its attribute type exactly — in particular int and
+// float do not coerce, so an I(…) value cannot fill a float attribute
+// (nor F(…) an int one); the error names the attribute, the offending
+// value, and the constructor that would fix it. The values slice is not
+// retained: payloads are packed into the relation's columns.
 func (d *Dataset) Append(rel string, values ...Value) (*Tuple, error) {
 	ri := d.DB.SchemaIndex(rel)
 	if ri < 0 {
@@ -59,15 +169,58 @@ func (d *Dataset) Append(rel string, values ...Value) (*Tuple, error) {
 		return nil, fmt.Errorf("relation: %s expects %d values, got %d", rel, s.Arity(), len(values))
 	}
 	for i, v := range values {
-		if v.Kind != s.Attrs[i].Type {
-			return nil, fmt.Errorf("relation: %s.%s expects %s, got %s",
-				rel, s.Attrs[i].Name, s.Attrs[i].Type, v.Kind)
+		if v.Kind == s.Attrs[i].Type {
+			continue
 		}
+		want, got := s.Attrs[i].Type, v.Kind
+		if (want == TypeInt && got == TypeFloat) || (want == TypeFloat && got == TypeInt) {
+			ctor := "I(…)"
+			if want == TypeFloat {
+				ctor = "F(…)"
+			}
+			return nil, fmt.Errorf("relation: %s.%s expects %s, got %s value %s (numeric kinds do not coerce; construct the value with %s)",
+				rel, s.Attrs[i].Name, want, got, v, ctor)
+		}
+		return nil, fmt.Errorf("relation: %s.%s expects %s, got %s value %q",
+			rel, s.Attrs[i].Name, want, got, v.String())
 	}
-	t := &Tuple{GID: TID(len(d.tuples)), Rel: ri, Values: values}
+	return d.appendPacked(ri, values), nil
+}
+
+// AppendUnchecked is the trusted bulk-load fast path: it skips the name
+// resolution and per-value Kind checks of Append. ri is the relation's
+// schema index (resolve once with d.DB.SchemaIndex) and the caller
+// guarantees len(values) == arity with kinds matching the schema —
+// values are packed by the schema's attribute types, so a kind mismatch
+// silently stores the wrong payload rather than erroring. Used by the
+// synthetic generators and CSV ingest, where the values were just
+// constructed from the schema itself.
+func (d *Dataset) AppendUnchecked(ri int, values ...Value) *Tuple {
+	return d.appendPacked(ri, values)
+}
+
+// appendPacked packs values into relation ri's columns (by schema
+// attribute type) and hands out a slab-allocated tuple handle.
+func (d *Dataset) appendPacked(ri int, values []Value) *Tuple {
+	r := d.Relations[ri]
+	row := int32(len(r.Tuples))
+	for i, v := range values {
+		var w uint64
+		if r.Schema.Attrs[i].Type == TypeString {
+			w = uint64(d.syms.Intern(v.Str))
+		} else {
+			w = PackNum(v.Num)
+		}
+		r.cols[i] = append(r.cols[i], w)
+	}
+	if len(d.slab) == cap(d.slab) {
+		d.slab = make([]Tuple, 0, tupleSlab)
+	}
+	d.slab = append(d.slab, Tuple{GID: TID(len(d.tuples)), Rel: ri, Row: row, rel: r})
+	t := &d.slab[len(d.slab)-1]
 	d.tuples = append(d.tuples, t)
-	d.Relations[ri].Tuples = append(d.Relations[ri].Tuples, t)
-	return t, nil
+	r.Tuples = append(r.Tuples, t)
+	return t
 }
 
 // MustAppend is Append that panics on error; for tests and fixtures.
@@ -82,6 +235,16 @@ func (d *Dataset) MustAppend(rel string, values ...Value) *Tuple {
 // Tuple returns the tuple with the given global id, or nil. For fragments
 // only tuples hosted by the fragment are found.
 func (d *Dataset) Tuple(id TID) *Tuple {
+	if d.slots != nil {
+		if id < 0 || int(id) >= len(d.slots) {
+			return nil
+		}
+		s := d.slots[id]
+		if s < 0 {
+			return nil
+		}
+		return d.tuples[s]
+	}
 	if d.byGID != nil {
 		return d.byGID[id]
 	}
@@ -112,28 +275,74 @@ func (d *Dataset) SchemaOf(t *Tuple) *Schema { return d.DB.Schemas[t.Rel] }
 // Tuples iterates all tuples in GID order.
 func (d *Dataset) Tuples() []*Tuple { return d.tuples }
 
+// MemBytes estimates the dataset's storage footprint: packed columns,
+// tuple slabs and handle slices, the symbol arena, and the fragment
+// lookup structure. Fragments do not recount the shared columns/arena.
+func (d *Dataset) MemBytes() int64 {
+	var n int64
+	if d.idSpace == 0 { // root: owns columns, slabs, and the symbol table
+		for _, r := range d.Relations {
+			for _, c := range r.cols {
+				n += int64(cap(c)) * 8
+			}
+			n += int64(cap(r.Tuples)) * 8
+		}
+		n += int64(len(d.tuples)) * (8 + 24) // handle pointer + slab entry
+		n += d.syms.Bytes()
+	} else {
+		for _, r := range d.Relations {
+			n += int64(cap(r.Tuples)) * 8
+		}
+		n += int64(cap(d.tuples)) * 8
+		n += int64(cap(d.slots)) * 4
+		n += int64(len(d.byGID)) * 50 // map entry estimate
+	}
+	return n
+}
+
 // Fragment builds a sub-dataset over the same database schema containing
 // exactly the tuples whose GIDs appear in ids. The tuples are shared (not
 // copied) so their GIDs remain globally meaningful: the parallel engine
 // relies on this to exchange matches between fragments by GID alone.
+// Dense fragments (most of the parallel partitions) index by a flat slot
+// array so the per-lookup cost is an array load; sparse ones fall back
+// to a map.
 func (d *Dataset) Fragment(ids []TID) *Dataset {
+	space := d.idSpace
+	if space == 0 {
+		space = len(d.tuples)
+	}
 	f := &Dataset{
 		DB:        d.DB,
 		Relations: make([]*Relation, len(d.DB.Schemas)),
-		byGID:     make(map[TID]*Tuple, len(ids)),
+		syms:      d.syms,
+		idSpace:   space,
 	}
 	for i, s := range d.DB.Schemas {
-		f.Relations[i] = &Relation{Schema: s}
+		f.Relations[i] = &Relation{Schema: s, syms: d.syms}
+	}
+	dense := space <= fragSlotsMaxWaste*len(ids)
+	if dense {
+		f.slots = make([]int32, space)
+		for i := range f.slots {
+			f.slots[i] = -1
+		}
+	} else {
+		f.byGID = make(map[TID]*Tuple, len(ids))
 	}
 	for _, id := range ids {
-		if _, seen := f.byGID[id]; seen {
+		if f.Has(id) {
 			continue
 		}
 		t := d.Tuple(id)
 		if t == nil {
 			continue
 		}
-		f.byGID[id] = t
+		if dense {
+			f.slots[id] = int32(len(f.tuples))
+		} else {
+			f.byGID[id] = t
+		}
 		f.Relations[t.Rel].Tuples = append(f.Relations[t.Rel].Tuples, t)
 		f.tuples = append(f.tuples, t)
 	}

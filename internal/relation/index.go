@@ -3,35 +3,114 @@ package relation
 import "sync/atomic"
 
 // Index is an inverted index over one attribute of one relation: it maps
-// each value (by canonical key) to the tuples carrying that value. The
-// chase engine builds one Index per attribute participating in an equality
-// predicate (Section V-A, data structure (1)).
-// Values are comparable structs whose equality coincides with Value.Equal
-// (kinds are part of the key, so I(1) and S("1") do not collide), so they
-// key the posting map directly — no canonical string is built on the
-// Lookup hot path.
+// each value to the tuples carrying that value. The chase engine builds
+// one Index per attribute participating in an equality predicate
+// (Section V-A, data structure (1)).
+//
+// Postings are keyed by the packed storage word (interned Sym for
+// strings, PackNum bits for numerics), so the hot path — LookupWord fed
+// straight from a bound tuple's Word — is one integer-keyed map probe
+// with no Value boxing. Within one index every stored word comes from a
+// single typed column, so words cannot collide across kinds; boxed-Value
+// probes go through the symbol table (Lookup) and miss cleanly on
+// strings the dataset never interned. The posting lists are views into
+// one shared arena built in two passes, so an index allocates O(distinct
+// values) map cells instead of O(tuples) slice growth steps.
 type Index struct {
-	Rel     int // relation position within the dataset
-	Attr    int // attribute position within the schema
-	entries map[Value][]*Tuple
+	Rel  int // relation position within the dataset
+	Attr int // attribute position within the schema
+
+	typ     Type
+	syms    *SymTab
+	entries map[uint64][]*Tuple
 }
 
 // BuildIndex scans rel and indexes attribute attr.
 func BuildIndex(relIdx int, rel *Relation, attr int) *Index {
-	ix := &Index{Rel: relIdx, Attr: attr, entries: make(map[Value][]*Tuple, len(rel.Tuples))}
+	ix := &Index{
+		Rel:  relIdx,
+		Attr: attr,
+		typ:  rel.Schema.Attrs[attr].Type,
+		syms: rel.syms,
+	}
+	n := len(rel.Tuples)
+	counts := make(map[uint64]int32, n/4+1)
 	for _, t := range rel.Tuples {
-		ix.entries[t.Values[attr]] = append(ix.entries[t.Values[attr]], t)
+		counts[t.Word(attr)]++
+	}
+	// Lay every posting list out in one arena: ends[w] walks from the
+	// list's start to one past its end while filling, so afterwards the
+	// view for w is arena[ends[w]-counts[w] : ends[w]]. The views are
+	// capacity-clipped so an incremental Add reallocates instead of
+	// clobbering its neighbor.
+	arena := make([]*Tuple, n)
+	ends := make(map[uint64]int32, len(counts))
+	off := int32(0)
+	for w, c := range counts {
+		ends[w] = off
+		off += c
+	}
+	for _, t := range rel.Tuples {
+		w := t.Word(attr)
+		o := ends[w]
+		arena[o] = t
+		ends[w] = o + 1
+	}
+	ix.entries = make(map[uint64][]*Tuple, len(counts))
+	for w, end := range ends {
+		c := counts[w]
+		ix.entries[w] = arena[end-c : end : end]
 	}
 	return ix
 }
 
-// Lookup returns all tuples whose indexed attribute equals v.
-func (ix *Index) Lookup(v Value) []*Tuple { return ix.entries[v] }
+// LookupWord returns all tuples whose indexed attribute packs to w. This
+// is the enumeration hot path: w comes from a bound tuple's Word (same
+// type by rule well-formedness), so no boxing or symbol probe happens.
+func (ix *Index) LookupWord(w uint64) []*Tuple { return ix.entries[w] }
+
+// LookupTuple probes the index with the packed word of t's attribute
+// attr — the enumeration fast path for t.A = s.B predicates, no boxing.
+// If the probing attribute's type differs from the indexed column's, the
+// probe misses, mirroring Value.Equal cross-kind semantics.
+func (ix *Index) LookupTuple(t *Tuple, attr int) []*Tuple {
+	if t.rel.Schema.Attrs[attr].Type != ix.typ {
+		return nil
+	}
+	return ix.entries[t.Word(attr)]
+}
+
+// Lookup returns all tuples whose indexed attribute equals v. Boxed
+// compatibility probe: kind mismatches, never-interned strings, and NaN
+// all miss, matching Value.Equal semantics.
+func (ix *Index) Lookup(v Value) []*Tuple {
+	w, ok := ix.WordFor(v)
+	if !ok {
+		return nil
+	}
+	return ix.entries[w]
+}
+
+// WordFor packs a probe value for this index: ok=false means v cannot
+// match any stored tuple (wrong kind, unknown string, or NaN).
+func (ix *Index) WordFor(v Value) (uint64, bool) {
+	if v.Kind != ix.typ {
+		return 0, false
+	}
+	if ix.typ == TypeString {
+		s, ok := ix.syms.Find(v.Str)
+		return uint64(s), ok
+	}
+	if v.Num != v.Num {
+		return 0, false
+	}
+	return PackNum(v.Num), true
+}
 
 // Add registers a newly appended tuple (incremental ΔD maintenance).
 func (ix *Index) Add(t *Tuple) {
-	k := t.Values[ix.Attr]
-	ix.entries[k] = append(ix.entries[k], t)
+	w := t.Word(ix.Attr)
+	ix.entries[w] = append(ix.entries[w], t)
 }
 
 // Distinct returns the number of distinct values in the index.
@@ -46,6 +125,16 @@ func (ix *Index) MaxBucket() int {
 		}
 	}
 	return max
+}
+
+// MemBytes estimates the index's footprint: the posting arena plus map
+// overhead per distinct value.
+func (ix *Index) MemBytes() int64 {
+	var posted int64
+	for _, ts := range ix.entries {
+		posted += int64(cap(ts))
+	}
+	return posted*8 + int64(len(ix.entries))*40
 }
 
 // IndexSet caches the indexes of a dataset, built lazily per
@@ -80,6 +169,17 @@ func (s *IndexSet) For(rel, attr int) *Index {
 // while another goroutine is lazily building (it reads only the atomic
 // count, never the cache map).
 func (s *IndexSet) Built() int { return int(s.built.Load()) }
+
+// MemBytes estimates the combined footprint of the materialized indexes.
+// Like For, it is only safe against concurrent mutation from the owning
+// goroutine.
+func (s *IndexSet) MemBytes() int64 {
+	var n int64
+	for _, ix := range s.indexes {
+		n += ix.MemBytes()
+	}
+	return n
+}
 
 // Add registers a newly appended tuple in every materialized index of its
 // relation (incremental ΔD maintenance). The tuple must already be part

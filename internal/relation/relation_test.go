@@ -218,9 +218,9 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 	for i := range d.Tuples() {
 		a, b := d.Tuples()[i], d2.Tuples()[i]
-		for j := range a.Values {
-			if !a.Values[j].Equal(b.Values[j]) {
-				t.Errorf("tuple %d attr %d: %v vs %v", i, j, a.Values[j], b.Values[j])
+		for j := 0; j < a.Arity(); j++ {
+			if !a.Val(j).Equal(b.Val(j)) {
+				t.Errorf("tuple %d attr %d: %v vs %v", i, j, a.Val(j), b.Val(j))
 			}
 		}
 	}
@@ -300,10 +300,10 @@ func TestCSVRoundTripQuick(t *testing.T) {
 		}
 		got := d2.Tuples()[0]
 		want := d.Tuples()[0]
-		for i := range want.Values {
+		for i := 0; i < want.Arity(); i++ {
 			// CSV cannot distinguish "\r\n" from "\n" inside quoted
 			// fields (the reader normalizes line endings); accept that.
-			g, w := got.Values[i], want.Values[i]
+			g, w := got.Val(i), want.Val(i)
 			if g.Kind == relation.TypeString {
 				gs := strings.ReplaceAll(g.Str, "\r\n", "\n")
 				ws := strings.ReplaceAll(w.Str, "\r\n", "\n")

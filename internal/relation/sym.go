@@ -1,0 +1,112 @@
+package relation
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Sym is a dense interned-string identifier. Every distinct string value
+// in a dataset maps to exactly one Sym, so string equality on the chase
+// hot path degenerates to integer equality and columnar storage packs a
+// string attribute as one uint32-wide word per row.
+type Sym uint32
+
+// symChunk is the byte-arena chunk size. Strings longer than a quarter
+// chunk get a private allocation so a single outlier cannot strand most
+// of a chunk.
+const symChunk = 1 << 16
+
+// SymTab interns strings into dense Syms backed by a chunked byte arena:
+// all interned bytes live in a handful of large []byte blocks instead of
+// one heap object per string. Interning is safe for concurrent use; the
+// read paths (Str, Find) stay lock-free and read-locked respectively, so
+// parallel drains and index probes never serialize on the writer lock.
+type SymTab struct {
+	mu    sync.RWMutex
+	ids   map[string]Sym // keys are the arena-backed copies
+	strs  atomic.Pointer[[]string]
+	arena []byte
+	bytes atomic.Int64 // arena bytes reserved (chunks + oversized strings)
+}
+
+// NewSymTab creates an empty symbol table.
+func NewSymTab() *SymTab {
+	st := &SymTab{ids: make(map[string]Sym)}
+	empty := []string(nil)
+	st.strs.Store(&empty)
+	return st
+}
+
+// Intern returns the Sym for s, assigning the next dense id on first
+// sight. The bytes of s are copied into the table's arena; the caller's
+// string is not retained.
+func (st *SymTab) Intern(s string) Sym {
+	st.mu.RLock()
+	id, ok := st.ids[s]
+	st.mu.RUnlock()
+	if ok {
+		return id
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if id, ok := st.ids[s]; ok {
+		return id
+	}
+	interned := st.copyIn(s)
+	strs := append(*st.strs.Load(), interned)
+	id = Sym(len(strs) - 1)
+	st.strs.Store(&strs)
+	st.ids[interned] = id
+	return id
+}
+
+// copyIn copies s into the arena and returns a string header over the
+// arena bytes. Must hold st.mu.
+func (st *SymTab) copyIn(s string) string {
+	if len(s) == 0 {
+		return ""
+	}
+	if len(s) > symChunk/4 {
+		b := append([]byte(nil), s...)
+		st.bytes.Add(int64(len(b)))
+		return unsafe.String(&b[0], len(b))
+	}
+	if len(st.arena)+len(s) > cap(st.arena) {
+		st.arena = make([]byte, 0, symChunk)
+		st.bytes.Add(symChunk)
+	}
+	off := len(st.arena)
+	st.arena = append(st.arena, s...)
+	return unsafe.String(&st.arena[off], len(s))
+}
+
+// Find returns the Sym for s without interning it, and whether it is
+// known. Safe for concurrent use with Intern.
+func (st *SymTab) Find(s string) (Sym, bool) {
+	st.mu.RLock()
+	id, ok := st.ids[s]
+	st.mu.RUnlock()
+	return id, ok
+}
+
+// Str returns the string for a Sym. Lock-free: the string slice only
+// ever grows, and every published header covers all Syms issued before
+// it was stored.
+func (st *SymTab) Str(id Sym) string {
+	return (*st.strs.Load())[id]
+}
+
+// Len returns the number of distinct interned strings.
+func (st *SymTab) Len() int {
+	return len(*st.strs.Load())
+}
+
+// Bytes estimates the table's memory footprint: arena bytes plus the
+// id map and header slice overhead (one string header and one map entry
+// per symbol).
+func (st *SymTab) Bytes() int64 {
+	n := int64(st.Len())
+	const perSym = 16 /* string header */ + 32 /* map entry estimate */
+	return st.bytes.Load() + n*perSym
+}

@@ -9,6 +9,7 @@ package relation
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -106,6 +107,51 @@ func (v Value) Key() string {
 	default:
 		return "f:" + strconv.FormatFloat(v.Num, 'g', -1, 64)
 	}
+}
+
+// PackNum packs a numeric payload into a storage word. Negative zero is
+// collapsed to positive zero and every NaN payload to one quiet NaN, so
+// packed-word equality coincides with the canonical-key equality of the
+// seed layout (-0 == +0, and all NaNs rendered alike). NaN words still
+// never satisfy Value.Equal — the word is a candidate-pruning key, never
+// the equality oracle, so callers that must respect NaN ≠ NaN re-verify
+// with Equal.
+func PackNum(f float64) uint64 {
+	if f == 0 {
+		f = 0
+	}
+	if f != f {
+		return 0x7FF8000000000000 // canonical quiet NaN
+	}
+	return math.Float64bits(f)
+}
+
+// unpackNum is the inverse of PackNum.
+func unpackNum(w uint64) float64 { return math.Float64frombits(w) }
+
+// InternValue packs v into a storage word under the symbol table,
+// interning string payloads. The word is comparable with any other word
+// packed for the same attribute type (within one typed column sym and
+// numeric words cannot collide — the schema fixes the kind).
+func (st *SymTab) InternValue(v Value) uint64 {
+	if v.Kind == TypeString {
+		return uint64(st.Intern(v.Str))
+	}
+	return PackNum(v.Num)
+}
+
+// PackValue packs v into a probe word without interning: an unknown
+// string payload reports ok=false (it cannot equal any stored value).
+// NaN probes also report false, preserving NaN ≠ NaN on probe paths.
+func (st *SymTab) PackValue(v Value) (uint64, bool) {
+	if v.Kind == TypeString {
+		s, ok := st.Find(v.Str)
+		return uint64(s), ok
+	}
+	if v.Num != v.Num {
+		return 0, false
+	}
+	return PackNum(v.Num), true
 }
 
 // String renders the value the way it appears in CSV files.

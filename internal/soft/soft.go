@@ -102,7 +102,7 @@ func Chase(d *relation.Dataset, rules []Rule, reg *mlpred.Registry, epsilon floa
 	for _, rel := range d.Relations {
 		byID := make(map[string]relation.TID)
 		for _, t := range rel.Tuples {
-			k := t.Values[rel.Schema.IDAttr].Key()
+			k := t.Val(rel.Schema.IDAttr).Key()
 			if first, ok := byID[k]; ok {
 				res.scores[canon(first, t.GID)] = 1
 			} else {
@@ -157,11 +157,11 @@ func Chase(d *relation.Dataset, rules []Rule, reg *mlpred.Registry, epsilon floa
 					pd := &r.Body[i]
 					switch pd.Kind {
 					case rule.PredConst:
-						if !binding[pd.V1].Values[pd.A1].Equal(pd.Const) {
+						if !binding[pd.V1].Val(pd.A1).Equal(pd.Const) {
 							return
 						}
 					case rule.PredEq:
-						if !binding[pd.V1].Values[pd.A1].Equal(binding[pd.V2].Values[pd.A2]) {
+						if !binding[pd.V1].Val(pd.A1).Equal(binding[pd.V2].Val(pd.A2)) {
 							return
 						}
 					case rule.PredID:
@@ -173,11 +173,11 @@ func Chase(d *relation.Dataset, rules []Rule, reg *mlpred.Registry, epsilon floa
 					case rule.PredML:
 						la := make([]relation.Value, len(pd.A1Vec))
 						for j, at := range pd.A1Vec {
-							la[j] = binding[pd.V1].Values[at]
+							la[j] = binding[pd.V1].Val(at)
 						}
 						lb := make([]relation.Value, len(pd.A2Vec))
 						for j, at := range pd.A2Vec {
-							lb[j] = binding[pd.V2].Values[at]
+							lb[j] = binding[pd.V2].Val(at)
 						}
 						if !cache.Predict(classifiers[ri][pd], la, lb) {
 							return

@@ -38,8 +38,19 @@ echo "== distribution equivalence guards (parallel Partition byte-identity + ded
 go test -short -count=1 -run 'TestPartitionParallelEquivalence' ./internal/hypart
 go test -short -count=1 -run 'TestRoutingDedupGammaEquality|TestAdaptiveRebalance' ./internal/dmatch
 
+echo "== allocation-regression guards (index/cache probes, string metrics, saturated enumeration)"
+go test -count=1 -run 'TestIndexProbeAllocs|TestMetricAllocs|TestCacheProbeAllocs|TestEnumerationAllocs' \
+    ./internal/relation ./internal/mlpred ./internal/chase
+
+echo "== storage equivalence guards (columnar parity + memory-bounded chase Gamma equality)"
+go test -short -count=1 -run 'TestStorageParity|TestMemBudgetGammaEquivalence|TestDepStoreByteBudget' \
+    ./internal/relation ./internal/chase
+
 echo "== bench smoke (IncDeduce + HyPart incl. the Partition equivalence assert, 1 iteration)"
 go test -run=NONE -bench='IncDeduce|HyPart' -benchtime=1x -short .
+
+echo "== storage bench smoke (Ingest arm at scale 20, single iteration)"
+go run ./cmd/bench -fig6=false -repeat 1 -arms '^Ingest' -memscale 20 -prev '' -out /tmp/dcer_ci_bench.json
 
 echo "== telemetry smoke (ephemeral /metrics + provenance scrape over a live DMatch run)"
 go run ./scripts/telemetrysmoke
