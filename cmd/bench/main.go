@@ -9,7 +9,7 @@
 // instrumented DMatch run's routing profile (messages routed/deduped,
 // route time per superstep, adaptive rebalances) as routing_stats.
 //
-//	go run ./cmd/bench                   # full run, writes BENCH_6.json
+//	go run ./cmd/bench                   # full run, writes BENCH_7.json
 //	go run ./cmd/bench -fig6=false       # hot-path benchmarks only
 //	go run ./cmd/bench -scale 1.0 -out /tmp/bench.json
 //	go run ./cmd/bench -cpuprofile cpu.out -memprofile mem.out
@@ -17,6 +17,15 @@
 //	go run ./cmd/bench -telemetry :9090  # live /metrics + pprof while it runs
 //	go run ./cmd/bench -arms '^Ingest'   # only arms matching the regex
 //	go run ./cmd/bench -mem1m            # 1M-tuple arm under its 1.5 GiB default budget
+//	go run ./cmd/bench -plandump         # also print the compiled predicate programs
+//
+// The Deduce and IncDeduce families carry a plan=off|on A/B: plan=off
+// forces Options.InterpretRules (the conjunct-at-a-time rule
+// interpreter), plan=on is the default compiled-predicate-plan path.
+// The report embeds a per-rule attribution table pairing the two modes'
+// dcer_chase_rule_enumerate_ns sums into speedups (plan_attribution)
+// and the compiled programs with their observed selectivities
+// (plan_report, printed by -plandump).
 //
 // Besides the timing arms the harness runs storage arms at -memscale
 // (default 20, ≈573K tuples): a bulk-ingest arm and a full Deduce arm,
@@ -190,6 +199,15 @@ type report struct {
 	// telemetry-enabled pass (chase rule enumeration/merge, drain
 	// batches, DMatch routing and worker busy time, HyPart shape).
 	StageHistograms []stageHist `json:"stage_histograms,omitempty"`
+	// PlanAttribution is the per-rule enumerate-time A/B between the rule
+	// interpreter and the compiled predicate plans: one telemetry-attached
+	// Deduce per mode, per-rule dcer_chase_rule_enumerate_ns sums paired
+	// into speedups, with the plan-side predicate-eval and reorder counts.
+	PlanAttribution []planRuleRow `json:"plan_attribution,omitempty"`
+	// PlanReport snapshots the compiled predicate programs of the plan=on
+	// attribution run — per-variable step order with observed pass/fail
+	// selectivities (also printed by -plandump).
+	PlanReport *chase.PlanReport `json:"plan_report,omitempty"`
 	// SeedBaseline carries the measurements taken at the growth seed
 	// (before PR 1), on the same host class, for trajectory comparison;
 	// PR1Baseline carries the BENCH_1.json numbers forward the same way.
@@ -222,6 +240,77 @@ var pr1Baseline = []entry{
 	{Name: "Fig6gh@pr1", Ops: 1, NsPerOp: 21496055151, BytesPerOp: 4197169360, AllocsPerOp: 102110321},
 	{Name: "Fig6ij@pr1", Ops: 1, NsPerOp: 34271023613, BytesPerOp: 6302184392, AllocsPerOp: 146772635},
 	{Name: "Fig6kl@pr1", Ops: 1, NsPerOp: 58820695233, BytesPerOp: 9841052352, AllocsPerOp: 143923008},
+}
+
+// planRuleRow is one row of the per-rule plan attribution table.
+type planRuleRow struct {
+	Rule      string  `json:"rule"`
+	InterpNs  float64 `json:"interp_ns"`
+	PlanNs    float64 `json:"plan_ns"`
+	Speedup   float64 `json:"speedup"`
+	PredEvals int64   `json:"plan_preds_evaluated"`
+	Reorders  int64   `json:"plan_reorders"`
+}
+
+// runPlanAttribution runs one telemetry-attached Deduce per mode — the
+// rule interpreter, then the compiled plans — and pairs the per-rule
+// dcer_chase_rule_enumerate_ns sums into a speedup table, annotated with
+// the plan run's per-rule predicate-eval and adaptive-reorder counts.
+func runPlanAttribution(g *datagen.Generated, rules []*dcer.Rule, reg *mlpred.Registry) ([]planRuleRow, *chase.PlanReport) {
+	perRule := func(interpret bool) (map[string]float64, *chase.Engine) {
+		treg := telemetry.NewRegistry()
+		eng, err := chase.New(g.D, rules, reg, chase.Options{
+			ShareIndexes: true, Metrics: treg, InterpretRules: interpret,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		eng.Deduce()
+		sums := map[string]float64{}
+		for _, s := range treg.Snapshot() {
+			if s.Name != "dcer_chase_rule_enumerate_ns" || s.Histogram == nil {
+				continue
+			}
+			for _, l := range s.Labels {
+				if l.Key == "rule" {
+					sums[l.Value] += s.Histogram.Sum
+				}
+			}
+		}
+		return sums, eng
+	}
+	interp, _ := perRule(true)
+	plan, eng := perRule(false)
+	prep := eng.PlanReport()
+	predEvals := map[string]int64{}
+	reorders := map[string]int64{}
+	for _, rr := range prep.Rules {
+		var evals int64
+		for _, v := range rr.Vars {
+			for _, pd := range v.Preds {
+				evals += pd.Evals
+			}
+		}
+		predEvals[rr.Rule] = evals
+		reorders[rr.Rule] = rr.Reorders
+	}
+	names := make([]string, 0, len(interp))
+	for n := range interp {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows := make([]planRuleRow, 0, len(names))
+	for _, n := range names {
+		row := planRuleRow{
+			Rule: n, InterpNs: interp[n], PlanNs: plan[n],
+			PredEvals: predEvals[n], Reorders: reorders[n],
+		}
+		if row.PlanNs > 0 {
+			row.Speedup = row.InterpNs / row.PlanNs
+		}
+		rows = append(rows, row)
+	}
+	return rows, &prep
 }
 
 func toEntry(name string, r testing.BenchmarkResult) entry {
@@ -389,6 +478,22 @@ func runStorageArms(memscale float64, mem1m bool, budget, budget1m int64) []memE
 			return g.D.Size(), len(facts)
 		})
 		runtime.KeepAlive(eng)
+		eng = nil
+		// The same chase with the rule interpreter instead of the compiled
+		// plans: the large-scale end of the plan=off|on A/B (NsTotal is the
+		// timing axis here; the arm runs once, not noise-suppressed).
+		measure("Deduce/scale"+scaleName+"/plan=off", memscale, budget, func() (int, int) {
+			var err error
+			eng, err = chase.New(g.D, rules, reg, chase.Options{
+				ShareIndexes: true, MemBudgetBytes: budget, InterpretRules: true,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			facts := eng.Deduce()
+			return g.D.Size(), len(facts)
+		})
+		runtime.KeepAlive(eng)
 		// Drop the references so the 1M arm (or the caller) starts from a
 		// reclaimable heap.
 		eng, g, rules = nil, nil, nil
@@ -422,21 +527,30 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 	reg := mlpred.DefaultRegistry()
 	p := &pass{}
 
-	classes := map[bool]string{}
-	for _, seq := range []bool{true, false} {
-		name := "Deduce/concurrent"
-		if seq {
-			name = "Deduce/sequential"
-		}
-		if !armOn(name) {
+	// Deduce arms: the sequential/concurrent pair tracked since PR 1, plus
+	// the compiled-plan A/B — plan=off forces Options.InterpretRules (the
+	// conjunct-at-a-time interpreter), plan=on is the default vectorized
+	// predicate-plan path, both over the concurrent first pass. Every arm
+	// must land on identical equivalence classes.
+	classes := map[string]string{}
+	for _, arm := range []struct {
+		name string
+		opts chase.Options
+	}{
+		{"Deduce/sequential", chase.Options{ShareIndexes: true, SequentialDeduce: true}},
+		{"Deduce/concurrent", chase.Options{ShareIndexes: true}},
+		{"Deduce/plan=off", chase.Options{ShareIndexes: true, InterpretRules: true}},
+		{"Deduce/plan=on", chase.Options{ShareIndexes: true}},
+	} {
+		if !armOn(arm.name) {
 			continue
 		}
-		logg.Infof("benchmarking %s...", name)
+		logg.Infof("benchmarking %s...", arm.name)
 		var last *chase.Engine
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				eng, err := chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true, SequentialDeduce: seq})
+				eng, err := chase.New(g.D, rules, reg, arm.opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -444,11 +558,19 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 				last = eng
 			}
 		})
-		classes[seq] = dcer.CanonicalClasses(last.Classes())
-		p.entries = append(p.entries, toEntry(name, r))
+		classes[arm.name] = dcer.CanonicalClasses(last.Classes())
+		p.entries = append(p.entries, toEntry(arm.name, r))
 	}
-	if len(classes) == 2 && classes[true] != classes[false] {
-		fatal(fmt.Errorf("sequential and concurrent Deduce disagree on equivalence classes"))
+	var firstArm, firstClasses string
+	for name, c := range classes {
+		if firstArm == "" || name < firstArm {
+			firstArm, firstClasses = name, c
+		}
+	}
+	for name, c := range classes {
+		if c != firstClasses {
+			fatal(fmt.Errorf("%s and %s disagree on equivalence classes", firstArm, name))
+		}
 	}
 
 	// The same concurrent Deduce with the registry live: per-rule
@@ -714,7 +836,8 @@ func runIncDeduceArms(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *ml
 }
 
 // runIncDeduce measures the sequential and batched-parallel drain over a
-// replayed fact set and snapshots the parallel run's engine counters.
+// replayed fact set — plus the compiled-plan A/B over the parallel drain
+// — and snapshots the parallel run's engine counters.
 func runIncDeduce(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *mlpred.Registry) {
 	base, err := chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true})
 	if err != nil {
@@ -722,21 +845,26 @@ func runIncDeduce(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *mlpred
 	}
 	facts := base.Deduce()
 	wantClasses := dcer.CanonicalClasses(base.Classes())
-	for _, seq := range []bool{true, false} {
-		name := "IncDeduce/parallel"
-		// An explicit DrainParallelMin forces the batched path even where
-		// the default would fall back to sequential (GOMAXPROCS=1 hosts).
-		opts := chase.Options{ShareIndexes: true, DrainParallelMin: chase.DefaultDrainParallelMin}
-		if seq {
-			name = "IncDeduce/sequential"
-			opts = chase.Options{ShareIndexes: true, SequentialDrain: true}
-		}
-		logg.Infof("benchmarking %s...", name)
+	// An explicit DrainParallelMin forces the batched path even where the
+	// default would fall back to sequential (GOMAXPROCS=1 hosts).
+	parOpts := chase.Options{ShareIndexes: true, DrainParallelMin: chase.DefaultDrainParallelMin}
+	interpOpts := parOpts
+	interpOpts.InterpretRules = true
+	for _, arm := range []struct {
+		name string
+		opts chase.Options
+	}{
+		{"IncDeduce/sequential", chase.Options{ShareIndexes: true, SequentialDrain: true}},
+		{"IncDeduce/parallel", parOpts},
+		{"IncDeduce/plan=off", interpOpts},
+		{"IncDeduce/plan=on", parOpts},
+	} {
+		logg.Infof("benchmarking %s...", arm.name)
 		var last *chase.Engine
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				eng, err := chase.New(g.D, rules, reg, opts)
+				eng, err := chase.New(g.D, rules, reg, arm.opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -745,10 +873,10 @@ func runIncDeduce(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *mlpred
 			}
 		})
 		if got := dcer.CanonicalClasses(last.Classes()); got != wantClasses {
-			fatal(fmt.Errorf("%s classes diverge from the full chase", name))
+			fatal(fmt.Errorf("%s classes diverge from the full chase", arm.name))
 		}
-		p.entries = append(p.entries, toEntry(name, r))
-		if !seq {
+		p.entries = append(p.entries, toEntry(arm.name, r))
+		if arm.name == "IncDeduce/parallel" {
 			st := last.Stats()
 			p.incDeduceStats = &st
 		}
@@ -761,8 +889,9 @@ func main() {
 	workers := flag.Int("workers", 8, "DMatch worker count")
 	fig6 := flag.Bool("fig6", true, "also run the Fig. 6 experiment drivers")
 	repeat := flag.Int("repeat", 3, "measure every benchmark this many times and keep the per-benchmark minimum")
-	out := flag.String("out", "BENCH_6.json", "output JSON path")
-	prev := flag.String("prev", "BENCH_5.json", "previous report to print the delta table against (empty or missing = skip)")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
+	prev := flag.String("prev", "BENCH_6.json", "previous report to print the delta table against (empty or missing = skip)")
+	plandump := flag.Bool("plandump", false, "print the compiled predicate programs with their observed selectivities (the plan=on attribution run's PlanReport)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	arms := flag.String("arms", "", "regex selecting which benchmark arms run (empty = all)")
@@ -818,7 +947,10 @@ func main() {
 			"interleaved uninstrumented arm (same-pass sums, GC quiesced inside the timed region, " +
 			"least-loaded pass); provenance_overhead_pct measures the justification-log capture the " +
 			"same way (unbounded log, worst case; budget ≤ 5%); stage_histograms are the per-stage " +
-			"latency distributions of the telemetry-enabled pass.",
+			"latency distributions of the telemetry-enabled pass. The plan=off|on arms A/B the " +
+			"compiled predicate plans against the rule interpreter (Options.InterpretRules); " +
+			"plan_attribution pairs the two modes' per-rule enumeration time from back-to-back " +
+			"telemetry-attached chases.",
 	}
 
 	logg.Infof("generating TPCH scale %.2f...", *scale)
@@ -870,6 +1002,14 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, best[name])
 	}
 
+	// The attribution pass runs once: it pairs two telemetry-attached
+	// chases (interpreter, then plans) so per-rule speedups come from runs
+	// under the same load, and keeps the plan run's compiled programs.
+	if armOn("Deduce/plan=on") {
+		logg.Infof("attributing per-rule plan speedup...")
+		rep.PlanAttribution, rep.PlanReport = runPlanAttribution(g, rules, mlpred.DefaultRegistry())
+	}
+
 	// Storage arms run once, after the timing passes: the axes are live
 	// bytes and peak RSS, which repeated minima would not sharpen.
 	rep.Memory = runStorageArms(*memscale, *mem1m, *membudget, *mem1mbudget)
@@ -909,7 +1049,29 @@ func main() {
 		rep.ProvenanceOverheadPct)
 	printMemTable(rep)
 	printAttribution(rep)
+	printPlanAttribution(rep)
+	if *plandump && rep.PlanReport != nil {
+		dump, err := json.MarshalIndent(rep.PlanReport, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("compiled plans (current order, observed selectivities):\n%s\n", dump)
+	}
 	printDelta(rep, *prev)
+}
+
+// printPlanAttribution renders the per-rule interpreter-vs-plan table.
+func printPlanAttribution(rep *report) {
+	if len(rep.PlanAttribution) == 0 {
+		return
+	}
+	fmt.Println("per-rule plan attribution (telemetry-attached Deduce, interpreter vs compiled plans):")
+	fmt.Printf("  %-8s %12s %12s %9s %14s %9s\n", "rule", "interp", "plan", "speedup", "preds-eval", "reorders")
+	for _, r := range rep.PlanAttribution {
+		fmt.Printf("  %-8s %12s %12s %8.2fx %14d %9d\n",
+			r.Rule, time.Duration(int64(r.InterpNs)).Round(time.Microsecond),
+			time.Duration(int64(r.PlanNs)).Round(time.Microsecond), r.Speedup, r.PredEvals, r.Reorders)
+	}
 }
 
 // printMemTable renders the storage arms as a bytes/tuple table.

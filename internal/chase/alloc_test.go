@@ -10,31 +10,45 @@ import (
 // TestEnumerationAllocs is the allocation-regression guard for the
 // enumeration inner loop: once Γ is saturated and the scratch buffers are
 // grown, re-enumerating a rule (extend, candidatesFor, checkNewBinding,
-// predict on warm caches) must be allocation-free.
+// predict on warm caches) must be allocation-free. Both the interpreter
+// and the compiled-plan batch path are held to the same budget — the
+// plan path's per-depth candidate scratch must be reused, not regrown.
 func TestEnumerationAllocs(t *testing.T) {
-	g := datagen.TPCH(datagen.TPCHOptions{Scale: 0.2, Dup: 0.2, Seed: 7})
-	rules, err := g.Rules()
-	if err != nil {
-		t.Fatal(err)
-	}
-	e, err := New(g.D, rules, mlpred.DefaultRegistry(), Options{
-		ShareIndexes:     true,
-		SequentialDeduce: true,
-		SequentialDrain:  true,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	e.Deduce()
-	for _, br := range e.rules {
-		br := br
-		avg := testing.AllocsPerRun(3, func() { e.enumerateRule(br, nil) })
-		// The budget tolerates incidental growth (a map bucket split, a
-		// posting append) but catches any per-valuation allocation: these
-		// rules inspect hundreds to thousands of valuations per pass.
-		if avg > 16 {
-			t.Errorf("rule %s: %.1f allocs per saturated enumeration, want ~0 (per-valuation allocation regressed)",
-				br.r.Name, avg)
-		}
+	for _, mode := range []struct {
+		name      string
+		interpret bool
+	}{
+		{"plan", false},
+		{"interpret", true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			g := datagen.TPCH(datagen.TPCHOptions{Scale: 0.2, Dup: 0.2, Seed: 7})
+			rules, err := g.Rules()
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := New(g.D, rules, mlpred.DefaultRegistry(), Options{
+				ShareIndexes:     true,
+				SequentialDeduce: true,
+				SequentialDrain:  true,
+				InterpretRules:   mode.interpret,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Deduce()
+			for _, br := range e.rules {
+				br := br
+				avg := testing.AllocsPerRun(3, func() { e.enumerateRule(br, nil) })
+				// The budget tolerates incidental growth (a map bucket split,
+				// a posting append) but catches any per-valuation allocation:
+				// these rules inspect hundreds to thousands of valuations per
+				// pass.
+				if avg > 16 {
+					t.Errorf("rule %s: %.1f allocs per saturated enumeration, want ~0 (per-valuation allocation regressed)",
+						br.r.Name, avg)
+				}
+			}
+		})
 	}
 }

@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -324,14 +325,19 @@ func (s *DepStore) RemoveHead(l Literal) {
 }
 
 // Fire scans the store and returns the dependencies whose bodies are
-// fully satisfied according to sat; fired dependencies are removed (along
-// with every other dependency sharing the same head). The full scan
-// mirrors lines 2-3 of IncDeduce in the paper; H is bounded so the scan
-// is cheap. The whole Dep is returned (not just the head) so the caller
-// can reconstruct the derivation's justification from the stored
-// evidence. The returned entries are value copies whose body buffers stay
-// intact until a later Add recycles the freed slots, so consume them
-// before inserting again.
+// fully satisfied according to sat, in insertion order; fired
+// dependencies are removed (along with every other dependency sharing
+// the same head). The full scan mirrors lines 2-3 of IncDeduce in the
+// paper; H is bounded so the scan is cheap. The whole Dep is returned
+// (not just the head) so the caller can reconstruct the derivation's
+// justification from the stored evidence. The returned entries are value
+// copies whose body buffers stay intact until a later Add recycles the
+// freed slots, so consume them before inserting again.
+//
+// The insertion-order sort matters for determinism: the scan walks a Go
+// map, and when two fired heads land in the same union-find class only
+// the first applied becomes a Γ fact — map iteration order must not pick
+// the winner.
 func (s *DepStore) Fire(sat func(Literal) bool) []Dep {
 	var fired []Dep
 	for _, d := range s.deps {
@@ -346,6 +352,7 @@ func (s *DepStore) Fire(sat func(Literal) bool) []Dep {
 			fired = append(fired, *d)
 		}
 	}
+	sort.Slice(fired, func(i, j int) bool { return fired[i].seq < fired[j].seq })
 	for i := range fired {
 		s.RemoveHead(fired[i].Head)
 	}

@@ -48,6 +48,10 @@ func (e *Engine) drain() {
 	for {
 		progressed := false
 		e.rebudget()
+		// Round boundary: every enumeration of the previous round has
+		// joined, so plans may re-sort without a batch observing a
+		// mid-flight order change.
+		e.maybeResortPlans()
 		// Lines 2-3 of IncDeduce: fire satisfied dependencies.
 		fired := e.H.Fire(e.satisfied)
 		for i := range fired {
@@ -179,9 +183,7 @@ func (e *Engine) runJobsSequential(jobs []drainJob) {
 	for i := range jobs {
 		e.ctx.runSeed(&jobs[i])
 	}
-	e.cnt.valuations.Add(e.ctx.valuations)
-	e.cnt.extensions.Add(e.ctx.extensions)
-	e.ctx.valuations, e.ctx.extensions = 0, 0
+	e.flushCtxCounters(&e.ctx)
 }
 
 // drainConcurrent is the snapshot-enumerate-merge path: the batch is split
@@ -241,9 +243,7 @@ func (e *Engine) drainConcurrent(jobs []drainJob) {
 // engine and resets the context for reuse. Duplicate facts (deduced by
 // several chunks against the same snapshot) coalesce in applyFact.
 func (e *Engine) mergeCtx(ctx *evalCtx) {
-	e.cnt.valuations.Add(ctx.valuations)
-	e.cnt.extensions.Add(ctx.extensions)
-	ctx.valuations, ctx.extensions = 0, 0
+	e.flushCtxCounters(ctx)
 	for i, l := range ctx.facts {
 		var j *justification
 		if i < len(ctx.justs) {

@@ -70,6 +70,21 @@ type Options struct {
 	// branch per applied fact, nothing on the valuation hot path. The
 	// parallel engine passes each worker a log stamped with its id.
 	Provenance *provenance.Log
+	// InterpretRules disables the compiled predicate plans: enumeration
+	// checks each rule literal per candidate through boxed-free word
+	// compares but without batch vectorization or adaptive reordering.
+	// The compiled path is the default; the interpreter is retained as
+	// the equivalence oracle for A/B runs — Γ is byte-identical either
+	// way (see DESIGN.md §13 for the determinism argument).
+	InterpretRules bool
+	// PlanResortMinEvals is the number of predicate evaluations a rule's
+	// compiled plan accumulates before its program order is re-sorted by
+	// observed fail rate, always between drain rounds, never mid-batch.
+	// 0 means DefaultPlanResortMinEvals; negative disables adaptive
+	// reordering. Rules whose per-rule telemetry histograms already carry
+	// observations (a registry shared with a previous engine) warm-start
+	// with a warmResortDiv-times lower threshold.
+	PlanResortMinEvals int
 	// MemBudgetBytes caps the engine's accounted memory: the dataset's
 	// arenas, the Γ fact log, and the dependency store H. When the live
 	// estimate exceeds the budget the engine spills H oldest-first
@@ -103,6 +118,9 @@ var deduceSem = make(chan struct{}, runtime.GOMAXPROCS(0))
 type Stats struct {
 	Valuations   int64 // complete valuations inspected (emit calls)
 	Extensions   int64 // partial-binding extension steps
+	PlanPreds    int64 // compiled-plan predicate evaluations (per candidate per step)
+	PlanBatches  int64 // compiled-plan candidate batches filtered
+	PlanReorders int64 // adaptive plan re-sorts that changed an order
 	MatchesFound int64 // non-trivial id matches deduced
 	MLValidated  int64 // ML predictions validated by rule heads
 	DepsRecorded int64
@@ -147,6 +165,20 @@ type boundRule struct {
 	eqs    []*rule.Pred   // cross-variable equality predicates
 	ids    []*rule.Pred   // id predicates in the body
 	mls    []boundMLPred  // ML predicates in the body
+
+	// eqIx pre-resolves, aligned with eqs, the two indexes each equality
+	// can probe: eqIx[i][0] indexes (V1's relation, A1) and eqIx[i][1]
+	// (V2's relation, A2). Candidate selection probes an index for every
+	// enumeration node, so the IndexSet map lookup is paid once at bind
+	// time instead of per probe. The pointers stay valid across
+	// incremental insertions — IndexSet.Add mutates each Index in place.
+	eqIx [][2]*relation.Index
+
+	// plan is the compiled predicate program (plan.go): per-variable
+	// selectivity-ordered word/ML steps plus the resolved constant probe
+	// words. Compiled even under Options.InterpretRules — candidatesFor
+	// and checkNewBinding read it in both modes.
+	plan *rulePlan
 
 	headCl mlpred.Classifier // classifier of an ML head, if any
 
@@ -413,6 +445,13 @@ func (e *Engine) bindRule(r *rule.Rule, scope *relation.Dataset) (*boundRule, er
 		m.bID = feats.AttrsID(p.A2Vec)
 		m.canonical = m.fc != nil && m.fc.Symmetric() && sameInts(p.A1Vec, p.A2Vec)
 	}
+	for _, p := range br.eqs {
+		br.eqIx = append(br.eqIx, [2]*relation.Index{
+			br.ix.For(r.Vars[p.V1].RelIdx, p.A1),
+			br.ix.For(r.Vars[p.V2].RelIdx, p.A2),
+		})
+	}
+	br.plan = compilePlan(e, br)
 	return br, nil
 }
 
@@ -445,14 +484,11 @@ func sameInts(a, b []int) bool {
 	return true
 }
 
-// indexFor returns the rule's (scope-local) index.
-func (e *Engine) indexFor(br *boundRule, rel, attr int) *relation.Index {
-	return br.ix.For(rel, attr)
-}
-
 // prebuildIndexes materializes every index a rule's query plan can reach
 // (one per equality- or constant-predicate attribute), so the concurrent
-// pass never mutates the lazy index caches.
+// pass never mutates the lazy index caches. Since bindRule resolves eqIx
+// and the plan's constant probes eagerly, this is a backstop that runs
+// once and finds everything already built.
 func (e *Engine) prebuildIndexes() {
 	if e.prebuilt {
 		return
@@ -659,9 +695,18 @@ func (e *Engine) enumerateRule(br *boundRule, seed []*relation.Tuple) {
 	if e.tel != nil {
 		br.enumHist.ObserveDuration(time.Since(t0))
 	}
-	e.cnt.valuations.Add(e.ctx.valuations)
-	e.cnt.extensions.Add(e.ctx.extensions)
-	e.ctx.valuations, e.ctx.extensions = 0, 0
+	e.flushCtxCounters(&e.ctx)
+}
+
+// flushCtxCounters lands a context's plain work counters in the engine
+// atomics (the merge-point discipline that keeps the hot loops free of
+// atomic traffic).
+func (e *Engine) flushCtxCounters(c *evalCtx) {
+	e.cnt.valuations.Add(c.valuations)
+	e.cnt.extensions.Add(c.extensions)
+	e.cnt.planPreds.Add(c.planEvals)
+	e.cnt.planBatches.Add(c.planBatches)
+	c.valuations, c.extensions, c.planEvals, c.planBatches = 0, 0, 0, 0
 }
 
 // Deduce runs the first full chase pass over all rules (procedure Deduce
@@ -675,6 +720,7 @@ func (e *Engine) Deduce() []Fact {
 		defer e.tel.tracer.Start("chase.Deduce", e.tel.labels...).End()
 	}
 	e.delta = e.delta[:0]
+	e.maybeResortPlans() // quiesced: no enumeration in flight between calls
 	if e.opts.SequentialDeduce || len(e.rules) <= 1 {
 		for _, br := range e.rules {
 			e.enumerateRule(br, nil)
@@ -806,6 +852,9 @@ func (e *Engine) Stats() Stats {
 	s := Stats{
 		Valuations:   e.cnt.valuations.Load(),
 		Extensions:   e.cnt.extensions.Load(),
+		PlanPreds:    e.cnt.planPreds.Load(),
+		PlanBatches:  e.cnt.planBatches.Load(),
+		PlanReorders: e.cnt.planReorders.Load(),
 		MatchesFound: e.cnt.matches.Load(),
 		MLValidated:  e.cnt.mlValidated.Load(),
 		DepsRecorded: e.cnt.depsRecorded.Load(),

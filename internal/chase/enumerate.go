@@ -36,10 +36,26 @@ type evalCtx struct {
 	valuations int64
 	extensions int64
 
+	// plans mirrors !Options.InterpretRules (latched by reset so the hot
+	// path reads a local flag); planBufs are the per-recursion-depth
+	// candidate scratch buffers of the compiled path, and planEvals /
+	// planBatches accumulate its work account, landing in the engine
+	// counters at the same merge points as valuations and extensions.
+	plans       bool
+	planBufs    [][]*relation.Tuple
+	planEvals   int64
+	planBatches int64
+
 	// arena batch-allocates justifications and their evidence slices when
 	// provenance capture is on, so each captured valuation costs O(1)
 	// amortized allocations instead of a handful.
 	arena justArena
+
+	// candRows memoizes, per recursion depth and unbound variable, the
+	// tightest candidate posting list found so far, so each depth probes
+	// only the equalities opened by the variable it just bound instead of
+	// re-probing every index for every unbound variable (see extend).
+	candRows [][]candList
 
 	// scratch buffers, reused across valuations to keep the hot path
 	// allocation-free.
@@ -59,6 +75,7 @@ type evalCtx struct {
 // reset points the context at rule br and clears the binding scratch.
 func (c *evalCtx) reset(br *boundRule) {
 	c.br = br
+	c.plans = !c.e.opts.InterpretRules
 	n := len(br.r.Vars)
 	if cap(c.binding) < n {
 		c.binding = make([]*relation.Tuple, n)
@@ -66,6 +83,16 @@ func (c *evalCtx) reset(br *boundRule) {
 	c.binding = c.binding[:n]
 	for i := range c.binding {
 		c.binding[i] = nil
+	}
+	if cap(c.candRows) < n {
+		c.candRows = make([][]candList, n)
+	}
+	c.candRows = c.candRows[:n]
+	for i := range c.candRows {
+		if cap(c.candRows[i]) < n {
+			c.candRows[i] = make([]candList, n)
+		}
+		c.candRows[i] = c.candRows[i][:n]
 	}
 }
 
@@ -146,17 +173,45 @@ func (c *evalCtx) enumerate(seed []*relation.Tuple) {
 			nbound++
 		}
 	}
-	c.extend(nbound)
+	c.extend(nbound, -1)
 }
+
+// candList is one memoized candidate set: the tightest posting list seen
+// for a variable so far, and whether any index probe produced it (found
+// false means the list is the fallback full relation scan, which any
+// probe beats regardless of length).
+type candList struct {
+	list  []*relation.Tuple
+	found bool
+}
+
+// refineSkipLen is the candidate-list length below which extend reuses
+// the parent depth's memoized list instead of probing the indexes again:
+// scanning a handful of tuples through the word filters is cheaper than
+// a hash probe per joining equality.
+const refineSkipLen = 8
 
 // extend recursively binds the remaining variables, greedily choosing the
 // unbound variable with the fewest index-backed candidates (the per-rule
 // "query plan" of Section V-A built on the shared inverted indexes).
-func (c *evalCtx) extend(nbound int) {
+//
+// Candidate lists are maintained incrementally: binding a variable can
+// only tighten another variable's candidates through the equality
+// predicates that join the two, so each depth refines the parent depth's
+// memoized lists with probes for the last-bound variable alone (last < 0
+// recomputes from scratch — the entry point, where seeds may have bound
+// several variables at once). This turns the per-node index work from
+// O(eqs × unbound vars) map probes into O(eqs touching the new binding).
+func (c *evalCtx) extend(nbound, last int) {
 	binding := c.binding
 	if nbound == len(binding) {
 		c.emit()
 		return
+	}
+	row := c.candRows[nbound]
+	var prev []candList
+	if last >= 0 {
+		prev = c.candRows[nbound-1]
 	}
 	bestVar := -1
 	var bestCands []*relation.Tuple
@@ -164,13 +219,28 @@ func (c *evalCtx) extend(nbound int) {
 		if binding[v] != nil {
 			continue
 		}
-		cands := c.candidatesFor(v)
-		if bestVar < 0 || len(cands) < len(bestCands) {
-			bestVar, bestCands = v, cands
+		var cs candList
+		if last < 0 {
+			cs = c.candidatesFor(v)
+		} else if cs = prev[v]; !cs.found || len(cs.list) > refineSkipLen {
+			// Refining an already-tiny list costs more in index probes
+			// than the batch filters save: below the threshold the parent
+			// list is reused as-is (the predicate programs still check
+			// every equality, so a looser candidate list never changes
+			// the survivor set — only the constant work per node).
+			cs = c.refineCandidates(cs, v, last)
+		}
+		row[v] = cs
+		if bestVar < 0 || len(cs.list) < len(bestCands) {
+			bestVar, bestCands = v, cs.list
 		}
 		if len(bestCands) == 0 {
 			return
 		}
+	}
+	if c.plans {
+		c.extendPlanned(bestVar, bestCands, nbound)
+		return
 	}
 	for _, t := range bestCands {
 		c.extensions++
@@ -178,67 +248,101 @@ func (c *evalCtx) extend(nbound int) {
 			continue
 		}
 		binding[bestVar] = t
-		c.extend(nbound + 1)
+		c.extend(nbound+1, bestVar)
 		binding[bestVar] = nil
 	}
 }
 
-// candidatesFor returns the smallest available candidate list for binding
-// variable v: the tightest inverted-index posting list reachable through
-// an equality predicate to an already-bound variable, else a constant
-// predicate's posting list, else a full scan of v's relation.
-func (c *evalCtx) candidatesFor(v int) []*relation.Tuple {
+// candidatesFor computes from scratch the smallest available candidate
+// list for binding variable v: the tightest inverted-index posting list
+// reachable through an equality predicate to an already-bound variable,
+// else a constant predicate's posting list, else a full scan of v's
+// relation.
+func (c *evalCtx) candidatesFor(v int) candList {
 	br, binding := c.br, c.binding
 	relIdx := br.r.Vars[v].RelIdx
-	var best []*relation.Tuple
-	found := false
+	var cs candList
 	consider := func(lst []*relation.Tuple) {
-		if !found || len(lst) < len(best) {
-			best, found = lst, true
+		if !cs.found || len(lst) < len(cs.list) {
+			cs = candList{list: lst, found: true}
 		}
 	}
-	for _, p := range br.eqs {
+	for i, p := range br.eqs {
 		if p.V1 == v && binding[p.V2] != nil {
-			ix := c.e.indexFor(br, relIdx, p.A1)
-			consider(ix.LookupTuple(binding[p.V2], p.A2))
+			consider(br.eqIx[i][0].LookupTuple(binding[p.V2], p.A2))
 		} else if p.V2 == v && binding[p.V1] != nil {
-			ix := c.e.indexFor(br, relIdx, p.A2)
-			consider(ix.LookupTuple(binding[p.V1], p.A1))
+			consider(br.eqIx[i][1].LookupTuple(binding[p.V1], p.A1))
 		}
 	}
-	for _, p := range br.consts[v] {
-		ix := c.e.indexFor(br, relIdx, p.A1)
-		consider(ix.Lookup(p.Const))
+	for _, w := range br.plan.consts[v] {
+		if !w.constOK {
+			// Unresolvable probe (string not interned, or NaN): the
+			// constant matches nothing, so v has no candidates at all.
+			consider(nil)
+			continue
+		}
+		consider(w.ix.LookupWord(w.constW))
 	}
-	if found {
-		return best
+	if !cs.found {
+		cs.list = br.scope.Relations[relIdx].Tuples
 	}
-	return br.scope.Relations[relIdx].Tuples
+	return cs
+}
+
+// refineCandidates tightens v's memoized candidate list with the index
+// probes that binding variable `last` just made available: the equality
+// predicates joining v and last, walked in rule order (the same stable
+// order candidatesFor uses, so adaptive plan re-sorts never influence
+// which of two equal-length postings is kept).
+func (c *evalCtx) refineCandidates(cs candList, v, last int) candList {
+	br, binding := c.br, c.binding
+	for i, p := range br.eqs {
+		var lst []*relation.Tuple
+		if p.V1 == v && p.V2 == last {
+			lst = br.eqIx[i][0].LookupTuple(binding[last], p.A2)
+		} else if p.V2 == v && p.V1 == last {
+			lst = br.eqIx[i][1].LookupTuple(binding[last], p.A1)
+		} else {
+			continue
+		}
+		if !cs.found || len(lst) < len(cs.list) {
+			cs = candList{list: lst, found: true}
+		}
+	}
+	return cs
 }
 
 // checkNewBinding verifies every static predicate that becomes fully bound
 // when variable v is set to tuple t, and prunes valuations whose head is
 // already known. Dynamic predicates (id, and ML predicates whose model can
 // be validated by some rule head) are deferred to emit.
+//
+// The word checks walk the compiled plan's program (shared with the
+// batched path) instead of boxing Values: packed words already collapse
+// -0/+0 and canonicalize NaN payloads, so word equality equals Value
+// equality except for NaN = NaN, which the isFloat guard restores.
+// Conjunct order cannot change the conjunction's outcome, so the
+// adaptive reordering of the program is invisible here.
 func (c *evalCtx) checkNewBinding(v int, t *relation.Tuple) bool {
 	br, binding := c.br, c.binding
-	for _, p := range br.consts[v] {
-		if !t.Val(p.A1).Equal(p.Const) {
-			return false
-		}
-	}
-	for _, p := range br.intra[v] {
-		if !t.Val(p.A1).Equal(t.Val(p.A2)) {
-			return false
-		}
-	}
-	for _, p := range br.eqs {
-		if p.V1 == v && binding[p.V2] != nil {
-			if !t.Val(p.A1).Equal(binding[p.V2].Val(p.A2)) {
+	for _, w := range *br.plan.vars[v].words.Load() {
+		switch w.kind {
+		case wpConst:
+			if !w.constOK || t.Word(w.attr) != w.constW {
 				return false
 			}
-		} else if p.V2 == v && binding[p.V1] != nil {
-			if !t.Val(p.A2).Equal(binding[p.V1].Val(p.A1)) {
+		case wpIntra:
+			wa := t.Word(w.attr)
+			if wa != t.Word(w.attr2) || (w.isFloat && wa == relation.QNaNWord) {
+				return false
+			}
+		case wpEq:
+			o := binding[w.other]
+			if o == nil {
+				continue
+			}
+			wa := t.Word(w.attr)
+			if wa != o.Word(w.otherAttr) || (w.isFloat && wa == relation.QNaNWord) {
 				return false
 			}
 		}
@@ -313,14 +417,25 @@ func (c *evalCtx) predict(m *boundMLPred, ta, tb *relation.Tuple) bool {
 	if ans, ok := cache.Lookup(m.clID, ka, kb); ok {
 		return ans
 	}
-	c.lvals = gatherInto(c.lvals, ta, m.pred.A1Vec)
-	c.rvals = gatherInto(c.rvals, tb, m.pred.A2Vec)
 	var ans bool
 	if m.fc != nil {
-		fa := feats.Get(ta.GID, m.aID, c.lvals)
-		fb := feats.Get(tb.GID, m.bID, c.rvals)
+		// Feature-scoring classifiers only need the boxed attribute
+		// vectors when a tuple's bundle is not in the store yet; probe the
+		// store first so warm lookups never rehydrate Values.
+		fa, ok := feats.Cached(ta.GID, m.aID)
+		if !ok {
+			c.lvals = gatherInto(c.lvals, ta, m.pred.A1Vec)
+			fa = feats.Get(ta.GID, m.aID, c.lvals)
+		}
+		fb, ok := feats.Cached(tb.GID, m.bID)
+		if !ok {
+			c.rvals = gatherInto(c.rvals, tb, m.pred.A2Vec)
+			fb = feats.Get(tb.GID, m.bID, c.rvals)
+		}
 		ans = m.fc.PredictFeatures(fa, fb)
 	} else {
+		c.lvals = gatherInto(c.lvals, ta, m.pred.A1Vec)
+		c.rvals = gatherInto(c.rvals, tb, m.pred.A2Vec)
 		ans = m.cl.Predict(c.lvals, c.rvals)
 	}
 	cache.Store(m.clID, ka, kb, ans)

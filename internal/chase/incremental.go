@@ -46,6 +46,10 @@ func (e *Engine) InsertTuples(tuples []*relation.Tuple) ([]Fact, error) {
 			br.ix.Add(t)
 		}
 	}
+	// Appending the tuples may have interned string payloads that a
+	// constant predicate could not resolve at compile time; retry those
+	// probe words now, while no enumeration is in flight.
+	e.refreshPlanConsts()
 	// A new tuple sharing a literal id value with an existing one denotes
 	// the same entity; merge through the regular fact path so dependent
 	// valuations are re-inspected. The engine's id index answers the

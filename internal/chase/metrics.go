@@ -21,6 +21,13 @@ type engineCounters struct {
 	depsFired    atomic.Int64
 	rounds       atomic.Int64
 
+	// Compiled-plan work account (plan.go): predicate evaluations and
+	// candidate batches land here at the context merge points; reorders
+	// are counted directly by maybeResortPlans on the engine goroutine.
+	planPreds    atomic.Int64
+	planBatches  atomic.Int64
+	planReorders atomic.Int64
+
 	// Memory-account mirrors, refreshed by rebudget on the engine
 	// goroutine once per drain round so the /metrics scrape goroutine
 	// never walks the live maps.
@@ -44,6 +51,10 @@ type chaseMetrics struct {
 	drainBatchNs   *telemetry.Histogram
 	drainBatchJobs *telemetry.Histogram
 	queueDepth     *telemetry.Histogram
+
+	// planDepth observes, per compiled-plan batch, how many program steps
+	// ran before the batch finished or short-circuited to zero survivors.
+	planDepth *telemetry.Histogram
 }
 
 // cacheSnapshots returns the engine's combined ML pair-cache and
@@ -82,6 +93,7 @@ func (e *Engine) initMetrics(reg *telemetry.Registry, labels []telemetry.Label) 
 	m.drainBatchNs = reg.Histogram("dcer_chase_drain_batch_ns", labels...)
 	m.drainBatchJobs = reg.Histogram("dcer_chase_drain_batch_jobs", labels...)
 	m.queueDepth = reg.Histogram("dcer_chase_drain_queue_depth", labels...)
+	m.planDepth = reg.Histogram("dcer_plan_short_circuit_depth", labels...)
 	e.tel = m
 
 	views := []struct {
@@ -95,6 +107,9 @@ func (e *Engine) initMetrics(reg *telemetry.Registry, labels []telemetry.Label) 
 		{"dcer_chase_deps_recorded", func() float64 { return float64(e.cnt.depsRecorded.Load()) }},
 		{"dcer_chase_deps_fired", func() float64 { return float64(e.cnt.depsFired.Load()) }},
 		{"dcer_chase_rounds", func() float64 { return float64(e.cnt.rounds.Load()) }},
+		{"dcer_plan_preds_evaluated", func() float64 { return float64(e.cnt.planPreds.Load()) }},
+		{"dcer_plan_batches", func() float64 { return float64(e.cnt.planBatches.Load()) }},
+		{"dcer_plan_reorders", func() float64 { return float64(e.cnt.planReorders.Load()) }},
 		{"dcer_chase_mlcache_hit_rate", func() float64 { p, _ := e.cacheSnapshots(); return hitRate(p) }},
 		{"dcer_chase_mlcache_entries", func() float64 { p, _ := e.cacheSnapshots(); return float64(p.Entries) }},
 		{"dcer_chase_featstore_hit_rate", func() float64 { _, f := e.cacheSnapshots(); return hitRate(f) }},
@@ -111,6 +126,15 @@ func (e *Engine) initMetrics(reg *telemetry.Registry, labels []telemetry.Label) 
 	for _, v := range views {
 		reg.GaugeFunc(v.name, v.fn, labels...)
 	}
+
+	// The plans provider name is suffixed with the label values so the
+	// parallel engine's per-worker engines (labelled worker=i) publish
+	// side by side instead of replacing each other.
+	planName := "plans"
+	for _, l := range labels {
+		planName += "_" + l.Value
+	}
+	reg.SetDebug(planName, func() any { return e.PlanReport() })
 
 	if p := e.opts.Provenance; p != nil {
 		p.AttachMetrics(reg, labels...)

@@ -72,6 +72,13 @@ type Options struct {
 	// DrainParallelMin overrides the per-worker parallel-drain batch
 	// threshold (see chase.Options.DrainParallelMin); 0 keeps the default.
 	DrainParallelMin int
+	// InterpretRules disables the compiled predicate plans inside every
+	// worker engine (see chase.Options.InterpretRules); the A/B oracle
+	// for plan-equivalence runs.
+	InterpretRules bool
+	// PlanResortMinEvals overrides the per-worker adaptive plan-reorder
+	// threshold (see chase.Options.PlanResortMinEvals).
+	PlanResortMinEvals int
 	// SequentialRoute disables the concurrent per-destination inbox build
 	// in the master after each barrier (the routing A/B knob for the
 	// benchmarks; the built inboxes are identical either way).
@@ -304,14 +311,16 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			scopes[ri] = sc
 		}
 		copts := chase.Options{
-			MaxDeps:          opts.MaxDeps,
-			ShareIndexes:     !opts.NoMQO,
-			IDSpace:          idSpace,
-			SequentialDeduce: opts.Sequential || opts.SequentialDeduce,
-			SequentialDrain:  opts.Sequential || opts.SequentialDrain,
-			DrainParallelMin: opts.DrainParallelMin,
-			Metrics:          opts.Metrics,
-			MetricsLabels:    []telemetry.Label{telemetry.L("worker", strconv.Itoa(i))},
+			MaxDeps:            opts.MaxDeps,
+			ShareIndexes:       !opts.NoMQO,
+			IDSpace:            idSpace,
+			SequentialDeduce:   opts.Sequential || opts.SequentialDeduce,
+			SequentialDrain:    opts.Sequential || opts.SequentialDrain,
+			DrainParallelMin:   opts.DrainParallelMin,
+			InterpretRules:     opts.InterpretRules,
+			PlanResortMinEvals: opts.PlanResortMinEvals,
+			Metrics:            opts.Metrics,
+			MetricsLabels:      []telemetry.Label{telemetry.L("worker", strconv.Itoa(i))},
 		}
 		if provLogs != nil {
 			copts.Provenance = provLogs[i]

@@ -279,6 +279,23 @@ func (s *FeatureStore) Get(gid relation.TID, attrsID uint32, vals []relation.Val
 	return f
 }
 
+// Cached returns the feature bundle of (gid, attrsID) only if it is
+// already in the store, counting a hit when found. Callers use it to
+// avoid gathering the boxed attribute vector on warm lookups: probe
+// Cached first, and only on a miss gather the values and call Get (which
+// then accounts the miss).
+func (s *FeatureStore) Cached(gid relation.TID, attrsID uint32) (*Features, bool) {
+	k := featKey{gid: gid, attrs: attrsID}
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	f, ok := sh.m[k]
+	if ok {
+		sh.hits.Add(1)
+	}
+	sh.mu.RUnlock()
+	return f, ok
+}
+
 // GetText is Get for callers that already hold the flattened text (the
 // baselines' record view).
 func (s *FeatureStore) GetText(gid relation.TID, attrsID uint32, text string) *Features {

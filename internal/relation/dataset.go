@@ -32,6 +32,13 @@ func (t *Tuple) Arity() int { return len(t.rel.cols) }
 // equal iff the boxed values do, except NaN (see PackNum).
 func (t *Tuple) Word(i int) uint64 { return t.rel.cols[i][t.Row] }
 
+// Col returns the packed storage column of attribute i of the tuple's
+// owning root relation, indexed by Row. Fragments share root tuples, so
+// every tuple of one (fragment or root) relation reaches the same slice —
+// the chase's compiled predicate plans hoist it once per candidate batch
+// and run their filter loops directly over the words.
+func (t *Tuple) Col(i int) []uint64 { return t.rel.cols[i] }
+
 // Val unboxes attribute i into a Value. String payloads are the interned
 // arena-backed strings, so two equal Vals from the same dataset compare
 // by pointer before falling back to byte comparison.

@@ -1,6 +1,9 @@
 package relation
 
-import "sync/atomic"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // Index is an inverted index over one attribute of one relation: it maps
 // each value to the tuples carrying that value. The chase engine builds
@@ -9,20 +12,107 @@ import "sync/atomic"
 //
 // Postings are keyed by the packed storage word (interned Sym for
 // strings, PackNum bits for numerics), so the hot path — LookupWord fed
-// straight from a bound tuple's Word — is one integer-keyed map probe
-// with no Value boxing. Within one index every stored word comes from a
-// single typed column, so words cannot collide across kinds; boxed-Value
-// probes go through the symbol table (Lookup) and miss cleanly on
-// strings the dataset never interned. The posting lists are views into
-// one shared arena built in two passes, so an index allocates O(distinct
-// values) map cells instead of O(tuples) slice growth steps.
+// straight from a bound tuple's Word — is one integer-keyed probe with no
+// Value boxing. Within one index every stored word comes from a single
+// typed column, so words cannot collide across kinds; boxed-Value probes
+// go through the symbol table (Lookup) and miss cleanly on strings the
+// dataset never interned. The posting lists are views into one shared
+// arena built in two passes, so an index allocates O(distinct values)
+// table slots instead of O(tuples) slice growth steps.
+//
+// The word → postings step is a postMap — an open-addressed table with a
+// multiplicative hash — rather than a Go map: enumeration fires millions
+// of probes per chase, and the runtime map's hashing and bucket protocol
+// was the single largest line item in the Deduce profile.
 type Index struct {
 	Rel  int // relation position within the dataset
 	Attr int // attribute position within the schema
 
-	typ     Type
-	syms    *SymTab
-	entries map[uint64][]*Tuple
+	typ  Type
+	syms *SymTab
+	pm   postMap
+}
+
+// postMap is a linear-probed open-addressed hash table from packed words
+// to posting lists. Capacity is a power of two; the probe sequence starts
+// at a Fibonacci multiplicative hash of the word (one multiply and shift
+// — words are already high-entropy Sym or PackNum bits, they only need
+// spreading). An occupied slot always holds a non-empty posting list, so
+// vals[i] == nil marks an empty slot; the key-0 collision with that
+// sentinel is benign because a present key is always found along the
+// probe chain before any empty slot.
+type postMap struct {
+	keys  []uint64
+	vals  [][]*Tuple
+	mask  uint64
+	shift uint
+	n     int
+}
+
+// fibMul spreads a word over the table's power-of-two capacity
+// (Fibonacci hashing: 2^64 / φ).
+const fibMul = 0x9E3779B97F4A7C15
+
+func newPostMap(capacity int) postMap {
+	if capacity < 8 {
+		capacity = 8
+	}
+	b := bits.Len(uint(capacity - 1))
+	size := 1 << b
+	return postMap{
+		keys:  make([]uint64, size),
+		vals:  make([][]*Tuple, size),
+		mask:  uint64(size - 1),
+		shift: uint(64 - b),
+	}
+}
+
+// get returns the posting list for w, or nil.
+func (pm *postMap) get(w uint64) []*Tuple {
+	i := (w * fibMul) >> pm.shift
+	for {
+		if pm.keys[i] == w {
+			return pm.vals[i] // nil when the slot is empty and w == 0
+		}
+		if pm.vals[i] == nil {
+			return nil
+		}
+		i = (i + 1) & pm.mask
+	}
+}
+
+// put inserts or replaces the posting list for w. lst must be non-empty
+// (empty slots are recognized by a nil list).
+func (pm *postMap) put(w uint64, lst []*Tuple) {
+	if pm.n+1 > len(pm.keys)-len(pm.keys)>>2 {
+		pm.grow()
+	}
+	i := (w * fibMul) >> pm.shift
+	for {
+		if pm.vals[i] == nil {
+			pm.keys[i] = w
+			pm.vals[i] = lst
+			pm.n++
+			return
+		}
+		if pm.keys[i] == w {
+			pm.vals[i] = lst
+			return
+		}
+		i = (i + 1) & pm.mask
+	}
+}
+
+// grow doubles the table and reinserts every occupied slot.
+func (pm *postMap) grow() {
+	old := *pm
+	next := newPostMap(len(old.keys) * 2)
+	for i, lst := range old.vals {
+		if lst != nil {
+			next.put(old.keys[i], lst)
+		}
+	}
+	*pm = next
 }
 
 // BuildIndex scans rel and indexes attribute attr.
@@ -34,40 +124,79 @@ func BuildIndex(relIdx int, rel *Relation, attr int) *Index {
 		syms: rel.syms,
 	}
 	n := len(rel.Tuples)
-	counts := make(map[uint64]int32, n/4+1)
-	for _, t := range rel.Tuples {
-		counts[t.Word(attr)]++
+	// Count into a transient key table sized at 2n so it never grows
+	// (distinct ≤ n keeps its load factor under one half and slot indexes
+	// stable across the passes). Only keys and counts live here — the
+	// resident table is sized by the distinct count afterwards, so an
+	// index over a low-cardinality column costs O(distinct) slots, like
+	// the runtime map it replaced, not O(tuples).
+	tmpCap := 2 * n
+	if tmpCap < 8 {
+		tmpCap = 8
 	}
-	// Lay every posting list out in one arena: ends[w] walks from the
+	tb := bits.Len(uint(tmpCap - 1))
+	tmpMask := uint64(1<<tb - 1)
+	tmpShift := uint(64 - tb)
+	keys := make([]uint64, 1<<tb)
+	counts := make([]int32, len(keys))
+	distinct := 0
+	slotOf := func(w uint64) uint64 {
+		i := (w * fibMul) >> tmpShift
+		for {
+			if counts[i] == 0 {
+				keys[i] = w // claim
+				return i
+			}
+			if keys[i] == w {
+				return i
+			}
+			i = (i + 1) & tmpMask
+		}
+	}
+	for _, t := range rel.Tuples {
+		s := slotOf(t.Word(attr))
+		if counts[s] == 0 {
+			distinct++
+		}
+		counts[s]++
+	}
+	// Lay every posting list out in one arena: ends[s] walks from the
 	// list's start to one past its end while filling, so afterwards the
-	// view for w is arena[ends[w]-counts[w] : ends[w]]. The views are
+	// view for slot s is arena[ends[s]-counts[s] : ends[s]]. The views are
 	// capacity-clipped so an incremental Add reallocates instead of
 	// clobbering its neighbor.
 	arena := make([]*Tuple, n)
-	ends := make(map[uint64]int32, len(counts))
+	ends := make([]int32, len(keys))
 	off := int32(0)
-	for w, c := range counts {
-		ends[w] = off
-		off += c
+	for s, c := range counts {
+		if c > 0 {
+			ends[s] = off
+			off += c
+		}
 	}
 	for _, t := range rel.Tuples {
-		w := t.Word(attr)
-		o := ends[w]
+		s := slotOf(t.Word(attr))
+		o := ends[s]
 		arena[o] = t
-		ends[w] = o + 1
+		ends[s] = o + 1
 	}
-	ix.entries = make(map[uint64][]*Tuple, len(counts))
-	for w, end := range ends {
-		c := counts[w]
-		ix.entries[w] = arena[end-c : end : end]
+	// Sized at twice the distinct count the resident table never grows
+	// during these inserts (load factor one half).
+	pm := newPostMap(2 * distinct)
+	for s, c := range counts {
+		if c > 0 {
+			end := ends[s]
+			pm.put(keys[s], arena[end-c:end:end])
+		}
 	}
+	ix.pm = pm
 	return ix
 }
 
 // LookupWord returns all tuples whose indexed attribute packs to w. This
 // is the enumeration hot path: w comes from a bound tuple's Word (same
 // type by rule well-formedness), so no boxing or symbol probe happens.
-func (ix *Index) LookupWord(w uint64) []*Tuple { return ix.entries[w] }
+func (ix *Index) LookupWord(w uint64) []*Tuple { return ix.pm.get(w) }
 
 // LookupTuple probes the index with the packed word of t's attribute
 // attr — the enumeration fast path for t.A = s.B predicates, no boxing.
@@ -77,7 +206,7 @@ func (ix *Index) LookupTuple(t *Tuple, attr int) []*Tuple {
 	if t.rel.Schema.Attrs[attr].Type != ix.typ {
 		return nil
 	}
-	return ix.entries[t.Word(attr)]
+	return ix.pm.get(t.Word(attr))
 }
 
 // Lookup returns all tuples whose indexed attribute equals v. Boxed
@@ -88,7 +217,7 @@ func (ix *Index) Lookup(v Value) []*Tuple {
 	if !ok {
 		return nil
 	}
-	return ix.entries[w]
+	return ix.pm.get(w)
 }
 
 // WordFor packs a probe value for this index: ok=false means v cannot
@@ -110,16 +239,16 @@ func (ix *Index) WordFor(v Value) (uint64, bool) {
 // Add registers a newly appended tuple (incremental ΔD maintenance).
 func (ix *Index) Add(t *Tuple) {
 	w := t.Word(ix.Attr)
-	ix.entries[w] = append(ix.entries[w], t)
+	ix.pm.put(w, append(ix.pm.get(w), t))
 }
 
 // Distinct returns the number of distinct values in the index.
-func (ix *Index) Distinct() int { return len(ix.entries) }
+func (ix *Index) Distinct() int { return ix.pm.n }
 
 // MaxBucket returns the size of the largest posting list (a skew measure).
 func (ix *Index) MaxBucket() int {
 	max := 0
-	for _, ts := range ix.entries {
+	for _, ts := range ix.pm.vals {
 		if len(ts) > max {
 			max = len(ts)
 		}
@@ -127,14 +256,16 @@ func (ix *Index) MaxBucket() int {
 	return max
 }
 
-// MemBytes estimates the index's footprint: the posting arena plus map
-// overhead per distinct value.
+// MemBytes estimates the index's footprint: the posting arena plus table
+// overhead per slot (key word + posting-list header).
 func (ix *Index) MemBytes() int64 {
 	var posted int64
-	for _, ts := range ix.entries {
-		posted += int64(cap(ts))
+	for _, ts := range ix.pm.vals {
+		if ts != nil {
+			posted += int64(cap(ts))
+		}
 	}
-	return posted*8 + int64(len(ix.entries))*40
+	return posted*8 + int64(len(ix.pm.keys))*32
 }
 
 // IndexSet caches the indexes of a dataset, built lazily per

@@ -121,10 +121,15 @@ func PackNum(f float64) uint64 {
 		f = 0
 	}
 	if f != f {
-		return 0x7FF8000000000000 // canonical quiet NaN
+		return QNaNWord
 	}
 	return math.Float64bits(f)
 }
+
+// QNaNWord is the canonical quiet-NaN storage word PackNum collapses
+// every NaN payload to. Word-equality fast paths over float columns must
+// treat two QNaNWords as unequal to preserve NaN ≠ NaN (Value.Equal).
+const QNaNWord = 0x7FF8000000000000
 
 // unpackNum is the inverse of PackNum.
 func unpackNum(w uint64) float64 { return math.Float64frombits(w) }

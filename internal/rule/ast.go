@@ -243,6 +243,9 @@ func (r *Rule) String() string {
 	return b.String()
 }
 
+// String renders the predicate in the DSL syntax accepted by Parse.
+func (p *Pred) String() string { return predString(p) }
+
 func predString(p *Pred) string {
 	switch p.Kind {
 	case PredConst:

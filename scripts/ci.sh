@@ -38,6 +38,10 @@ echo "== distribution equivalence guards (parallel Partition byte-identity + ded
 go test -short -count=1 -run 'TestPartitionParallelEquivalence' ./internal/hypart
 go test -short -count=1 -run 'TestRoutingDedupGammaEquality|TestAdaptiveRebalance' ./internal/dmatch
 
+echo "== plan equivalence guards (compiled plans vs interpreter: Gamma byte-identity across drain modes, DMatch, adaptive reorders; then racing the compiled path)"
+go test -short -count=1 -run 'TestPlanGammaEquivalence|TestPlanDMatchEquivalence|TestPlanAdaptiveReorderEquivalence' ./internal/chase
+go test -race -short -count=1 -run 'TestPlan' ./internal/chase
+
 echo "== allocation-regression guards (index/cache probes, string metrics, saturated enumeration)"
 go test -count=1 -run 'TestIndexProbeAllocs|TestMetricAllocs|TestCacheProbeAllocs|TestEnumerationAllocs' \
     ./internal/relation ./internal/mlpred ./internal/chase
@@ -51,6 +55,9 @@ go test -run=NONE -bench='IncDeduce|HyPart' -benchtime=1x -short .
 
 echo "== storage bench smoke (Ingest arm at scale 20, single iteration)"
 go run ./cmd/bench -fig6=false -repeat 1 -arms '^Ingest' -memscale 20 -prev '' -out /tmp/dcer_ci_bench.json
+
+echo "== plan bench smoke (Deduce plan=off|on A/B at scale 0.5 with per-rule attribution, single iteration)"
+go run ./cmd/bench -fig6=false -repeat 1 -scale 0.5 -arms '^Deduce/plan=' -memscale 0 -prev '' -out /tmp/dcer_ci_plan.json
 
 echo "== telemetry smoke (ephemeral /metrics + provenance scrape over a live DMatch run)"
 go run ./scripts/telemetrysmoke
