@@ -9,7 +9,7 @@
 // instrumented DMatch run's routing profile (messages routed/deduped,
 // route time per superstep, adaptive rebalances) as routing_stats.
 //
-//	go run ./cmd/bench                   # full run, writes BENCH_7.json
+//	go run ./cmd/bench                   # full run, writes BENCH_8.json
 //	go run ./cmd/bench -fig6=false       # hot-path benchmarks only
 //	go run ./cmd/bench -scale 1.0 -out /tmp/bench.json
 //	go run ./cmd/bench -cpuprofile cpu.out -memprofile mem.out
@@ -158,9 +158,15 @@ type routingStats struct {
 
 // report is the BENCH_<n>.json document.
 type report struct {
-	GOOS             string  `json:"goos"`
-	GOARCH           string  `json:"goarch"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// GOMAXPROCS is the benchmark-time scheduler width and NumCPU the
+	// machine's logical core count — recorded separately because the
+	// concurrent arms' speedups only mean something relative to the
+	// cores actually available (cmd/benchdiff warns when comparing
+	// reports whose values differ).
 	GOMAXPROCS       int     `json:"gomaxprocs"`
+	NumCPU           int     `json:"numcpu"`
 	Scale            float64 `json:"scale"`
 	Repeat           int     `json:"repeat"`
 	Tuples           int     `json:"tuples"`
@@ -889,8 +895,8 @@ func main() {
 	workers := flag.Int("workers", 8, "DMatch worker count")
 	fig6 := flag.Bool("fig6", true, "also run the Fig. 6 experiment drivers")
 	repeat := flag.Int("repeat", 3, "measure every benchmark this many times and keep the per-benchmark minimum")
-	out := flag.String("out", "BENCH_7.json", "output JSON path")
-	prev := flag.String("prev", "BENCH_6.json", "previous report to print the delta table against (empty or missing = skip)")
+	out := flag.String("out", "BENCH_8.json", "output JSON path")
+	prev := flag.String("prev", "BENCH_7.json", "previous report to print the delta table against (empty or missing = skip)")
 	plandump := flag.Bool("plandump", false, "print the compiled predicate programs with their observed selectivities (the plan=on attribution run's PlanReport)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
@@ -934,6 +940,7 @@ func main() {
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
 		Scale:        *scale,
 		Repeat:       *repeat,
 		SeedBaseline: seedBaseline,

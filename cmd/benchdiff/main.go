@@ -1,0 +1,70 @@
+// Command benchdiff reads two or more BENCH_*.json reports (oldest
+// first) and prints the per-arm trajectory tables: ns/op, B/op,
+// allocs/op, and peak RSS where the reports carry storage arms. It warns
+// when the reports' environment headers differ (gomaxprocs, numcpu,
+// goos/goarch, scale — timings across those are noise, not signal).
+//
+// Usage:
+//
+//	benchdiff BENCH_6.json BENCH_7.json [BENCH_8.json …]
+//	benchdiff -gate '^(Deduce|IncDeduce)/' -threshold 10 BENCH_7.json BENCH_8.json
+//
+// With -gate, the first and last report are compared arm by arm over the
+// arms matching the regex, and the command exits nonzero when any of
+// them regressed (ns/op grew) by more than -threshold percent — the
+// regression gate scripts/ci.sh runs over the repo's BENCH trajectory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+
+	"dcer/internal/benchdiff"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	gate := flag.String("gate", "", "regex naming the gated tier of arms; compare first vs last report and fail on regression")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -gate")
+	flag.Parse()
+	if flag.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-gate RE -threshold PCT] OLD.json [MID.json …] NEW.json")
+		os.Exit(2)
+	}
+
+	reports := make([]*benchdiff.Report, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		r, err := benchdiff.Load(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, r)
+	}
+
+	for _, w := range benchdiff.HeaderWarnings(reports) {
+		fmt.Fprintln(os.Stderr, "warning: "+w)
+	}
+	benchdiff.WriteTables(os.Stdout, reports)
+
+	if *gate != "" {
+		re, err := regexp.Compile(*gate)
+		if err != nil {
+			log.Fatalf("bad -gate regex: %v", err)
+		}
+		regs := benchdiff.Gate(reports, re, *threshold)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: %d arm(s) regressed beyond %.1f%% (%s -> %s):\n",
+				len(regs), *threshold, reports[0].Label(), reports[len(reports)-1].Label())
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r.String())
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("gate OK: no %q arm regressed beyond %.1f%% (%s -> %s)\n",
+			*gate, *threshold, reports[0].Label(), reports[len(reports)-1].Label())
+	}
+}

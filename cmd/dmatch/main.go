@@ -5,12 +5,17 @@
 //
 //	dmatch -data ./data -rules rules.mrl [-workers 8] [-v]
 //	       [-out matches.csv] [-explain "Rel:id1,Rel:id2"]
-//	       [-telemetry :9090] [-timeline] [-log debug]
+//	       [-telemetry :9090] [-traceout trace.json] [-timeline] [-log debug]
 //
 // With -telemetry the run serves live Prometheus-style metrics at
-// /metrics, the trace ring and BSP timeline as JSON at /debug/dcer, and
-// the standard pprof handlers. -timeline prints the superstep Gantt chart
-// of a parallel run to stderr when it finishes.
+// /metrics, the trace ring and BSP timeline as JSON at /debug/dcer, the
+// causal trace as Chrome trace-event JSON at /debug/trace, and the
+// standard pprof handlers. With -traceout the causal trace (supersteps,
+// per-worker Deduce lanes, routing, drain rounds) is written to the
+// given file on exit — load it in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. -timeline prints the superstep Gantt chart of a
+// parallel run to stderr when it finishes; -log debug emits one wide
+// JSON event per superstep and per drain round.
 //
 // Each data/<name>.csv becomes relation <name>; the header row is typed
 // ("attr:type", with "!id" marking the designated id attribute). The rule
@@ -104,6 +109,7 @@ func main() {
 		eng, err := dcer.NewEngine(d, rules, reg, dcer.EngineOptions{
 			ShareIndexes: true,
 			Metrics:      obs.Registry(),
+			Log:          logg,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -119,6 +125,7 @@ func main() {
 		res, err := dcer.MatchParallel(d, rules, reg, dcer.ParallelOptions{
 			Workers: *workers,
 			Metrics: obs.Registry(),
+			Log:     logg,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -12,10 +12,12 @@ package chase
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"dcer/internal/rule"
+	"dcer/internal/telemetry"
 
 	"dcer/internal/relation"
 )
@@ -43,9 +45,18 @@ type drainJob struct {
 }
 
 // drain alternates dependency firing and update-driven re-evaluation until
-// no new facts appear (the while-loop of algorithm Match).
+// no new facts appear (the while-loop of algorithm Match). Each round is
+// traced as a child span of the in-flight Deduce/IncDeduce root and —
+// at debug level — emits one wide event carrying the engine's full knob
+// state.
 func (e *Engine) drain() {
-	for {
+	outer := e.curTC
+	for round := 0; ; round++ {
+		var rsp telemetry.Span
+		if outer.Enabled() {
+			rsp = outer.Start("chase.drain.round", telemetry.L("round", strconv.Itoa(round)))
+			e.curTC = rsp.Context()
+		}
 		progressed := false
 		e.rebudget()
 		// Round boundary: every enumeration of the previous round has
@@ -67,6 +78,7 @@ func (e *Engine) drain() {
 		}
 		// Lines 4-7: update-driven re-evaluation of valuations that
 		// involve a new match or validated prediction.
+		events := len(e.queue)
 		if len(e.queue) > 0 {
 			progressed = true
 			if e.tel != nil {
@@ -76,7 +88,12 @@ func (e *Engine) drain() {
 			e.queue = nil
 			e.processEvents(q)
 		}
+		if e.log.Level() <= telemetry.LogDebug {
+			e.wideRound(round, len(fired), events)
+		}
+		rsp.End()
 		if !progressed {
+			e.curTC = outer
 			return
 		}
 		e.cnt.rounds.Add(1)
@@ -155,6 +172,10 @@ func (e *Engine) runJobs(jobs []drainJob) {
 			e.tel.drainBatchNs.ObserveDuration(time.Since(t0))
 			e.tel.drainBatchJobs.Observe(uint64(len(jobs)))
 		}()
+	}
+	if e.curTC.Enabled() {
+		defer e.curTC.Start("chase.drain.batch",
+			telemetry.L("jobs", strconv.Itoa(len(jobs)))).EndIf(fineSpanFloor)
 	}
 	min := e.opts.DrainParallelMin
 	if min <= 0 {

@@ -85,6 +85,22 @@ type Options struct {
 	// observations (a registry shared with a previous engine) warm-start
 	// with a warmResortDiv-times lower threshold.
 	PlanResortMinEvals int
+	// Trace threads causal span attribution through the engine: Deduce /
+	// IncDeduce roots, per-rule enumerate and merge spans, per-round
+	// drain and batch spans, plan re-sort events (stamped with the
+	// before/after predicate order and the pass/fail counts that
+	// triggered them), and cache-miss classifier calls above a duration
+	// floor. The zero value disables capture; when Metrics is set and
+	// Trace is not, a root is derived from the registry's tracer so a
+	// -telemetry run always yields a causal trace. The disabled cost is
+	// one branch per instrumented site.
+	Trace telemetry.TraceContext
+	// Log, when non-nil and at debug level, receives one wide event per
+	// drain round: a single JSON line carrying the round's progress and
+	// the engine's full knob state (plan on/off + resort count, memory
+	// budget + evictions, drain mode). nil disables emission; the
+	// disabled cost is one level comparison per round.
+	Log *telemetry.Logger
 	// MemBudgetBytes caps the engine's accounted memory: the dataset's
 	// arenas, the Γ fact log, and the dependency store H. When the live
 	// estimate exceeds the budget the engine spills H oldest-first
@@ -268,6 +284,17 @@ type Engine struct {
 	// unset (every instrumented site nil-checks before reading the clock).
 	tel *chaseMetrics
 
+	// tc is the engine's root trace context (Options.Trace, or derived
+	// from the metrics registry); the zero value disables span capture.
+	// curTC is the in-flight Deduce/IncDeduce call's child context —
+	// written only while the engine is quiescent (before the concurrent
+	// passes spawn, between drain rounds), so worker goroutines read a
+	// stable value.
+	tc    telemetry.TraceContext
+	curTC telemetry.TraceContext
+	// log receives the per-round wide events (Options.Log).
+	log *telemetry.Logger
+
 	// queue of unprocessed events driving the update-driven path.
 	queue []event
 
@@ -335,6 +362,11 @@ func NewScoped(d *relation.Dataset, rules []*rule.Rule, scopes []*relation.Datas
 	e.provOrigin = provenance.OriginIDDup
 	if opts.Metrics != nil {
 		e.initMetrics(opts.Metrics, opts.MetricsLabels)
+	}
+	e.log = opts.Log
+	e.tc = opts.Trace
+	if !e.tc.Enabled() && opts.Metrics != nil {
+		e.tc = opts.Metrics.Tracer().NewTrace(telemetry.PIDChase, 0)
 	}
 	for _, r := range rules {
 		if r.Head.Kind == rule.PredML {
@@ -687,11 +719,14 @@ func (e *Engine) applyFactJ(f Fact, j *justification) bool {
 // on the engine's sequential context, applying facts directly.
 func (e *Engine) enumerateRule(br *boundRule, seed []*relation.Tuple) {
 	var t0 time.Time
-	if e.tel != nil {
+	if e.tel != nil || e.curTC.Enabled() {
 		t0 = time.Now()
 	}
 	e.ctx.reset(br)
 	e.ctx.enumerate(seed)
+	if e.curTC.Enabled() && time.Since(t0) >= fineSpanFloor {
+		e.curTC.Record("chase.enumerate", t0, telemetry.L("rule", br.r.Name))
+	}
 	if e.tel != nil {
 		br.enumHist.ObserveDuration(time.Since(t0))
 	}
@@ -716,9 +751,8 @@ func (e *Engine) flushCtxCounters(c *evalCtx) {
 // same, by the Church-Rosser property of the chase. It returns the facts
 // deduced during the call.
 func (e *Engine) Deduce() []Fact {
-	if e.tel != nil {
-		defer e.tel.tracer.Start("chase.Deduce", e.tel.labels...).End()
-	}
+	sp := e.startRoot("chase.Deduce")
+	defer e.endRoot(sp)
 	e.delta = e.delta[:0]
 	e.maybeResortPlans() // quiesced: no enumeration in flight between calls
 	if e.opts.SequentialDeduce || len(e.rules) <= 1 {
@@ -741,6 +775,7 @@ func (e *Engine) deduceConcurrent() {
 	e.prebuildIndexes()
 	roots := e.frozenRoots()
 	ctxs := make([]*evalCtx, len(e.rules))
+	tc := e.curTC // stable for the whole pass; goroutines copy it
 	var wg sync.WaitGroup
 	for i, br := range e.rules {
 		ctx := &evalCtx{e: e, roots: roots, buffered: true}
@@ -751,11 +786,14 @@ func (e *Engine) deduceConcurrent() {
 			deduceSem <- struct{}{}
 			defer func() { <-deduceSem }()
 			var t0 time.Time
-			if e.tel != nil {
+			if e.tel != nil || tc.Enabled() {
 				t0 = time.Now()
 			}
 			ctx.reset(br)
 			ctx.enumerate(nil)
+			if tc.Enabled() && time.Since(t0) >= fineSpanFloor {
+				tc.Record("chase.enumerate", t0, telemetry.L("rule", br.r.Name))
+			}
 			if e.tel != nil {
 				// Each goroutine owns its rule's histogram observation;
 				// the lock-striped histogram absorbs the concurrency.
@@ -766,10 +804,13 @@ func (e *Engine) deduceConcurrent() {
 	wg.Wait()
 	for i, ctx := range ctxs {
 		var t0 time.Time
-		if e.tel != nil {
+		if e.tel != nil || tc.Enabled() {
 			t0 = time.Now()
 		}
 		e.mergeCtx(ctx)
+		if tc.Enabled() && time.Since(t0) >= fineSpanFloor {
+			tc.Record("chase.merge", t0, telemetry.L("rule", e.rules[i].r.Name))
+		}
 		if e.tel != nil {
 			e.rules[i].mergeHist.ObserveDuration(time.Since(t0))
 		}
@@ -781,9 +822,8 @@ func (e *Engine) deduceConcurrent() {
 // deduces their consequences (procedure IncDeduce / algorithm A_Δ). It
 // returns the facts newly deduced here, excluding the external inputs.
 func (e *Engine) IncDeduce(external []Fact) []Fact {
-	if e.tel != nil {
-		defer e.tel.tracer.Start("chase.IncDeduce", e.tel.labels...).End()
-	}
+	sp := e.startRoot("chase.IncDeduce")
+	defer e.endRoot(sp)
 	e.delta = e.delta[:0]
 	// Externally supplied facts carry their derivation on the worker that
 	// deduced them; here they are recorded as arrivals, which the merged

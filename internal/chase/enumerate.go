@@ -1,8 +1,11 @@
 package chase
 
 import (
+	"time"
+
 	"dcer/internal/relation"
 	"dcer/internal/rule"
+	"dcer/internal/telemetry"
 )
 
 // evalCtx carries the mutable state of one rule enumeration: the scratch
@@ -417,6 +420,13 @@ func (c *evalCtx) predict(m *boundMLPred, ta, tb *relation.Tuple) bool {
 	if ans, ok := cache.Lookup(m.clID, ka, kb); ok {
 		return ans
 	}
+	// Cache miss: the classifier actually runs. Record it as a span on
+	// the ML lane when it clears the duration floor (sub-floor calls are
+	// plentiful and would flood the bounded ring).
+	var mt0 time.Time
+	if c.e.curTC.Enabled() {
+		mt0 = time.Now()
+	}
 	var ans bool
 	if m.fc != nil {
 		// Feature-scoring classifiers only need the boxed attribute
@@ -437,6 +447,11 @@ func (c *evalCtx) predict(m *boundMLPred, ta, tb *relation.Tuple) bool {
 		c.lvals = gatherInto(c.lvals, ta, m.pred.A1Vec)
 		c.rvals = gatherInto(c.rvals, tb, m.pred.A2Vec)
 		ans = m.cl.Predict(c.lvals, c.rvals)
+	}
+	if !mt0.IsZero() && time.Since(mt0) >= mlTraceFloor {
+		tc := c.e.curTC
+		tc.Lane(telemetry.PIDMLPred, tc.TID()).Record("mlpred.classify", mt0,
+			telemetry.L("model", m.pred.Model))
 	}
 	cache.Store(m.clID, ka, kb, ans)
 	return ans

@@ -23,6 +23,7 @@ import (
 	"dcer/internal/mlpred"
 	"dcer/internal/relation"
 	"dcer/internal/rule"
+	"dcer/internal/telemetry"
 )
 
 // DefaultPlanResortMinEvals is the default number of predicate
@@ -253,14 +254,28 @@ func (e *Engine) maybeResortPlans() {
 	if e.opts.InterpretRules {
 		return
 	}
+	traced := e.curTC.Enabled()
 	for _, br := range e.rules {
 		p := br.plan
 		if p == nil || p.sortMin <= 0 || p.sinceSort.Load() < p.sortMin {
 			continue
 		}
 		p.sinceSort.Store(0)
+		var before string
+		if traced {
+			before = planOrderDesc(br)
+		}
 		if p.resort() {
 			e.cnt.planReorders.Add(1)
+			if traced {
+				// Stamp the re-sort with the order it replaced and the
+				// pass/fail counts that triggered it (the "after" string
+				// carries the same counters in the new order).
+				e.curTC.Event("chase.plan.resort",
+					telemetry.L("rule", br.r.Name),
+					telemetry.L("before", before),
+					telemetry.L("after", planOrderDesc(br)))
+			}
 		}
 	}
 }

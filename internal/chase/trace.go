@@ -1,0 +1,124 @@
+package chase
+
+// Causal tracing and wide events of the engine. Spans follow the call
+// tree: Deduce/IncDeduce roots parent the per-rule enumerate/merge spans
+// of the first pass and the per-round drain spans, which in turn parent
+// the drain batches, the plan re-sort events, and the cache-miss
+// classifier calls of the ML predicate layer. Everything is gated on
+// TraceContext.Enabled() (one branch per site when tracing is off) and
+// records into the bounded ring of the registry's tracer, so a live run
+// can be exported as a Perfetto-loadable Chrome trace at any time
+// (/debug/trace, cmd -traceout).
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"dcer/internal/telemetry"
+)
+
+// mlTraceFloor is the duration floor under which a cache-miss classifier
+// call is not recorded as a span: sub-floor predictions are plentiful
+// and individually uninteresting, and the ring is bounded.
+const mlTraceFloor = 200 * time.Microsecond
+
+// fineSpanFloor is the duration floor for the per-rule and per-batch
+// spans inside a drain (enumerate, merge, drain.batch). A scale-2 Deduce
+// runs thousands of drain rounds whose per-rule enumerations mostly take
+// a few tens of microseconds; recording each would roughly double the
+// instrumented-run overhead and bury the trace in dust. Round and root
+// spans always record, so the causal skeleton stays complete.
+const fineSpanFloor = 100 * time.Microsecond
+
+// startRoot opens a top-level engine span (Deduce / IncDeduce) and, when
+// tracing is enabled, re-parents the in-flight context under it so the
+// pass's child spans (enumerations, drain rounds) attach to this call.
+func (e *Engine) startRoot(name string) telemetry.Span {
+	if e.tc.Enabled() {
+		sp := e.tc.Start(name, e.opts.MetricsLabels...)
+		e.curTC = sp.Context()
+		return sp
+	}
+	if e.tel != nil {
+		return e.tel.tracer.Start(name, e.tel.labels...)
+	}
+	return telemetry.Span{}
+}
+
+// endRoot closes a top-level engine span and drops the in-flight
+// context.
+func (e *Engine) endRoot(sp telemetry.Span) {
+	e.curTC = telemetry.TraceContext{}
+	sp.End()
+}
+
+// SetTraceContext re-parents the engine's future Deduce/IncDeduce roots
+// under tc — the parallel engine points each worker's engine at the
+// current superstep span, on the worker's lane. Only call while the
+// engine is quiescent (no deduction in flight).
+func (e *Engine) SetTraceContext(tc telemetry.TraceContext) { e.tc = tc }
+
+// planOrderDesc renders the current execution order of a rule's compiled
+// plan with each step's observed pass/fail account — the payload the
+// re-sort events stamp so a Perfetto view shows why the order changed.
+func planOrderDesc(br *boundRule) string {
+	var sb strings.Builder
+	for v := range br.plan.vars {
+		vp := &br.plan.vars[v]
+		if v > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(br.r.Vars[v].Name)
+		sb.WriteByte(':')
+		sb.WriteByte('[')
+		first := true
+		step := func(pred string, evals, fails int64) {
+			if !first {
+				sb.WriteByte(' ')
+			}
+			first = false
+			sb.WriteString(pred)
+			sb.WriteByte('(')
+			sb.WriteString(strconv.FormatInt(evals-fails, 10))
+			sb.WriteByte('/')
+			sb.WriteString(strconv.FormatInt(fails, 10))
+			sb.WriteByte(')')
+		}
+		for _, w := range *vp.words.Load() {
+			step(w.p.String(), w.evals.Load(), w.fails.Load())
+		}
+		for _, m := range *vp.mls.Load() {
+			step(m.p.String(), m.evals.Load(), m.fails.Load())
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// wideRound emits the per-drain-round wide event: one JSON line carrying
+// the round's progress and the full knob state of the engine, so a long
+// run is post-hoc debuggable from a grep. Callers gate on the logger's
+// level before computing any of the arguments.
+func (e *Engine) wideRound(round, fired, events int) {
+	fields := make([]telemetry.F, 0, 16+len(e.opts.MetricsLabels))
+	for _, l := range e.opts.MetricsLabels {
+		fields = append(fields, telemetry.F{K: l.Key, V: l.Value})
+	}
+	fields = append(fields,
+		telemetry.F{K: "round", V: round},
+		telemetry.F{K: "deps_fired", V: fired},
+		telemetry.F{K: "events", V: events},
+		telemetry.F{K: "matches", V: e.cnt.matches.Load()},
+		telemetry.F{K: "ml_validated", V: e.cnt.mlValidated.Load()},
+		telemetry.F{K: "plan_on", V: !e.opts.InterpretRules},
+		telemetry.F{K: "plan_resorts", V: e.cnt.planReorders.Load()},
+		telemetry.F{K: "mem_budget_bytes", V: e.opts.MemBudgetBytes},
+		telemetry.F{K: "mem_dataset_bytes", V: e.cnt.memDataset.Load()},
+		telemetry.F{K: "mem_gamma_bytes", V: e.cnt.memGamma.Load()},
+		telemetry.F{K: "mem_deps_bytes", V: e.cnt.memDeps.Load()},
+		telemetry.F{K: "deps_evicted", V: e.cnt.memEvicted.Load()},
+		telemetry.F{K: "seq_drain", V: e.opts.SequentialDrain},
+	)
+	e.log.Wide(telemetry.LogDebug, "deduce_round", fields...)
+}

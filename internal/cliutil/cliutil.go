@@ -1,10 +1,12 @@
 // Package cliutil carries the observability wiring shared by the dcer
-// command-line binaries: the opt-in -telemetry exposition endpoint and
-// the leveled progress logger (DCER_LOG / -log).
+// command-line binaries: the opt-in -telemetry exposition endpoint, the
+// -traceout Chrome trace export, and the leveled progress logger
+// (DCER_LOG / -log).
 package cliutil
 
 import (
 	"flag"
+	"fmt"
 	"os"
 
 	"dcer/internal/telemetry"
@@ -13,16 +15,20 @@ import (
 // Flags holds the shared observability flags; call Register before
 // flag.Parse and Init after.
 type Flags struct {
-	addr  *string
-	level *string
-	on    bool
+	addr     *string
+	level    *string
+	traceout *string
+	on       bool
 }
 
-// Register installs -telemetry and -log on the default flag set.
+// Register installs -telemetry, -traceout and -log on the default flag
+// set.
 func Register() *Flags {
 	return &Flags{
 		addr: flag.String("telemetry", "",
-			"serve /metrics, /debug/dcer and pprof on this address (empty = disabled; :0 picks a port)"),
+			"serve /metrics, /debug/dcer, /debug/trace and pprof on this address (empty = disabled; :0 picks a port)"),
+		traceout: flag.String("traceout", "",
+			"write the run's causal trace as Chrome trace-event JSON to this file on exit (load in Perfetto or chrome://tracing)"),
 		level: flag.String("log", "",
 			"log level: debug, info, warn, error, off (default $DCER_LOG, else info)"),
 	}
@@ -30,7 +36,9 @@ func Register() *Flags {
 
 // Init resolves the flags after flag.Parse: it builds the binary's stderr
 // logger and, when -telemetry was given, starts the exposition server over
-// telemetry.Default. The returned stop function is safe to defer either way.
+// telemetry.Default. When -traceout was given the returned stop function
+// writes the retained span ring as Chrome trace-event JSON to the file;
+// it is safe to defer either way.
 func (f *Flags) Init(prefix string) (*telemetry.Logger, func(), error) {
 	lvl := telemetry.LogLevelFromEnv()
 	if *f.level != "" {
@@ -40,22 +48,54 @@ func (f *Flags) Init(prefix string) (*telemetry.Logger, func(), error) {
 		}
 	}
 	logg := telemetry.NewLogger(os.Stderr, prefix, lvl)
-	stop := func() {}
+	stopServe := func() {}
 	if *f.addr != "" {
 		srv, err := telemetry.Serve(*f.addr, telemetry.Default)
 		if err != nil {
 			return nil, nil, err
 		}
 		f.on = true
-		logg.Infof("telemetry: http://%s/metrics (also /debug/dcer, /debug/pprof/)", srv.Addr)
-		stop = func() { srv.Close() }
+		logg.Infof("telemetry: http://%s/metrics (also /debug/dcer, /debug/trace, /debug/pprof/)", srv.Addr)
+		stopServe = func() { srv.Close() }
+	}
+	if *f.traceout != "" {
+		// Tracing rides the same registry as -telemetry; engines attach
+		// via Registry(), so a -traceout run without -telemetry still
+		// records spans (it just doesn't serve them).
+		f.on = true
+	}
+	stop := func() {
+		if *f.traceout != "" {
+			if err := writeTrace(*f.traceout); err != nil {
+				logg.Errorf("traceout: %v", err)
+			} else {
+				logg.Infof("traceout: wrote %s", *f.traceout)
+			}
+		}
+		stopServe()
 	}
 	return logg, stop, nil
 }
 
+// writeTrace exports telemetry.Default's span ring to path.
+func writeTrace(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.Default.Tracer().WriteChromeTrace(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	return nil
+}
+
 // Registry returns the registry engines should publish to:
-// telemetry.Default when -telemetry is live, nil (all instruments no-op)
-// otherwise.
+// telemetry.Default when -telemetry or -traceout is live, nil (all
+// instruments no-op) otherwise.
 func (f *Flags) Registry() *telemetry.Registry {
 	if f.on {
 		return telemetry.Default

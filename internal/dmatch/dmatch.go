@@ -104,6 +104,20 @@ type Options struct {
 	// is exposed as the "dmatch_timeline" debug provider and the adaptive
 	// migrations as "dmatch_rebalance" (/debug/dcer).
 	Metrics *telemetry.Registry
+	// Trace parents the run's causal spans: a dmatch.Run root, one
+	// dmatch.superstep span per BSP step with each worker's
+	// Deduce/IncDeduce as children on the worker's lane, the master's
+	// route span with per-destination inbox builds, and rebalance
+	// migrations with per-worker rebuild child spans. The zero value
+	// disables capture; when Metrics is set and Trace is not, a root is
+	// derived from the registry's tracer so a -telemetry run always
+	// yields a causal trace (/debug/trace).
+	Trace telemetry.TraceContext
+	// Log, when non-nil and at debug level, receives wide events: one
+	// JSON line per superstep (makespan, skew, routed/deduped counts,
+	// rebalance and knob state) plus the per-round lines of every worker
+	// engine.
+	Log *telemetry.Logger
 	// Provenance enables justification capture: every worker engine
 	// records its derivations into a per-worker log stamped with the
 	// worker id and the current superstep, and the logs are stitched into
@@ -247,12 +261,21 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		maxSteps = 1 << 20
 	}
 
+	tc := opts.Trace
+	if !tc.Enabled() && opts.Metrics != nil {
+		tc = opts.Metrics.Tracer().NewTrace(telemetry.PIDDMatch, 0)
+	}
+	runSpan := tc.Start("dmatch.Run", telemetry.L("workers", strconv.Itoa(n)))
+	defer runSpan.End()
+	rtc := runSpan.Context()
+
 	t0 := time.Now()
 	part, err := hypart.Partition(d, rules, n, hypart.Options{
 		Share:          !opts.NoMQO,
 		ReplicationCap: opts.ReplicationCap,
 		Shards:         opts.PartitionShards,
 		Metrics:        opts.Metrics,
+		Trace:          rtc,
 	})
 	if err != nil {
 		return nil, err
@@ -321,6 +344,8 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			PlanResortMinEvals: opts.PlanResortMinEvals,
 			Metrics:            opts.Metrics,
 			MetricsLabels:      []telemetry.Label{telemetry.L("worker", strconv.Itoa(i))},
+			Trace:              rtc.Lane(telemetry.PIDDMatch, int32(i+1)),
+			Log:                opts.Log,
 		}
 		if provLogs != nil {
 			copts.Provenance = provLogs[i]
@@ -429,8 +454,15 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 	}
 
 	elapsed := make([]time.Duration, n)
-	runStep := func(step int) {
+	runStep := func(step int, stc telemetry.TraceContext) {
 		runOne := func(i int) {
+			if stc.Enabled() {
+				// Re-parent the worker's engine under this superstep, on
+				// the worker's lane, so its Deduce/IncDeduce roots (and
+				// their drain rounds) render as this step's children. The
+				// engine is quiescent here — only this goroutine drives it.
+				workers[i].SetTraceContext(stc.Lane(telemetry.PIDDMatch, int32(i+1)))
+			}
 			start := time.Now()
 			if step == 0 || freshW[i] {
 				// First superstep, or a worker the rebalancer rebuilt:
@@ -491,13 +523,19 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 	msgsIn := make([]int, n)
 	factsOut := make([]int, n)
 	for step := 0; step < maxSteps; step++ {
+		var ssp telemetry.Span
+		stc := rtc
+		if rtc.Enabled() {
+			ssp = rtc.Start("dmatch.superstep", telemetry.L("step", strconv.Itoa(step)))
+			stc = ssp.Context()
+		}
 		for i := range inboxes {
 			msgsIn[i] = len(inboxes[i])
 		}
 		for _, l := range provLogs {
 			l.SetStep(step)
 		}
-		runStep(step)
+		runStep(step, stc)
 		res.Supersteps++
 		var stepMax time.Duration
 		for _, e := range elapsed {
@@ -512,6 +550,12 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			busyHists[i].Observe(uint64(e))
 		}
 		routeStart := time.Now()
+		var rsp telemetry.Span
+		routeTC := stc
+		if stc.Enabled() {
+			rsp = stc.Start("dmatch.route")
+			routeTC = rsp.Context()
+		}
 		// Master, phase 1 (sequential): fold the union of the workers'
 		// new facts into the global Γ and compute each fact's recipient
 		// bitset — the workers hosting any member of the classes the fact
@@ -579,6 +623,11 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		stepRouted := make([]int64, n)
 		stepDeduped := make([]int64, n)
 		buildDest := func(h int) {
+			var isp telemetry.Span
+			if routeTC.Enabled() {
+				isp = routeTC.Lane(telemetry.PIDDMatch, int32(h+1)).Start("dmatch.inbox")
+				defer isp.End()
+			}
 			sh := seen[h]
 			for _, f := range deltas[h] {
 				sh[f] = struct{}{}
@@ -621,6 +670,7 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		res.MessagesRouted += routedStep
 		res.MessagesDeduped += dedupedStep
 		inboxes = next
+		rsp.End()
 		routeNs := int64(time.Since(routeStart))
 		routeHist.Observe(uint64(routeNs))
 		routedCtr.Add(routedStep)
@@ -641,6 +691,22 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		}
 		tlMu.Unlock()
 		skewGauge.Set(skew)
+		if opts.Log.Level() <= telemetry.LogDebug {
+			opts.Log.Wide(telemetry.LogDebug, "dmatch_superstep",
+				telemetry.F{K: "step", V: step},
+				telemetry.F{K: "workers", V: n},
+				telemetry.F{K: "makespan_ns", V: int64(stepMax)},
+				telemetry.F{K: "skew", V: skew},
+				telemetry.F{K: "facts", V: stepFacts},
+				telemetry.F{K: "routed", V: routedStep},
+				telemetry.F{K: "deduped", V: dedupedStep},
+				telemetry.F{K: "route_ns", V: routeNs},
+				telemetry.F{K: "rebalances", V: len(res.Rebalances)},
+				telemetry.F{K: "plan_on", V: !opts.InterpretRules},
+				telemetry.F{K: "sequential", V: opts.Sequential},
+			)
+		}
+		ssp.End()
 		empty := true
 		for _, in := range inboxes {
 			if len(in) > 0 {
@@ -656,6 +722,12 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		// observed costs and migrate blocks before the next superstep.
 		if rb.shouldRebalance(skew, stepMax) {
 			t0 := time.Now()
+			var rbsp telemetry.Span
+			rbtc := rtc
+			if rtc.Enabled() {
+				rbsp = rtc.Start("dmatch.rebalance", telemetry.L("step", strconv.Itoa(step)))
+				rbtc = rbsp.Context()
+			}
 			newAssign, moved := rb.reassign(part.Blocks, curAssign, elapsed)
 			if moved > 0 {
 				changed := make([]bool, n)
@@ -671,6 +743,12 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 					if !changed[w] {
 						continue
 					}
+					var wsp telemetry.Span
+					if rbtc.Enabled() {
+						// One migration child span per rebuilt worker, on
+						// the worker's lane.
+						wsp = rbtc.Lane(telemetry.PIDDMatch, int32(w+1)).Start("dmatch.rebuild.worker")
+					}
 					eng, err := buildWorker(w, frags[w], ruleFrags[w])
 					if err != nil {
 						return nil, err
@@ -678,6 +756,7 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 					workers[w] = eng
 					freshW[w] = true
 					rebuilt++
+					wsp.End()
 				}
 				setHosts(frags)
 				rebuildHostBits()
@@ -716,6 +795,7 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 				rebalCtr.Add(1)
 				movedCtr.Add(int64(moved))
 			}
+			rbsp.End()
 		}
 	}
 	res.ERTime = time.Since(t1)

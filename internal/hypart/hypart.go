@@ -23,6 +23,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -59,6 +60,12 @@ type Options struct {
 	// observation per worker) and dcer_hypart_block_size (tuples per
 	// non-empty virtual block). Nil disables with no overhead.
 	Metrics *telemetry.Registry
+	// Trace parents the partition's causal spans: a hypart.Partition
+	// root, one hypart.shard.scan span per scan goroutine (each on its
+	// own shard lane), and the hypart.merge/hypart.assign spans of the
+	// sequential tail. The zero value disables capture; when Metrics is
+	// set and Trace is not, a root is derived from the registry's tracer.
+	Trace telemetry.TraceContext
 }
 
 // Stats reports the partitioning work, for the Exp-2 experiments.
@@ -319,6 +326,14 @@ func Partition(d *relation.Dataset, rules []*rule.Rule, n int, opts Options) (*R
 	if n < 1 {
 		return nil, errWorkers(n)
 	}
+	tc := opts.Trace
+	if !tc.Enabled() && opts.Metrics != nil {
+		tc = opts.Metrics.Tracer().NewTrace(telemetry.PIDHyPart, 0)
+	}
+	root := tc.Start("hypart.Partition", telemetry.L("workers", strconv.Itoa(n)))
+	defer root.End()
+	ptc := root.Context()
+
 	plan, err := mqo.Build(rules, opts.Share)
 	if err != nil {
 		return nil, err
@@ -406,6 +421,10 @@ func Partition(d *relation.Dataset, rules []*rule.Rule, n int, opts Options) (*R
 
 	global := newShardAcc(len(rules))
 	if shards == 1 {
+		var sp telemetry.Span
+		if ptc.Enabled() {
+			sp = ptc.Lane(telemetry.PIDHyPart, 1).Start("hypart.shard.scan")
+		}
 		i := 0
 		runShard(global, func() (unit, bool) {
 			if i >= len(units) {
@@ -414,6 +433,7 @@ func Partition(d *relation.Dataset, rules []*rule.Rule, n int, opts Options) (*R
 			i++
 			return units[i-1], true
 		})
+		sp.End()
 	} else {
 		accs := make([]*shardAcc, shards)
 		var cursor atomic.Int64
@@ -428,19 +448,35 @@ func Partition(d *relation.Dataset, rules []*rule.Rule, n int, opts Options) (*R
 		for s := 0; s < shards; s++ {
 			accs[s] = newShardAcc(len(rules))
 			wg.Add(1)
-			go func(sa *shardAcc) {
+			go func(s int, sa *shardAcc) {
 				defer wg.Done()
+				var sp telemetry.Span
+				if ptc.Enabled() {
+					// Each scan goroutine renders on its own shard lane.
+					sp = ptc.Lane(telemetry.PIDHyPart, int32(s+1)).Start("hypart.shard.scan")
+				}
 				runShard(sa, take)
-			}(accs[s])
+				sp.End()
+			}(s, accs[s])
 		}
 		wg.Wait()
+		var msp telemetry.Span
+		if ptc.Enabled() {
+			msp = ptc.Start("hypart.merge", telemetry.L("shards", strconv.Itoa(shards)))
+		}
 		for _, sa := range accs {
 			global.merge(sa)
 		}
+		msp.End()
 	}
 	res.Stats.HashComputations, res.Stats.HashLookups = hasher.Counts()
 	res.Stats.GeneratedTuples = global.generated
 
+	var asp telemetry.Span
+	if ptc.Enabled() {
+		asp = ptc.Start("hypart.assign")
+		defer asp.End()
+	}
 	// Canonical block order: by key, so the result is independent of the
 	// shard count and scheduling.
 	var accs []*blockAcc

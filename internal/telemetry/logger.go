@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -112,6 +113,57 @@ func (l *Logger) logf(level LogLevel, format string, args ...any) {
 	} else {
 		fmt.Fprintf(l.w, "%s %-5s %s\n", ts, level, msg)
 	}
+}
+
+// F is one key/value field of a wide event. Values must be
+// JSON-marshalable; unmarshalable values render as their error string.
+type F struct {
+	K string
+	V any
+}
+
+// Wide emits one wide event: a single structured JSON line carrying the
+// full state of one pipeline round ({"ts":…,"level":…,"event":…,
+// <fields in order>}), so a long run is post-hoc debuggable from a
+// grep. Dropped without formatting when level is below the logger's
+// threshold; callers building expensive field sets should gate on
+// Level() first.
+func (l *Logger) Wide(level LogLevel, event string, fields ...F) {
+	if l == nil || level < l.Level() {
+		return
+	}
+	var b []byte
+	b = append(b, `{"ts":"`...)
+	b = append(b, time.Now().UTC().Format("2006-01-02T15:04:05.000Z")...)
+	b = append(b, `","level":"`...)
+	b = append(b, level.String()...)
+	b = append(b, '"')
+	if l.prefix != "" {
+		b = append(b, `,"src":`...)
+		b = appendJSON(b, l.prefix)
+	}
+	b = append(b, `,"event":`...)
+	b = appendJSON(b, event)
+	for _, f := range fields {
+		b = append(b, ',')
+		b = appendJSON(b, f.K)
+		b = append(b, ':')
+		b = appendJSON(b, f.V)
+	}
+	b = append(b, '}', '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(b)
+}
+
+// appendJSON appends the JSON encoding of v, falling back to the
+// marshal error as a JSON string so a bad value never breaks the line.
+func appendJSON(b []byte, v any) []byte {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		enc, _ = json.Marshal(err.Error())
+	}
+	return append(b, enc...)
 }
 
 // Debugf logs at debug level.

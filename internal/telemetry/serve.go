@@ -23,6 +23,7 @@ type Server struct {
 //
 //	/metrics        Prometheus-style text exposition
 //	/debug/dcer     JSON: metric snapshot, trace ring, debug providers
+//	/debug/trace    Chrome trace-event JSON (Perfetto-loadable)
 //	/debug/pprof/…  the standard net/http/pprof handlers
 //
 // The server runs until Close. Metrics are read live, so scraping during
@@ -52,6 +53,10 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(doc)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.Tracer().WriteChromeTrace(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

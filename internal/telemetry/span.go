@@ -2,24 +2,37 @@ package telemetry
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // DefaultTraceCap is the default capacity of a registry's span ring.
 const DefaultTraceCap = 4096
 
-// SpanRecord is one completed span in the trace ring.
+// SpanRecord is one completed span in the trace ring. TraceID groups the
+// spans of one pipeline run; ParentID links a span to the span whose
+// TraceContext started it (0 for roots). PID/TID are the Chrome
+// trace-event lanes the span renders on: PID identifies the pipeline
+// component (see PIDChase…PIDMLPred), TID the worker/shard lane within
+// it.
 type SpanRecord struct {
 	Name       string  `json:"name"`
 	Labels     []Label `json:"labels,omitempty"`
 	StartUnixN int64   `json:"start_unix_ns"`
 	DurationNs int64   `json:"duration_ns"`
+	TraceID    uint64  `json:"trace_id,omitempty"`
+	SpanID     uint64  `json:"span_id,omitempty"`
+	ParentID   uint64  `json:"parent_id,omitempty"`
+	PID        int32   `json:"pid,omitempty"`
+	TID        int32   `json:"tid,omitempty"`
 }
 
 // Tracer records completed spans into a bounded in-memory ring: the
 // newest cap spans are retained, older ones are overwritten. Safe for
 // concurrent use; a nil *Tracer starts no-op spans.
 type Tracer struct {
+	ids atomic.Uint64 // trace- and span-ID allocator; 0 is reserved
+
 	mu      sync.Mutex
 	ring    []SpanRecord
 	next    int
@@ -42,9 +55,17 @@ type Span struct {
 	name   string
 	labels []Label
 	start  time.Time
+
+	trace  uint64
+	id     uint64
+	parent uint64
+	pid    int32
+	tid    int32
 }
 
-// Start begins a span. The labels are retained in the ring as given.
+// Start begins a span with no causal identity (no trace/span IDs). Use a
+// TraceContext's Start for spans that participate in a causal trace. The
+// label slice is copied at record time, so callers may reuse it.
 func (t *Tracer) Start(name string, labels ...Label) Span {
 	if t == nil {
 		return Span{}
@@ -59,11 +80,22 @@ func (s Span) End() time.Duration {
 		return 0
 	}
 	d := time.Since(s.start)
+	var labels []Label
+	if len(s.labels) > 0 {
+		// Copy defensively: callers commonly build labels in a reusable
+		// scratch slice, and the ring must not alias caller memory.
+		labels = append(make([]Label, 0, len(s.labels)), s.labels...)
+	}
 	rec := SpanRecord{
 		Name:       s.name,
-		Labels:     s.labels,
+		Labels:     labels,
 		StartUnixN: s.start.UnixNano(),
 		DurationNs: int64(d),
+		TraceID:    s.trace,
+		SpanID:     s.id,
+		ParentID:   s.parent,
+		PID:        s.pid,
+		TID:        s.tid,
 	}
 	t := s.tr
 	t.mu.Lock()
@@ -76,6 +108,22 @@ func (s Span) End() time.Duration {
 	t.total++
 	t.mu.Unlock()
 	return d
+}
+
+// EndIf completes the span but records it only when its duration is at
+// least min — the pressure valve for fine-grained spans (per-rule
+// enumeration, drain batches, classifier calls) that fire thousands of
+// times per run: sub-floor spans cost two clock reads and a branch, not
+// a ring write, and they would render as unreadable dust in Perfetto
+// anyway. Returns the duration either way (0 for a no-op span).
+func (s Span) EndIf(min time.Duration) time.Duration {
+	if s.tr == nil {
+		return 0
+	}
+	if d := time.Since(s.start); d < min {
+		return d
+	}
+	return s.End()
 }
 
 // Total returns the number of spans ever recorded (including overwritten

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: formatting and static analysis, build, the short test
-# suite, the race-enabled run of the concurrent packages, and a one-shot
-# bench smoke. The concurrent first pass of Deduce and the batched
+# suite, the race-enabled run of the concurrent packages, a one-shot
+# bench smoke, the telemetry/causal-trace smoke, and the benchdiff
+# regression gate over the BENCH trajectory. The concurrent first pass of Deduce and the batched
 # parallel drain (internal/chase), the parallel BSP supersteps
 # (internal/dmatch), and the justification log written from concurrent
 # drains (internal/provenance) make the race detector mandatory for
@@ -59,7 +60,20 @@ go run ./cmd/bench -fig6=false -repeat 1 -arms '^Ingest' -memscale 20 -prev '' -
 echo "== plan bench smoke (Deduce plan=off|on A/B at scale 0.5 with per-rule attribution, single iteration)"
 go run ./cmd/bench -fig6=false -repeat 1 -scale 0.5 -arms '^Deduce/plan=' -memscale 0 -prev '' -out /tmp/dcer_ci_plan.json
 
-echo "== telemetry smoke (ephemeral /metrics + provenance scrape over a live DMatch run)"
+echo "== telemetry smoke (ephemeral /metrics + provenance + /debug/trace scrape over a live DMatch run)"
 go run ./scripts/telemetrysmoke
+
+echo "== causal-trace race guard (trace model, wide events, DMatch lane attribution under the race detector)"
+go test -race -short -count=1 \
+    -run 'TestParallelTraceCausality|TestSpanLabelCopy|TestTraceContextCausality|TestWriteChromeTrace|TestServeDebugTrace|TestLoggerWide' \
+    ./internal/telemetry ./internal/dmatch
+
+echo "== bench-regression gate (fresh Deduce/IncDeduce arms vs BENCH_7 via benchdiff, threshold 10%)"
+# The gate keeps the BENCH trajectory honest: measure the gated tier
+# fresh (min over 3 repeats suppresses scheduler noise on the shared
+# host) and fail when any arm slowed past the threshold vs the last
+# committed snapshot.
+go run ./cmd/bench -fig6=false -repeat 3 -arms '^(Deduce|IncDeduce)/' -memscale 0 -prev '' -out /tmp/dcer_ci_gate.json
+go run ./cmd/benchdiff -gate '^(Deduce|IncDeduce)/' -threshold 10 BENCH_7.json /tmp/dcer_ci_gate.json
 
 echo "CI OK"

@@ -4,9 +4,12 @@
 // /metrics and /debug/dcer over real HTTP and asserts the key series —
 // including the live per-superstep worker-skew gauge and the provenance
 // family — are present, and that the stitched log yields a proof for a
-// deduced match. Scrapes retry with backoff under a deadline so a slow
-// loopback listener cannot flake the build. Exit status 0 means the
-// whole opt-in path (registry → engines → HTTP → proof) works end to end.
+// deduced match. It also scrapes /debug/trace and asserts the run left a
+// non-empty causal trace spread over at least two distinct lanes with
+// resolving parent links. Scrapes retry with backoff under a deadline so
+// a slow loopback listener cannot flake the build. Exit status 0 means
+// the whole opt-in path (registry → engines → HTTP → proof → trace)
+// works end to end.
 package main
 
 import (
@@ -122,8 +125,56 @@ func main() {
 		fatal(fmt.Errorf("provenance provider reported zero recorded derivations"))
 	}
 
-	fmt.Printf("telemetry smoke OK: %d supersteps, %d matches, %d-step proof, endpoint %s\n",
-		res.Supersteps, len(res.Matches), len(proof), srv.Addr)
+	// The causal trace: /debug/trace must serve loadable trace-event
+	// JSON whose complete events span >= 2 distinct (pid, tid) lanes
+	// (master plus at least one worker) and whose parent IDs resolve
+	// within their trace.
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int32          `json:"pid"`
+			TID  int32          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(get(srv.Addr, "/debug/trace")), &trace); err != nil {
+		fatal(fmt.Errorf("/debug/trace is not valid JSON: %w", err))
+	}
+	lanes := map[[2]int32]bool{}
+	spanIDs := map[float64]bool{}
+	var complete int
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		complete++
+		lanes[[2]int32{ev.PID, ev.TID}] = true
+		if id, ok := ev.Args["span_id"].(float64); ok {
+			spanIDs[id] = true
+		}
+	}
+	if complete == 0 {
+		fatal(fmt.Errorf("/debug/trace has no complete events after an instrumented run"))
+	}
+	if len(lanes) < 2 {
+		fatal(fmt.Errorf("/debug/trace shows %d lane(s), want >= 2 (master + worker)", len(lanes)))
+	}
+	unresolved := 0
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if pid, ok := ev.Args["parent_id"].(float64); ok && !spanIDs[pid] {
+			unresolved++
+		}
+	}
+	if unresolved > 0 {
+		fatal(fmt.Errorf("/debug/trace has %d span(s) whose parent is not in the trace", unresolved))
+	}
+
+	fmt.Printf("telemetry smoke OK: %d supersteps, %d matches, %d-step proof, %d trace spans on %d lanes, endpoint %s\n",
+		res.Supersteps, len(res.Matches), len(proof), complete, len(lanes), srv.Addr)
 }
 
 // get scrapes one endpoint, retrying with exponential backoff until the
