@@ -9,7 +9,7 @@
 // instrumented DMatch run's routing profile (messages routed/deduped,
 // route time per superstep, adaptive rebalances) as routing_stats.
 //
-//	go run ./cmd/bench                   # full run, writes BENCH_8.json
+//	go run ./cmd/bench                   # full run, writes BENCH_9.json
 //	go run ./cmd/bench -fig6=false       # hot-path benchmarks only
 //	go run ./cmd/bench -scale 1.0 -out /tmp/bench.json
 //	go run ./cmd/bench -cpuprofile cpu.out -memprofile mem.out
@@ -42,10 +42,13 @@
 // Besides the timings the report embeds the per-stage latency histograms
 // of a telemetry-enabled pass (rule enumeration/merge, drain batches, BSP
 // routing and worker busy time) and the measured overhead of running
-// Deduce with instrumentation attached — both the metrics registry and,
-// separately, the justification (provenance) log; after writing the JSON
-// it prints a stage-attribution table and a delta table against the
-// previous BENCH_<n>.json (-prev).
+// Deduce with instrumentation attached — the metrics registry, the
+// justification (provenance) log, and the health observatory (invariant
+// auditors + stall heartbeats + accuracy sampling), each against the same
+// interleaved uninstrumented arm; IncDeduce gets its own paired
+// health-on/health-off measurement. After writing the JSON it prints a
+// stage-attribution table and a delta table against the previous
+// BENCH_<n>.json (-prev).
 //
 // The host class these artifacts are measured on (a shared single-core
 // VM) shows ±20% run-to-run variance under external load, so the
@@ -79,7 +82,9 @@ import (
 	"dcer/internal/cliutil"
 	"dcer/internal/datagen"
 	"dcer/internal/dmatch"
+	"dcer/internal/eval"
 	"dcer/internal/experiments"
+	"dcer/internal/health"
 	"dcer/internal/hypart"
 	"dcer/internal/mlpred"
 	"dcer/internal/provenance"
@@ -197,6 +202,16 @@ type report struct {
 	// attached — against the shared uninstrumented arm. The acceptance
 	// budget for capture is ≤ 5%.
 	ProvenanceOverheadPct float64 `json:"provenance_overhead_pct"`
+	// HealthOverheadPct is the same paired measurement for Deduce/health —
+	// the chase running under a started health monitor (drain heartbeat,
+	// periodic invariant auditors, accuracy sampling against the planted
+	// truth; engine metrics stay nil so the health cost is isolated) —
+	// against the shared uninstrumented arm. Budget ≤ 5%.
+	HealthOverheadPct float64 `json:"health_overhead_pct"`
+	// HealthIncOverheadPct is the paired health-on/health-off measurement
+	// over the incremental drain (IncDeduce/health vs IncDeduce/health_base,
+	// interleaved pairs, median per-pair ratio). Budget ≤ 5%.
+	HealthIncOverheadPct float64 `json:"health_inc_overhead_pct"`
 	// RoutingStats snapshots the instrumented DMatch run's routing
 	// profile (messages routed/deduped, route time per superstep,
 	// adaptive rebalances), from the same pass as StageHistograms.
@@ -337,10 +352,13 @@ type pass struct {
 	incDeduceStats *chase.Stats
 	stageHists     []stageHist
 	routing        *routingStats
-	// pairSamples holds this pass's interleaved overhead triples —
-	// ns per chase for (base, telemetry, provenance), the three runs
-	// of each triple back to back so they saw the same external load.
-	pairSamples [][3]int64
+	// pairSamples holds this pass's interleaved overhead quads —
+	// ns per chase for (base, telemetry, provenance, health), the four
+	// runs of each quad back to back so they saw the same external load.
+	pairSamples [][4]int64
+	// incHealthSamples holds the paired IncDeduce runs — ns per drain for
+	// (health off, health on), each pair back to back.
+	incHealthSamples [][2]int64
 }
 
 // stageSnapshot flattens a registry's populated histograms into the
@@ -585,24 +603,25 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 	// and neighbor steal (±10-30%), far above the instrumentation cost,
 	// so the overhead is measured with tightly interleaved triples —
 	// one uninstrumented chase, one with telemetry, one with the
-	// justification log, each after a forced GC, deducePairs times per
-	// pass: the three runs of a triple see the same external load, so
-	// per-triple ratios cancel host drift. The report keeps the median
-	// ratio over every triple of every pass (medianOverheadPct), which
-	// discards the triples a load spike corrupted outright — on this
-	// host a single spike otherwise moves even a best-pass sum by
-	// several percent, above the effect being measured.
+	// justification log, one under the health monitor, each after a
+	// forced GC, deducePairs times per pass: the four runs of a quad see
+	// the same external load, so per-quad ratios cancel host drift. The
+	// report keeps the median ratio over every quad of every pass
+	// (medianOverheadPct), which discards the quads a load spike
+	// corrupted outright — on this host a single spike otherwise moves
+	// even a best-pass sum by several percent, above the effect being
+	// measured.
 	treg := telemetry.NewRegistry()
 	if armOn("Deduce/telemetry") {
-		logg.Infof("benchmarking Deduce/telemetry and Deduce/provenance (paired overhead samples)...")
-		runOverheadTriples(p, g, rules, reg)
+		logg.Infof("benchmarking Deduce/telemetry, Deduce/provenance and Deduce/health (paired overhead samples)...")
+		runOverheadQuads(p, g, rules, reg)
 	}
 	runIncDeduceArms(p, g, rules, reg, workers, fig6, expScale, treg)
 	return p
 }
 
-// runOverheadTriples measures the telemetry and provenance overhead arms
-// as tightly interleaved triples (see the comment at the call site).
+// runOverheadQuads measures the telemetry, provenance and health overhead
+// arms as tightly interleaved quads (see the comment at the call site).
 // Each instrumented run gets a throwaway registry: the engine's
 // gauge views close over engine state, so a registry shared across
 // runs would keep the previous engine reachable — ~100MB of GC
@@ -613,9 +632,30 @@ func runPass(g *datagen.Generated, rules []*dcer.Rule, workers int, fig6 bool, e
 // cycles moves it ±10%, two orders above the instrumentation cost,
 // while instrumentation's own GC pressure is visible in the
 // bytes/allocs columns (~200 allocs per chase).
-func runOverheadTriples(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *mlpred.Registry) {
+func runOverheadQuads(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *mlpred.Registry) {
 	const deducePairs = 6
-	oneDeduce := func(instrumented, prov bool) (time.Duration, int64, int64) {
+	truth := eval.NewTruth(g.Truth)
+	// newHealthMonitor builds the health arm's monitor: its own registry
+	// (the engine's Metrics stays nil so the measurement isolates the
+	// health cost from the telemetry cost), the planted truth driving the
+	// accuracy observatory, and a started watchdog — the full health-on
+	// configuration minus classifier calibration, which would have to
+	// mutate the shared mlpred registry and so contaminate the base arm
+	// (its cost is one atomic add per classifier call).
+	newHealthMonitor := func() *health.Monitor {
+		return health.NewMonitor(health.Options{
+			Registry:     telemetry.NewRegistry(),
+			DiagnosisDir: os.TempDir(),
+			Truth:        truth,
+			Seed:         1,
+		})
+	}
+	oneDeduce := func(instrumented, prov, healthOn bool) (time.Duration, int64, int64) {
+		var mon *health.Monitor
+		if healthOn {
+			mon = newHealthMonitor()
+			mon.Start()
+		}
 		runtime.GC()
 		var m *telemetry.Registry
 		if instrumented {
@@ -632,7 +672,7 @@ func runOverheadTriples(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *
 		var ms0, ms1 runtime.MemStats
 		runtime.ReadMemStats(&ms0)
 		t0 := time.Now()
-		eng, err := chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true, Metrics: m, Provenance: plog})
+		eng, err := chase.New(g.D, rules, reg, chase.Options{ShareIndexes: true, Metrics: m, Provenance: plog, Health: mon})
 		if err != nil {
 			fatal(err)
 		}
@@ -640,32 +680,38 @@ func runOverheadTriples(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *
 		el := time.Since(t0)
 		runtime.ReadMemStats(&ms1)
 		debug.SetGCPercent(gcOld)
+		if mon != nil {
+			mon.Stop()
+		}
 		return el, int64(ms1.TotalAlloc - ms0.TotalAlloc), int64(ms1.Mallocs - ms0.Mallocs)
 	}
 	pairBase := entry{Name: "Deduce/telemetry_base", Ops: deducePairs}
 	pairTel := entry{Name: "Deduce/telemetry", Ops: deducePairs}
 	pairProv := entry{Name: "Deduce/provenance", Ops: deducePairs}
+	pairHealth := entry{Name: "Deduce/health", Ops: deducePairs}
 	add := func(e *entry, ns time.Duration, by, al int64) {
 		e.NsPerOp += ns.Nanoseconds()
 		e.BytesPerOp += by
 		e.AllocsPerOp += al
 	}
 	for r := 0; r < deducePairs; r++ {
-		bns, bby, bal := oneDeduce(false, false)
+		bns, bby, bal := oneDeduce(false, false, false)
 		add(&pairBase, bns, bby, bal)
-		tns, tby, tal := oneDeduce(true, false)
+		tns, tby, tal := oneDeduce(true, false, false)
 		add(&pairTel, tns, tby, tal)
-		pns, pby, pal := oneDeduce(false, true)
+		pns, pby, pal := oneDeduce(false, true, false)
 		add(&pairProv, pns, pby, pal)
+		hns, hby, hal := oneDeduce(false, false, true)
+		add(&pairHealth, hns, hby, hal)
 		p.pairSamples = append(p.pairSamples,
-			[3]int64{bns.Nanoseconds(), tns.Nanoseconds(), pns.Nanoseconds()})
+			[4]int64{bns.Nanoseconds(), tns.Nanoseconds(), pns.Nanoseconds(), hns.Nanoseconds()})
 	}
-	for _, e := range []*entry{&pairBase, &pairTel, &pairProv} {
+	for _, e := range []*entry{&pairBase, &pairTel, &pairProv, &pairHealth} {
 		e.NsPerOp /= deducePairs
 		e.BytesPerOp /= deducePairs
 		e.AllocsPerOp /= deducePairs
 	}
-	p.entries = append(p.entries, pairTel, pairProv, pairBase)
+	p.entries = append(p.entries, pairTel, pairProv, pairHealth, pairBase)
 }
 
 // runIncDeduceArms runs the remaining arms of a pass: IncDeduce, the ML
@@ -887,6 +933,50 @@ func runIncDeduce(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *mlpred
 			p.incDeduceStats = &st
 		}
 	}
+
+	// The health-on/health-off pair over the same incremental drain:
+	// back-to-back runs (forced GC before each, GC quiesced inside the
+	// timed region, same rationale as the Deduce overhead quads) so the
+	// per-pair ratio cancels host drift. The incremental path is where
+	// the auditors actually fire repeatedly — the drain loop audits every
+	// healthAuditEvery rounds plus once at the fixpoint.
+	const incPairs = 6
+	truth := eval.NewTruth(g.Truth)
+	oneInc := func(mon *health.Monitor) time.Duration {
+		runtime.GC()
+		gcOld := debug.SetGCPercent(-1)
+		t0 := time.Now()
+		eng, err := chase.New(g.D, rules, reg, chase.Options{
+			ShareIndexes: true, DrainParallelMin: chase.DefaultDrainParallelMin, Health: mon,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		eng.IncDeduce(facts)
+		el := time.Since(t0)
+		debug.SetGCPercent(gcOld)
+		return el
+	}
+	hBase := entry{Name: "IncDeduce/health_base", Ops: incPairs}
+	hOn := entry{Name: "IncDeduce/health", Ops: incPairs}
+	for r := 0; r < incPairs; r++ {
+		mon := health.NewMonitor(health.Options{
+			Registry:     telemetry.NewRegistry(),
+			DiagnosisDir: os.TempDir(),
+			Truth:        truth,
+			Seed:         1,
+		})
+		mon.Start()
+		b := oneInc(nil)
+		h := oneInc(mon)
+		mon.Stop()
+		hBase.NsPerOp += b.Nanoseconds()
+		hOn.NsPerOp += h.Nanoseconds()
+		p.incHealthSamples = append(p.incHealthSamples, [2]int64{b.Nanoseconds(), h.Nanoseconds()})
+	}
+	hBase.NsPerOp /= incPairs
+	hOn.NsPerOp /= incPairs
+	p.entries = append(p.entries, hOn, hBase)
 }
 
 func main() {
@@ -895,8 +985,8 @@ func main() {
 	workers := flag.Int("workers", 8, "DMatch worker count")
 	fig6 := flag.Bool("fig6", true, "also run the Fig. 6 experiment drivers")
 	repeat := flag.Int("repeat", 3, "measure every benchmark this many times and keep the per-benchmark minimum")
-	out := flag.String("out", "BENCH_8.json", "output JSON path")
-	prev := flag.String("prev", "BENCH_7.json", "previous report to print the delta table against (empty or missing = skip)")
+	out := flag.String("out", "BENCH_9.json", "output JSON path")
+	prev := flag.String("prev", "BENCH_8.json", "previous report to print the delta table against (empty or missing = skip)")
 	plandump := flag.Bool("plandump", false, "print the compiled predicate programs with their observed selectivities (the plan=on attribution run's PlanReport)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
@@ -953,7 +1043,10 @@ func main() {
 			"telemetry_overhead_pct compares Deduce with the metrics registry attached against an " +
 			"interleaved uninstrumented arm (same-pass sums, GC quiesced inside the timed region, " +
 			"least-loaded pass); provenance_overhead_pct measures the justification-log capture the " +
-			"same way (unbounded log, worst case; budget ≤ 5%); stage_histograms are the per-stage " +
+			"same way (unbounded log, worst case; budget ≤ 5%); health_overhead_pct and " +
+			"health_inc_overhead_pct measure the health observatory (invariant auditors, stall " +
+			"heartbeats, accuracy sampling) the same way over Deduce and the incremental drain " +
+			"(budget ≤ 5%); stage_histograms are the per-stage " +
 			"latency distributions of the telemetry-enabled pass. The plan=off|on arms A/B the " +
 			"compiled predicate plans against the rule interpreter (Options.InterpretRules); " +
 			"plan_attribution pairs the two modes' per-rule enumeration time from back-to-back " +
@@ -978,7 +1071,8 @@ func main() {
 	// reports the conjunction over all passes.
 	best := map[string]entry{}
 	var order []string
-	var pairSamples [][3]int64
+	var pairSamples [][4]int64
+	var incHealthSamples [][2]int64
 	for r := 0; r < *repeat; r++ {
 		if *repeat > 1 {
 			logg.Infof("--- pass %d/%d ---", r+1, *repeat)
@@ -1001,9 +1095,12 @@ func main() {
 			}
 		}
 		pairSamples = append(pairSamples, p.pairSamples...)
+		incHealthSamples = append(incHealthSamples, p.incHealthSamples...)
 	}
 	rep.TelemetryOverheadPct = medianOverheadPct(pairSamples, 1)
 	rep.ProvenanceOverheadPct = medianOverheadPct(pairSamples, 2)
+	rep.HealthOverheadPct = medianOverheadPct(pairSamples, 3)
+	rep.HealthIncOverheadPct = medianPairPct(incHealthSamples)
 	rep.ClassesIdentical = true // runPass fatals on any divergence
 	for _, name := range order {
 		rep.Benchmarks = append(rep.Benchmarks, best[name])
@@ -1054,6 +1151,8 @@ func main() {
 		rep.TelemetryOverheadPct)
 	fmt.Printf("provenance overhead: %+.2f%% (Deduce with an unbounded justification log vs the same arm; budget ≤ 5%%)\n",
 		rep.ProvenanceOverheadPct)
+	fmt.Printf("health overhead: %+.2f%% Deduce, %+.2f%% IncDeduce (auditors + heartbeats + accuracy sampling vs paired health-off arms; budget ≤ 5%%)\n",
+		rep.HealthOverheadPct, rep.HealthIncOverheadPct)
 	printMemTable(rep)
 	printAttribution(rep)
 	printPlanAttribution(rep)
@@ -1113,22 +1212,40 @@ func fmtBytes(b int64) string {
 	return fmt.Sprintf("%dB", b)
 }
 
-// medianOverheadPct reduces the interleaved overhead triples to one
-// number: per triple, the ratio of the given arm (1 = telemetry,
-// 2 = provenance) to the uninstrumented base it ran back to back with,
-// then the median ratio across every triple of every pass, as a
-// percentage over 100%. The three chases of a triple see the same
-// external load, so the ratio cancels host drift; the median discards
-// the triples a load spike corrupted, which on this host class would
-// move even a least-loaded-pass sum by several percent — above the
-// instrumentation cost being measured.
-func medianOverheadPct(samples [][3]int64, arm int) float64 {
+// medianOverheadPct reduces the interleaved overhead quads to one
+// number: per quad, the ratio of the given arm (1 = telemetry,
+// 2 = provenance, 3 = health) to the uninstrumented base it ran back to
+// back with, then the median ratio across every quad of every pass, as a
+// percentage over 100%. The chases of a quad see the same external load,
+// so the ratio cancels host drift; the median discards the quads a load
+// spike corrupted, which on this host class would move even a
+// least-loaded-pass sum by several percent — above the instrumentation
+// cost being measured.
+func medianOverheadPct(samples [][4]int64, arm int) float64 {
 	ratios := make([]float64, 0, len(samples))
 	for _, s := range samples {
 		if s[0] > 0 {
 			ratios = append(ratios, float64(s[arm])/float64(s[0]))
 		}
 	}
+	return medianRatioPct(ratios)
+}
+
+// medianPairPct is the same reduction for the two-arm IncDeduce health
+// pairs: median over the per-pair on/off ratios, as a percentage.
+func medianPairPct(samples [][2]int64) float64 {
+	ratios := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if s[0] > 0 {
+			ratios = append(ratios, float64(s[1])/float64(s[0]))
+		}
+	}
+	return medianRatioPct(ratios)
+}
+
+// medianRatioPct renders the median of instrumented/base ratios as a
+// percentage over 100% (empty input = 0).
+func medianRatioPct(ratios []float64) float64 {
 	if len(ratios) == 0 {
 		return 0
 	}

@@ -5,12 +5,16 @@
 //
 //	dmatch -data ./data -rules rules.mrl [-workers 8] [-v]
 //	       [-out matches.csv] [-explain "Rel:id1,Rel:id2"]
-//	       [-telemetry :9090] [-traceout trace.json] [-timeline] [-log debug]
+//	       [-telemetry :9090] [-traceout trace.json] [-health dir]
+//	       [-timeline] [-log debug]
 //
 // With -telemetry the run serves live Prometheus-style metrics at
 // /metrics, the trace ring and BSP timeline as JSON at /debug/dcer, the
-// causal trace as Chrome trace-event JSON at /debug/trace, and the
-// standard pprof handlers. With -traceout the causal trace (supersteps,
+// causal trace as Chrome trace-event JSON at /debug/trace, the health
+// report at /debug/health, and the standard pprof handlers. With -health
+// the engines run under the health observatory — invariant auditors,
+// stall watchdog writing flight-recorder bundles under the given
+// directory — inspectable live with cmd/doctor. With -traceout the causal trace (supersteps,
 // per-worker Deduce lanes, routing, drain rounds) is written to the
 // given file on exit — load it in Perfetto (https://ui.perfetto.dev) or
 // chrome://tracing. -timeline prints the superstep Gantt chart of a
@@ -110,6 +114,7 @@ func main() {
 			ShareIndexes: true,
 			Metrics:      obs.Registry(),
 			Log:          logg,
+			Health:       obs.Health(),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -126,6 +131,7 @@ func main() {
 			Workers: *workers,
 			Metrics: obs.Registry(),
 			Log:     logg,
+			Health:  obs.Health(),
 		})
 		if err != nil {
 			log.Fatal(err)

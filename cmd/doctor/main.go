@@ -1,0 +1,100 @@
+// Command doctor answers "is my engine healthy, and is it still
+// accurate?": it scrapes the /debug/health endpoint of a live dcer
+// process (one started with -telemetry and -health) or reads a
+// flight-recorder bundle written by the stall watchdog, and prints a
+// human-readable pass/warn/fail diagnosis.
+//
+// Usage:
+//
+//	doctor -addr 127.0.0.1:9090          # scrape a live process
+//	doctor -bundle dcer-health/bundle-1-… # read a captured bundle
+//
+// The exit status is 0 when every check passes (warnings allowed), 1 when
+// any check fails, has recorded violations, or no monitor is attached,
+// and 2 on usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"dcer/internal/health"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("doctor: ")
+	addr := flag.String("addr", "", "address of a live process's telemetry endpoint (host:port)")
+	bundle := flag.String("bundle", "", "path of a flight-recorder bundle directory")
+	timeout := flag.Duration("timeout", 10*time.Second, "scrape timeout for -addr")
+	flag.Parse()
+	if (*addr == "") == (*bundle == "") {
+		fmt.Fprintln(os.Stderr, "doctor: exactly one of -addr or -bundle is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var rep health.Report
+	switch {
+	case *addr != "":
+		r, err := scrape(*addr, *timeout)
+		if err != nil {
+			log.Printf("%v", err)
+			os.Exit(2)
+		}
+		rep = r
+		fmt.Printf("health report scraped from %s\n", *addr)
+	default:
+		b, err := health.LoadBundle(*bundle)
+		if err != nil {
+			log.Printf("%v", err)
+			os.Exit(2)
+		}
+		rep = b.Report
+		fmt.Printf("flight-recorder bundle %s (reason: %s, captured %s)\n",
+			b.Dir, b.Manifest.Reason, time.Unix(0, b.Manifest.CapturedNs).UTC().Format(time.RFC3339))
+		for _, miss := range b.Missing {
+			fmt.Printf("WARN bundle incomplete: missing %s\n", miss)
+		}
+	}
+
+	d := health.Diagnose(rep)
+	fmt.Println(d.String())
+	switch {
+	case d.Failures > 0:
+		fmt.Printf("UNHEALTHY: %d failure(s), %d warning(s)\n", d.Failures, d.Warnings)
+		os.Exit(1)
+	case d.Warnings > 0:
+		fmt.Printf("healthy with %d warning(s)\n", d.Warnings)
+	default:
+		fmt.Println("healthy")
+	}
+}
+
+// scrape fetches and decodes /debug/health from a live process.
+func scrape(addr string, timeout time.Duration) (health.Report, error) {
+	var rep health.Report
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/debug/health")
+	if err != nil {
+		return rep, fmt.Errorf("scraping %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return rep, fmt.Errorf("reading %s/debug/health: %w", addr, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("%s/debug/health: %s", addr, resp.Status)
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return rep, fmt.Errorf("parsing %s/debug/health: %w", addr, err)
+	}
+	return rep, nil
+}

@@ -209,6 +209,22 @@ func (s *DepStore) Evicted() int { return s.evicted }
 // MemBytes returns the store's estimated resident bytes.
 func (s *DepStore) MemBytes() int64 { return s.bytes }
 
+// auditBytes recomputes the per-entry byte estimate over up to max
+// resident dependencies (map order: arbitrary but unbiased) and returns
+// how many were sampled and their summed bytes. The health auditor
+// compares the sum against the incrementally maintained account — exact
+// equality when the sample covers the whole store.
+func (s *DepStore) auditBytes(max int) (sampled int, bytes int64) {
+	for _, d := range s.deps {
+		if sampled >= max {
+			break
+		}
+		sampled++
+		bytes += int64(depFixedBytes + cap(d.Body)*depLitBytes)
+	}
+	return sampled, bytes
+}
+
 // Add inserts a dependency unless it is a duplicate or the store is full.
 // It reports whether the dependency is stored (true also for duplicates).
 // The store copies the body into its own storage; the argument is not

@@ -63,6 +63,15 @@ func (e *Engine) drain() {
 		// joined, so plans may re-sort without a batch observing a
 		// mid-flight order change.
 		e.maybeResortPlans()
+		if e.health != nil {
+			// The same quiesced boundary serves the health layer: one
+			// heartbeat per round for the stall watchdog, and a periodic
+			// sampled audit of the engine's invariants.
+			e.health.hb.Beat()
+			if round > 0 && round%healthAuditEvery == 0 {
+				e.auditHealth()
+			}
+		}
 		// Lines 2-3 of IncDeduce: fire satisfied dependencies.
 		fired := e.H.Fire(e.satisfied)
 		for i := range fired {
@@ -93,6 +102,12 @@ func (e *Engine) drain() {
 		}
 		rsp.End()
 		if !progressed {
+			if e.health != nil {
+				// Fixpoint reached: audit unconditionally, so every
+				// deduction ends with a fresh invariant pass even when it
+				// took fewer than healthAuditEvery rounds.
+				e.auditHealth()
+			}
 			e.curTC = outer
 			return
 		}

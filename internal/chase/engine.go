@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"dcer/internal/health"
 	"dcer/internal/mlpred"
 	"dcer/internal/provenance"
 	"dcer/internal/relation"
@@ -101,6 +102,13 @@ type Options struct {
 	// budget + evictions, drain mode). nil disables emission; the
 	// disabled cost is one level comparison per round.
 	Log *telemetry.Logger
+	// Health attaches the engine to a health monitor: a drain heartbeat
+	// for the stall watchdog plus sampled invariant auditors (union-find
+	// chains, Γ/provenance consistency, H byte accounting, plan order)
+	// run at quiesced round boundaries, and — when the monitor carries
+	// ground truth — the live accuracy observatory. nil disables the
+	// layer; the disabled cost is one branch per drain round.
+	Health *health.Monitor
 	// MemBudgetBytes caps the engine's accounted memory: the dataset's
 	// arenas, the Γ fact log, and the dependency store H. When the live
 	// estimate exceeds the budget the engine spills H oldest-first
@@ -280,6 +288,9 @@ type Engine struct {
 
 	gamma Gamma
 	cnt   engineCounters
+	// health is the engine's health-observatory wiring (Options.Health);
+	// nil disables auditors and heartbeats at one branch per drain round.
+	health *engineHealth
 	// tel is the engine's telemetry wiring; nil when Options.Metrics is
 	// unset (every instrumented site nil-checks before reading the clock).
 	tel *chaseMetrics
@@ -364,6 +375,7 @@ func NewScoped(d *relation.Dataset, rules []*rule.Rule, scopes []*relation.Datas
 		e.initMetrics(opts.Metrics, opts.MetricsLabels)
 	}
 	e.log = opts.Log
+	e.initHealth(opts.Health)
 	e.tc = opts.Trace
 	if !e.tc.Enabled() && opts.Metrics != nil {
 		e.tc = opts.Metrics.Tracer().NewTrace(telemetry.PIDChase, 0)
@@ -753,6 +765,10 @@ func (e *Engine) flushCtxCounters(c *evalCtx) {
 func (e *Engine) Deduce() []Fact {
 	sp := e.startRoot("chase.Deduce")
 	defer e.endRoot(sp)
+	if h := e.health; h != nil {
+		h.hb.Enter()
+		defer h.hb.Exit()
+	}
 	e.delta = e.delta[:0]
 	e.maybeResortPlans() // quiesced: no enumeration in flight between calls
 	if e.opts.SequentialDeduce || len(e.rules) <= 1 {
@@ -824,6 +840,10 @@ func (e *Engine) deduceConcurrent() {
 func (e *Engine) IncDeduce(external []Fact) []Fact {
 	sp := e.startRoot("chase.IncDeduce")
 	defer e.endRoot(sp)
+	if h := e.health; h != nil {
+		h.hb.Enter()
+		defer h.hb.Exit()
+	}
 	e.delta = e.delta[:0]
 	// Externally supplied facts carry their derivation on the worker that
 	// deduced them; here they are recorded as arrivals, which the merged

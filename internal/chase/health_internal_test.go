@@ -1,0 +1,165 @@
+package chase
+
+// Internal health drills: these tests reach into the engine to plant
+// corruption (a union-find parent cycle, a malformed Γ fact) or force a
+// genuine drain stall, and assert the observatory catches each one.
+
+import (
+	"testing"
+	"time"
+
+	"dcer/internal/datagen"
+	"dcer/internal/health"
+	"dcer/internal/mlpred"
+)
+
+// paperEngine builds a paper-example engine attached to a fresh monitor
+// whose sample size covers every id, so planted corruption is always
+// sampled.
+func paperEngine(t *testing.T, mon *health.Monitor) *Engine {
+	t.Helper()
+	d, _ := datagen.PaperExample()
+	rules, err := datagen.PaperRules(d.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(d, rules, mlpred.DefaultRegistry(), Options{ShareIndexes: true, Health: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestAuditorsPassOnHealthyRun(t *testing.T) {
+	mon := health.NewMonitor(health.Options{DiagnosisDir: t.TempDir(), SampleSize: 1 << 20, Seed: 1})
+	defer mon.Stop()
+	eng := paperEngine(t, mon)
+	eng.Deduce()
+	for _, name := range []string{"unionfind_roots", "gamma_provenance", "depstore_bytes", "plan_order"} {
+		c := mon.Check(name)
+		if c.Status() != health.StatusPass || c.Violations() != 0 {
+			t.Errorf("check %s after a healthy Deduce: status %v, %d violation(s): %s",
+				name, c.Status(), c.Violations(), c.Detail())
+		}
+	}
+	if d := health.Diagnose(mon.Report()); !d.Healthy() {
+		t.Errorf("healthy run diagnosed unhealthy:\n%s", d)
+	}
+}
+
+// TestAuditorDetectsUnionFindCorruption plants a parent cycle in E_id
+// after a clean run and asserts the auditor flips unionfind_roots to fail
+// — the forced-corruption drill of the acceptance criteria.
+func TestAuditorDetectsUnionFindCorruption(t *testing.T) {
+	mon := health.NewMonitor(health.Options{DiagnosisDir: t.TempDir(), SampleSize: 1 << 20, Seed: 1})
+	defer mon.Stop()
+	eng := paperEngine(t, mon)
+	eng.Deduce()
+
+	eng.uf.SetParent(0, 1)
+	eng.uf.SetParent(1, 0)
+	eng.auditHealth()
+
+	c := mon.Check("unionfind_roots")
+	if c.Status() != health.StatusFail || c.Violations() == 0 {
+		t.Fatalf("planted parent cycle not detected: status %v, %d violation(s)", c.Status(), c.Violations())
+	}
+	if d := health.Diagnose(mon.Report()); d.Healthy() {
+		t.Fatal("diagnosis of a corrupted union-find reports healthy (cmd/doctor would exit 0)")
+	}
+}
+
+// TestAuditorDetectsMalformedGamma appends a non-canonical match fact to
+// Γ and asserts the gamma auditor rejects it.
+func TestAuditorDetectsMalformedGamma(t *testing.T) {
+	mon := health.NewMonitor(health.Options{DiagnosisDir: t.TempDir(), SampleSize: 1 << 20, Seed: 1})
+	defer mon.Stop()
+	eng := paperEngine(t, mon)
+	eng.Deduce()
+
+	// A > B breaks the canonical symmetric pair form MatchFact maintains.
+	eng.gamma.Matches = append(eng.gamma.Matches, Fact{Kind: FactMatch, A: 5, B: 3})
+	eng.auditHealth()
+
+	c := mon.Check("gamma_provenance")
+	if c.Status() != health.StatusFail || c.Violations() == 0 {
+		t.Fatalf("malformed Γ fact not detected: status %v, %d violation(s)", c.Status(), c.Violations())
+	}
+}
+
+// TestDrainStallCapturesBundle forces a genuine deduction stall — the
+// paper-example chase with jaccard05 slowed to 40ms per call (4x the
+// clamped-minimum watchdog deadline) — and asserts the whole stall
+// pipeline: the stall is counted, a complete flight-recorder bundle is
+// written and loads back, and the diagnosis fails (so cmd/doctor exits
+// nonzero on it).
+func TestDrainStallCapturesBundle(t *testing.T) {
+	d, _ := datagen.PaperExample()
+	rules, err := datagen.PaperRules(d.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mlpred.DefaultRegistry()
+	reg.Register(&mlpred.SimClassifier{
+		ClassifierName: "jaccard05",
+		Metric: func(a, b string) float64 {
+			time.Sleep(40 * time.Millisecond)
+			return mlpred.Jaccard(a, b)
+		},
+		Threshold: 0.5,
+	})
+
+	dir := t.TempDir()
+	mon := health.NewMonitor(health.Options{
+		DiagnosisDir:  dir,
+		StallDeadline: health.MinStallDeadline,
+	})
+	mon.Start()
+	defer mon.Stop()
+
+	eng, err := New(d, rules, reg, Options{ShareIndexes: true, Health: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Deduce()
+	mon.Stop()
+
+	rep := mon.Report()
+	if rep.Stalls == 0 {
+		t.Fatal("slowed chase ran past the deadline but no stall was recorded")
+	}
+	if rep.LastBundle == "" {
+		t.Fatal("stall recorded but no flight-recorder bundle captured")
+	}
+	b, err := health.LoadBundle(rep.LastBundle)
+	if err != nil {
+		t.Fatalf("LoadBundle(%s): %v", rep.LastBundle, err)
+	}
+	if len(b.Missing) != 0 {
+		t.Fatalf("stall bundle incomplete, missing %v", b.Missing)
+	}
+	if b.Manifest.Reason != "stall:chase_drain" {
+		t.Errorf("bundle reason = %q, want stall:chase_drain", b.Manifest.Reason)
+	}
+	if diag := health.Diagnose(rep); diag.Healthy() {
+		t.Fatal("diagnosis of a stalled run reports healthy (cmd/doctor would exit 0)")
+	}
+}
+
+// TestHealthDisabledIsInert: with Options.Health nil the engine must run
+// exactly as before — no health state, no checks, identical classes.
+func TestHealthDisabledIsInert(t *testing.T) {
+	d, _ := datagen.PaperExample()
+	rules, err := datagen.PaperRules(d.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(d, rules, mlpred.DefaultRegistry(), Options{ShareIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.health != nil {
+		t.Fatal("nil Options.Health still initialized engine health state")
+	}
+	eng.Deduce()
+}

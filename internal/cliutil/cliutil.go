@@ -1,44 +1,54 @@
 // Package cliutil carries the observability wiring shared by the dcer
 // command-line binaries: the opt-in -telemetry exposition endpoint, the
-// -traceout Chrome trace export, and the leveled progress logger
-// (DCER_LOG / -log).
+// -traceout Chrome trace export, the -health monitor with its stall
+// watchdog, and the leveled progress logger (DCER_LOG / -log).
 package cliutil
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"dcer/internal/health"
 	"dcer/internal/telemetry"
 )
 
 // Flags holds the shared observability flags; call Register before
 // flag.Parse and Init after.
 type Flags struct {
-	addr     *string
-	level    *string
-	traceout *string
-	on       bool
+	addr      *string
+	level     *string
+	traceout  *string
+	healthDir *string
+	stallDl   *time.Duration
+	on        bool
+	mon       *health.Monitor
 }
 
-// Register installs -telemetry, -traceout and -log on the default flag
-// set.
+// Register installs -telemetry, -traceout, -health, -stalldeadline and
+// -log on the default flag set.
 func Register() *Flags {
 	return &Flags{
 		addr: flag.String("telemetry", "",
-			"serve /metrics, /debug/dcer, /debug/trace and pprof on this address (empty = disabled; :0 picks a port)"),
+			"serve /metrics, /debug/dcer, /debug/trace, /debug/health and pprof on this address (empty = disabled; :0 picks a port)"),
 		traceout: flag.String("traceout", "",
 			"write the run's causal trace as Chrome trace-event JSON to this file on exit (load in Perfetto or chrome://tracing)"),
+		healthDir: flag.String("health", "",
+			"enable the health monitor (invariant auditors, stall watchdog, /debug/health) writing flight-recorder bundles under this directory (empty = disabled)"),
+		stallDl: flag.Duration("stalldeadline", 0,
+			"stall-watchdog deadline for -health (0 = the generous default; small values clamp up)"),
 		level: flag.String("log", "",
 			"log level: debug, info, warn, error, off (default $DCER_LOG, else info)"),
 	}
 }
 
 // Init resolves the flags after flag.Parse: it builds the binary's stderr
-// logger and, when -telemetry was given, starts the exposition server over
-// telemetry.Default. When -traceout was given the returned stop function
-// writes the retained span ring as Chrome trace-event JSON to the file;
-// it is safe to defer either way.
+// logger, when -telemetry was given starts the exposition server over
+// telemetry.Default, and when -health was given starts a health monitor
+// (with its stall watchdog) over the same registry. When -traceout was
+// given the returned stop function writes the retained span ring as
+// Chrome trace-event JSON to the file; it is safe to defer either way.
 func (f *Flags) Init(prefix string) (*telemetry.Logger, func(), error) {
 	lvl := telemetry.LogLevelFromEnv()
 	if *f.level != "" {
@@ -55,7 +65,7 @@ func (f *Flags) Init(prefix string) (*telemetry.Logger, func(), error) {
 			return nil, nil, err
 		}
 		f.on = true
-		logg.Infof("telemetry: http://%s/metrics (also /debug/dcer, /debug/trace, /debug/pprof/)", srv.Addr)
+		logg.Infof("telemetry: http://%s/metrics (also /debug/dcer, /debug/trace, /debug/health, /debug/pprof/)", srv.Addr)
 		stopServe = func() { srv.Close() }
 	}
 	if *f.traceout != "" {
@@ -64,6 +74,20 @@ func (f *Flags) Init(prefix string) (*telemetry.Logger, func(), error) {
 		// records spans (it just doesn't serve them).
 		f.on = true
 	}
+	if *f.healthDir != "" {
+		// The monitor rides telemetry.Default so /debug/health and the
+		// dcer_health_* series appear wherever -telemetry serves, and
+		// engines attach it via Health().
+		f.on = true
+		f.mon = health.NewMonitor(health.Options{
+			Registry:      telemetry.Default,
+			Log:           logg,
+			DiagnosisDir:  *f.healthDir,
+			StallDeadline: *f.stallDl,
+		})
+		f.mon.Start()
+		logg.Infof("health: monitor on, flight-recorder bundles under %s", *f.healthDir)
+	}
 	stop := func() {
 		if *f.traceout != "" {
 			if err := writeTrace(*f.traceout); err != nil {
@@ -71,6 +95,9 @@ func (f *Flags) Init(prefix string) (*telemetry.Logger, func(), error) {
 			} else {
 				logg.Infof("traceout: wrote %s", *f.traceout)
 			}
+		}
+		if f.mon != nil {
+			f.mon.Stop()
 		}
 		stopServe()
 	}
@@ -94,11 +121,17 @@ func writeTrace(path string) error {
 }
 
 // Registry returns the registry engines should publish to:
-// telemetry.Default when -telemetry or -traceout is live, nil (all
-// instruments no-op) otherwise.
+// telemetry.Default when -telemetry, -traceout or -health is live, nil
+// (all instruments no-op) otherwise.
 func (f *Flags) Registry() *telemetry.Registry {
 	if f.on {
 		return telemetry.Default
 	}
 	return nil
+}
+
+// Health returns the monitor engines should attach to: the -health
+// monitor when the flag is live, nil (the disabled mode) otherwise.
+func (f *Flags) Health() *health.Monitor {
+	return f.mon
 }

@@ -32,6 +32,7 @@ import (
 
 	"dcer/internal/chase"
 	"dcer/internal/fnv"
+	"dcer/internal/health"
 	"dcer/internal/hypart"
 	"dcer/internal/mlpred"
 	"dcer/internal/provenance"
@@ -118,6 +119,15 @@ type Options struct {
 	// rebalance and knob state) plus the per-round lines of every worker
 	// engine.
 	Log *telemetry.Logger
+	// Health attaches the run to a health monitor: a superstep heartbeat
+	// for the stall watchdog, a sampled auditor over the master's global
+	// union-find (run in the sequential route phase, where it is
+	// quiescent), and the same monitor threaded into every worker engine
+	// (see chase.Options.Health). When the monitor carries ground truth,
+	// the master feeds the accuracy observatory from the globally folded
+	// matches — the authoritative estimate, since workers only see their
+	// fragments. nil disables the layer.
+	Health *health.Monitor
 	// Provenance enables justification capture: every worker engine
 	// records its derivations into a per-worker log stamped with the
 	// worker id and the current superstep, and the logs are stitched into
@@ -346,6 +356,7 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			MetricsLabels:      []telemetry.Label{telemetry.L("worker", strconv.Itoa(i))},
 			Trace:              rtc.Lane(telemetry.PIDDMatch, int32(i+1)),
 			Log:                opts.Log,
+			Health:             opts.Health,
 		}
 		if provLogs != nil {
 			copts.Provenance = provLogs[i]
@@ -522,7 +533,21 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 
 	msgsIn := make([]int, n)
 	factsOut := make([]int, n)
+	// Health wiring: the superstep heartbeat brackets the whole BSP loop,
+	// and the master's sequential route phase audits the global
+	// union-find and feeds the accuracy observatory (nil-safe no-ops when
+	// no monitor is attached).
+	var dhb *health.Heartbeat
+	var gufCheck *health.Check
+	if opts.Health != nil {
+		dhb = opts.Health.Heartbeat("dmatch_superstep")
+		gufCheck = opts.Health.Check("global_unionfind")
+		dhb.Enter()
+		defer dhb.Exit()
+	}
+	accSeen := 0
 	for step := 0; step < maxSteps; step++ {
+		dhb.Beat()
 		var ssp telemetry.Span
 		stc := rtc
 		if rtc.Enabled() {
@@ -613,6 +638,20 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 					}
 					routes = append(routes, factRoute{f: f, from: w, off: off})
 				}
+			}
+		}
+		if opts.Health != nil {
+			// Still in the sequential master phase: guf is quiescent, so
+			// the sampled chain audit needs no locks; Find's path
+			// compression is the master's own mutation, as in the fold.
+			sample := health.SampleIDs(guf.Len(), opts.Health.SampleSize(), opts.Health.Seed()+int64(step))
+			if err := health.AuditUnionFind(guf, sample); err != nil {
+				gufCheck.Fail(len(sample), "superstep %d: %v", step, err)
+			} else {
+				gufCheck.Pass(len(sample))
+			}
+			if acc := opts.Health.Accuracy(); acc != nil {
+				accSeen = observeMasterAccuracy(acc, res.Matches, accSeen, provLogs, guf)
 			}
 		}
 		// Master, phase 2 (parallel): per-destination inbox builders.

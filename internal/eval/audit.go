@@ -2,7 +2,6 @@ package eval
 
 import (
 	"math/rand"
-	"sort"
 
 	"dcer/internal/relation"
 )
@@ -61,33 +60,12 @@ func Audit(classes [][]relation.TID, truth *Truth, n int, seed int64,
 			fps = append(fps, p)
 		}
 	}
-	byPair := func(ps [][2]relation.TID) {
-		sort.Slice(ps, func(i, j int) bool {
-			if ps[i][0] != ps[j][0] {
-				return ps[i][0] < ps[j][0]
-			}
-			return ps[i][1] < ps[j][1]
-		})
-	}
-	sample := func(ps [][2]relation.TID, k int, rng *rand.Rand) [][2]relation.TID {
-		if k <= 0 {
-			return nil
-		}
-		if k >= len(ps) {
-			byPair(ps)
-			return ps
-		}
-		rng.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
-		ps = ps[:k]
-		byPair(ps)
-		return ps
-	}
 	if n <= 0 {
 		n = len(pred)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	fps = sample(fps, n, rng)
-	tps = sample(tps, n-len(fps), rng)
+	fps = samplePairs(fps, n, rng)
+	tps = samplePairs(tps, n-len(fps), rng)
 	emit := func(ps [][2]relation.TID, tp bool) {
 		for _, p := range ps {
 			e := AuditEntry{Pair: p, TruePositive: tp}

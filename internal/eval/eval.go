@@ -4,6 +4,8 @@ package eval
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 
 	"dcer/internal/relation"
 )
@@ -34,6 +36,56 @@ func (t *Truth) Len() int { return len(t.pairs) }
 
 // Has reports whether (a, b) is a true duplicate pair.
 func (t *Truth) Has(a, b relation.TID) bool { return t.pairs[canonical(a, b)] }
+
+// Pairs returns every ground-truth pair in canonical order, sorted by
+// (first, second) id so the result is deterministic despite the map.
+func (t *Truth) Pairs() [][2]relation.TID {
+	ps := make([][2]relation.TID, 0, len(t.pairs))
+	for p := range t.pairs {
+		ps = append(ps, p)
+	}
+	sortPairs(ps)
+	return ps
+}
+
+// Sample returns a deterministic sample of up to n ground-truth pairs for
+// the given seed, sorted by pair id. n <= 0 or n >= Len returns every
+// pair. The health observatory's recall probes and eval.Audit share this
+// sampler, so "the sampled truth subset" means the same thing in both.
+func (t *Truth) Sample(n int, seed int64) [][2]relation.TID {
+	ps := t.Pairs()
+	if n <= 0 || n >= len(ps) {
+		return ps
+	}
+	return samplePairs(ps, n, rand.New(rand.NewSource(seed)))
+}
+
+// sortPairs orders pairs by (first, second) id.
+func sortPairs(ps [][2]relation.TID) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}
+
+// samplePairs picks k pairs from ps uniformly via rng (destructively
+// shuffling ps) and returns them sorted by pair id; k >= len(ps) returns
+// all of ps sorted, k <= 0 none.
+func samplePairs(ps [][2]relation.TID, k int, rng *rand.Rand) [][2]relation.TID {
+	if k <= 0 {
+		return nil
+	}
+	if k >= len(ps) {
+		sortPairs(ps)
+		return ps
+	}
+	rng.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+	ps = ps[:k]
+	sortPairs(ps)
+	return ps
+}
 
 // Metrics is the accuracy result of one matcher run.
 type Metrics struct {

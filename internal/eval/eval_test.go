@@ -16,6 +16,51 @@ func pairs(ps ...[2]int) [][2]relation.TID {
 	return out
 }
 
+// TestTruthSample: the sampler shared by eval.Audit and the health
+// observatory's recall probe — deterministic per seed, bounded, sorted,
+// and degenerating to every pair when the bound doesn't bind.
+func TestTruthSample(t *testing.T) {
+	var ps [][2]relation.TID
+	for i := 0; i < 100; i += 2 {
+		ps = append(ps, [2]relation.TID{relation.TID(i), relation.TID(i + 1)})
+	}
+	truth := eval.NewTruth(ps)
+
+	for _, n := range []int{0, -3, 50, 60} {
+		got := truth.Sample(n, 1)
+		if len(got) != truth.Len() {
+			t.Fatalf("Sample(%d) returned %d pairs, want all %d", n, len(got), truth.Len())
+		}
+	}
+
+	a := truth.Sample(10, 7)
+	b := truth.Sample(10, 7)
+	if len(a) != 10 {
+		t.Fatalf("bounded sample has %d pairs, want 10", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different samples")
+		}
+		if i > 0 && !(a[i-1][0] < a[i][0]) {
+			t.Fatalf("sample not sorted by pair id: %v", a)
+		}
+		if !truth.Has(a[i][0], a[i][1]) {
+			t.Fatalf("sampled pair %v not in the truth", a[i])
+		}
+	}
+	c := truth.Sample(10, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical samples")
+	}
+}
+
 func TestEvaluatePairs(t *testing.T) {
 	truth := eval.NewTruth(pairs([2]int{1, 2}, [2]int{3, 4}))
 	if truth.Len() != 2 || !truth.Has(2, 1) || truth.Has(1, 3) {

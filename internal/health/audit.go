@@ -1,0 +1,64 @@
+package health
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// UFView is the read-only slice of a union-find forest the auditors need:
+// the id-space size and raw parent links (no path compression, no
+// mutation). *unionfind.UnionFind satisfies it.
+type UFView interface {
+	Len() int
+	Parent(x int) int
+}
+
+// SampleIDs returns k ids drawn uniformly (with replacement) from [0, n),
+// deterministic for a given seed. k >= n returns every id instead.
+func SampleIDs(n, k int, seed int64) []int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	if k >= n {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]int, k)
+	for i := range ids {
+		ids[i] = rng.Intn(n)
+	}
+	return ids
+}
+
+// AuditUnionFind walks the parent chain of every sampled id and returns
+// the first violation found: a parent link outside [0, Len) or a chain
+// longer than the id space (a cycle — no rooted forest has one). Nil
+// means the sampled subset is canonical: every chain ends at a
+// self-parented root.
+func AuditUnionFind(u UFView, sample []int) error {
+	n := u.Len()
+	for _, x := range sample {
+		if x < 0 || x >= n {
+			continue
+		}
+		steps := 0
+		for y := x; ; {
+			p := u.Parent(y)
+			if p < 0 || p >= n {
+				return fmt.Errorf("id %d: parent link %d out of range [0,%d)", y, p, n)
+			}
+			if p == y {
+				break // self-parented root: chain is canonical
+			}
+			y = p
+			if steps++; steps > n {
+				return fmt.Errorf("id %d: parent chain exceeds %d links (cycle)", x, n)
+			}
+		}
+	}
+	return nil
+}

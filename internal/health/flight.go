@@ -1,0 +1,151 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Bundle file names. A complete flight-recorder bundle holds all of them;
+// LoadBundle reports which are missing.
+const (
+	bundleManifest   = "manifest.json"
+	bundleGoroutines = "goroutines.txt"
+	bundleTrace      = "trace.json"
+	bundleMetrics    = "metrics.json"
+	bundleWideTail   = "widetail.jsonl"
+	bundleHealth     = "health.json"
+)
+
+// Manifest describes one captured bundle.
+type Manifest struct {
+	Reason     string   `json:"reason"`
+	CapturedNs int64    `json:"captured_ns"`
+	Files      []string `json:"files"`
+}
+
+// CaptureBundle writes a flight-recorder bundle — goroutine dump, trace
+// ring as Chrome trace-event JSON, wide-event tail, full metric snapshot,
+// and the health report itself — into a fresh subdirectory of the
+// diagnosis directory and returns its path. The watchdog calls this on
+// stall detection; operators can call it manually for an on-demand
+// snapshot.
+func (m *Monitor) CaptureBundle(reason string) (string, error) {
+	if m == nil {
+		return "", fmt.Errorf("health: nil monitor")
+	}
+	seq := m.bundleSeq.Add(1)
+	dir := filepath.Join(m.opts.DiagnosisDir, fmt.Sprintf("bundle-%d-%d", seq, time.Now().UnixNano()))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+
+	var files []string
+	write := func(name string, data []byte) error {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return err
+		}
+		files = append(files, name)
+		return nil
+	}
+
+	// Goroutine dump: the stack of every goroutine, the first thing a
+	// stall diagnosis reads.
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	if err := write(bundleGoroutines, buf); err != nil {
+		return "", err
+	}
+
+	// Trace ring as Perfetto-loadable Chrome trace JSON.
+	var trace strings.Builder
+	m.reg.Tracer().WriteChromeTrace(&trace)
+	if err := write(bundleTrace, []byte(trace.String())); err != nil {
+		return "", err
+	}
+
+	// Full registry snapshot.
+	metrics, err := json.MarshalIndent(m.reg.Snapshot(), "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := write(bundleMetrics, metrics); err != nil {
+		return "", err
+	}
+
+	// Wide-event tail, one JSON line per event, oldest first.
+	tail := strings.Join(m.tail.Lines(), "\n")
+	if tail != "" {
+		tail += "\n"
+	}
+	if err := write(bundleWideTail, []byte(tail)); err != nil {
+		return "", err
+	}
+
+	// The health report itself.
+	rep, err := json.MarshalIndent(m.Report(), "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := write(bundleHealth, rep); err != nil {
+		return "", err
+	}
+
+	man := Manifest{Reason: reason, CapturedNs: time.Now().UnixNano(), Files: files}
+	mb, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, bundleManifest), mb, 0o644); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// Bundle is a loaded flight-recorder bundle.
+type Bundle struct {
+	Dir      string
+	Manifest Manifest
+	Report   Report
+	// Missing lists expected files absent from the directory (empty for a
+	// complete bundle).
+	Missing []string
+}
+
+// LoadBundle reads a flight-recorder bundle written by CaptureBundle. It
+// fails on an unreadable manifest or health report; other files are only
+// checked for presence (their content is for humans and Perfetto).
+func LoadBundle(dir string) (*Bundle, error) {
+	b := &Bundle{Dir: dir}
+	mb, err := os.ReadFile(filepath.Join(dir, bundleManifest))
+	if err != nil {
+		return nil, fmt.Errorf("health: reading bundle manifest: %w", err)
+	}
+	if err := json.Unmarshal(mb, &b.Manifest); err != nil {
+		return nil, fmt.Errorf("health: parsing bundle manifest: %w", err)
+	}
+	hb, err := os.ReadFile(filepath.Join(dir, bundleHealth))
+	if err != nil {
+		return nil, fmt.Errorf("health: reading bundle health report: %w", err)
+	}
+	if err := json.Unmarshal(hb, &b.Report); err != nil {
+		return nil, fmt.Errorf("health: parsing bundle health report: %w", err)
+	}
+	for _, name := range []string{bundleGoroutines, bundleTrace, bundleMetrics, bundleWideTail} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			b.Missing = append(b.Missing, name)
+		}
+	}
+	return b, nil
+}

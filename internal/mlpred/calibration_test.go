@@ -1,0 +1,103 @@
+package mlpred_test
+
+import (
+	"testing"
+
+	"dcer/internal/mlpred"
+	"dcer/internal/relation"
+)
+
+// TestCalibrationObserve checks the histogram's binning contract: scores
+// land in their equal-width bucket, exactly 1.0 folds into the last
+// bucket, out-of-range scores are quarantined, and the positive count
+// follows the decisions — the shape the health observatory reads to spot
+// threshold drift.
+func TestCalibrationObserve(t *testing.T) {
+	c := mlpred.NewCalibration("unit", 0.5)
+	c.Observe(0.0, false) // bin 0
+	c.Observe(0.049, false)
+	c.Observe(0.51, true) // bin 10
+	c.Observe(1.0, true)  // folds into the last bin
+	c.Observe(-0.1, false)
+	c.Observe(1.5, true)
+
+	s := c.Snapshot()
+	if s.Classifier != "unit" || s.Threshold != 0.5 {
+		t.Fatalf("snapshot identity: %+v", s)
+	}
+	if s.Count != 6 || s.Positives != 3 {
+		t.Fatalf("count=%d positives=%d, want 6 and 3", s.Count, s.Positives)
+	}
+	if s.OutOfRange != 2 {
+		t.Fatalf("out_of_range=%d, want 2", s.OutOfRange)
+	}
+	if len(s.Bins) != mlpred.CalibBins {
+		t.Fatalf("%d bins, want %d", len(s.Bins), mlpred.CalibBins)
+	}
+	if s.Bins[0] != 2 {
+		t.Errorf("bin 0 = %d, want 2", s.Bins[0])
+	}
+	if s.Bins[10] != 1 {
+		t.Errorf("bin 10 = %d, want 1", s.Bins[10])
+	}
+	if s.Bins[mlpred.CalibBins-1] != 1 {
+		t.Errorf("last bin = %d, want 1 (score 1.0 folds in)", s.Bins[mlpred.CalibBins-1])
+	}
+	var binned int64
+	for _, b := range s.Bins {
+		binned += b
+	}
+	if binned+s.OutOfRange != s.Count {
+		t.Errorf("bins (%d) + out_of_range (%d) != count (%d)", binned, s.OutOfRange, s.Count)
+	}
+
+	// A nil calibration is inert, matching the disabled predict path.
+	var nilCal *mlpred.Calibration
+	nilCal.Observe(0.5, true)
+}
+
+// TestEnableCalibration: attaching instruments the scoring classifiers,
+// re-attaching keeps the existing histograms (so counts survive), and a
+// Predict through an instrumented classifier records its score.
+func TestEnableCalibration(t *testing.T) {
+	reg := mlpred.NewRegistry()
+	reg.Register(&mlpred.SimClassifier{
+		ClassifierName: "jacc",
+		Metric:         mlpred.Jaccard,
+		Threshold:      0.5,
+	})
+
+	cals := reg.EnableCalibration()
+	cal, ok := cals["jacc"]
+	if !ok || cal == nil {
+		t.Fatalf("EnableCalibration did not instrument jacc: %v", cals)
+	}
+	if cal.Threshold != 0.5 {
+		t.Errorf("calibration threshold = %v, want the classifier's 0.5", cal.Threshold)
+	}
+
+	// Idempotence: the same Calibration object survives a second call.
+	again := reg.EnableCalibration()
+	if again["jacc"] != cal {
+		t.Fatal("re-enabling replaced the attached calibration")
+	}
+
+	cl, err := reg.Get("jacc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := []relation.Value{relation.S("ibm corp")}
+	other := []relation.Value{relation.S("xyz")}
+	if !cl.Predict(same, same) {
+		t.Fatal("identical texts did not match")
+	}
+	cl.Predict(same, other)
+
+	s := cal.Snapshot()
+	if s.Count != 2 || s.Positives != 1 {
+		t.Fatalf("after 2 predicts: count=%d positives=%d, want 2 and 1", s.Count, s.Positives)
+	}
+	if s.Bins[mlpred.CalibBins-1] != 1 {
+		t.Errorf("perfect-match score not in the last bin: %v", s.Bins)
+	}
+}

@@ -58,6 +58,9 @@ type SimClassifier struct {
 	// nil, PredictFeatures falls back to Metric over the cached texts.
 	FeatureMetric func(a, b *Features) float64
 	Threshold     float64
+	// Calib, when set, records every raw score this classifier produces
+	// (see Calibration). Nil — the default — costs one branch per call.
+	Calib *Calibration
 }
 
 // Name implements Classifier.
@@ -65,7 +68,11 @@ func (c *SimClassifier) Name() string { return c.ClassifierName }
 
 // Predict implements Classifier.
 func (c *SimClassifier) Predict(left, right []relation.Value) bool {
-	return c.Metric(FlattenValues(left), FlattenValues(right)) >= c.Threshold
+	score := c.Score(left, right)
+	if c.Calib != nil {
+		c.Calib.Observe(score, score >= c.Threshold)
+	}
+	return score >= c.Threshold
 }
 
 // Score exposes the raw metric value, for baselines that rank candidates.
@@ -83,7 +90,11 @@ func (c *SimClassifier) ScoreFeatures(a, b *Features) float64 {
 
 // PredictFeatures implements FeatureClassifier.
 func (c *SimClassifier) PredictFeatures(a, b *Features) bool {
-	return c.ScoreFeatures(a, b) >= c.Threshold
+	score := c.ScoreFeatures(a, b)
+	if c.Calib != nil {
+		c.Calib.Observe(score, score >= c.Threshold)
+	}
+	return score >= c.Threshold
 }
 
 // Symmetric implements FeatureClassifier: similarity metrics are
@@ -95,21 +106,50 @@ func (c *SimClassifier) Symmetric() bool { return true }
 type LogisticClassifier struct {
 	ClassifierName string
 	Model          *LogisticModel
+	// Calib, when set, records the model's match probabilities (see
+	// Calibration). Nil — the default — costs one branch per call.
+	Calib *Calibration
 }
 
 // Name implements Classifier.
 func (c *LogisticClassifier) Name() string { return c.ClassifierName }
 
+// threshold resolves the model's decision threshold (0 means 0.5).
+func (c *LogisticClassifier) threshold() float64 {
+	if c.Model.Threshold == 0 {
+		return 0.5
+	}
+	return c.Model.Threshold
+}
+
+// Score returns the model's match probability for the pair.
+func (c *LogisticClassifier) Score(left, right []relation.Value) float64 {
+	return c.Model.Prob(PairFeatures(FlattenValues(left), FlattenValues(right)))
+}
+
+// ScoreFeatures is Score over precomputed feature bundles.
+func (c *LogisticClassifier) ScoreFeatures(a, b *Features) float64 {
+	return c.Model.Prob(PairFeaturesOf(a, b))
+}
+
 // Predict implements Classifier.
 func (c *LogisticClassifier) Predict(left, right []relation.Value) bool {
-	return c.Model.PredictPair(FlattenValues(left), FlattenValues(right))
+	score := c.Score(left, right)
+	if c.Calib != nil {
+		c.Calib.Observe(score, score >= c.threshold())
+	}
+	return score >= c.threshold()
 }
 
 // PredictFeatures implements FeatureClassifier: the similarity-feature
 // battery is computed from the precomputed bundles (token merges and dot
 // products) instead of re-deriving every feature from raw strings.
 func (c *LogisticClassifier) PredictFeatures(a, b *Features) bool {
-	return c.Model.PredictPairFeatures(a, b)
+	score := c.ScoreFeatures(a, b)
+	if c.Calib != nil {
+		c.Calib.Observe(score, score >= c.threshold())
+	}
+	return score >= c.threshold()
 }
 
 // Symmetric implements FeatureClassifier: every pair feature is symmetric

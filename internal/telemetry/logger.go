@@ -74,6 +74,78 @@ type Logger struct {
 	w      io.Writer
 	prefix string
 	level  atomic.Int32
+	tail   atomic.Pointer[WideTail]
+}
+
+// WideTail is a bounded ring of the most recent wide-event lines. The
+// flight-recorder bundles of the health watchdogs capture it so a stall
+// diagnosis carries the rounds leading up to the wedge, not just the
+// moment of capture. Safe for concurrent use.
+type WideTail struct {
+	mu    sync.Mutex
+	lines []string
+	next  int
+	total uint64
+}
+
+// DefaultWideTailCap is the default retention of a wide-event tail.
+const DefaultWideTailCap = 256
+
+// NewWideTail creates a tail retaining the newest n lines (n < 1 means
+// DefaultWideTailCap).
+func NewWideTail(n int) *WideTail {
+	if n < 1 {
+		n = DefaultWideTailCap
+	}
+	return &WideTail{lines: make([]string, 0, n)}
+}
+
+func (t *WideTail) add(line string) {
+	t.mu.Lock()
+	if len(t.lines) < cap(t.lines) {
+		t.lines = append(t.lines, line)
+	} else {
+		t.lines[t.next] = line
+	}
+	t.next = (t.next + 1) % cap(t.lines)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Lines returns the retained wide-event lines, oldest first.
+func (t *WideTail) Lines() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.lines))
+	if len(t.lines) < cap(t.lines) {
+		return append(out, t.lines...)
+	}
+	out = append(out, t.lines[t.next:]...)
+	return append(out, t.lines[:t.next]...)
+}
+
+// Total returns the number of lines ever recorded (including overwritten
+// ones).
+func (t *WideTail) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// AttachWideTail tees every wide event the logger emits into t (in
+// addition to the writer). Detach with nil. The disabled cost on the
+// Wide path is one atomic pointer load.
+func (l *Logger) AttachWideTail(t *WideTail) {
+	if l == nil {
+		return
+	}
+	l.tail.Store(t)
 }
 
 // NewLogger creates a logger writing to w at the given level. prefix
@@ -151,6 +223,9 @@ func (l *Logger) Wide(level LogLevel, event string, fields ...F) {
 		b = appendJSON(b, f.V)
 	}
 	b = append(b, '}', '\n')
+	if t := l.tail.Load(); t != nil {
+		t.add(string(b[:len(b)-1]))
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.w.Write(b)

@@ -22,13 +22,18 @@ type Server struct {
 // (host:port; port 0 picks an ephemeral port) and returns immediately:
 //
 //	/metrics        Prometheus-style text exposition
-//	/debug/dcer     JSON: metric snapshot, trace ring, debug providers
+//	/debug/dcer     JSON: metric snapshot, trace ring, debug providers,
+//	                endpoint index
 //	/debug/trace    Chrome trace-event JSON (Perfetto-loadable)
+//	/debug/health   JSON health report from the attached monitor
+//	                (SetHealth); {"attached": false} when none
 //	/debug/pprof/…  the standard net/http/pprof handlers
 //
-// The server runs until Close. Metrics are read live, so scraping during
-// a run observes the engines mid-flight (the per-superstep skew series of
-// a DMatch run, the drain histograms of a long chase).
+// Every endpoint owned here sets an explicit Content-Type (the pprof
+// handlers set their own internally). The server runs until Close.
+// Metrics are read live, so scraping during a run observes the engines
+// mid-flight (the per-superstep skew series of a DMatch run, the drain
+// histograms of a long chase).
 func Serve(addr string, reg *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -42,13 +47,15 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/dcer", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		doc := struct {
-			Metrics []SeriesSnapshot `json:"metrics"`
-			Spans   []SpanRecord     `json:"spans"`
-			Debug   map[string]any   `json:"debug,omitempty"`
+			Endpoints []string         `json:"endpoints"`
+			Metrics   []SeriesSnapshot `json:"metrics"`
+			Spans     []SpanRecord     `json:"spans"`
+			Debug     map[string]any   `json:"debug,omitempty"`
 		}{
-			Metrics: reg.Snapshot(),
-			Spans:   reg.Tracer().Snapshot(),
-			Debug:   reg.debugSnapshot(),
+			Endpoints: []string{"/metrics", "/debug/dcer", "/debug/trace", "/debug/health", "/debug/pprof/"},
+			Metrics:   reg.Snapshot(),
+			Spans:     reg.Tracer().Snapshot(),
+			Debug:     reg.debugSnapshot(),
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -57,6 +64,16 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		reg.Tracer().WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		doc := reg.HealthDoc()
+		if doc == nil {
+			doc = map[string]any{"attached": false}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -267,6 +267,7 @@ type Registry struct {
 
 	debug   map[string]func() any
 	debugMu sync.Mutex
+	health  func() any
 
 	tracer *Tracer
 }
@@ -403,6 +404,34 @@ func (r *Registry) SetDebug(name string, fn func() any) {
 	r.debugMu.Lock()
 	r.debug[name] = fn
 	r.debugMu.Unlock()
+}
+
+// SetHealth registers the health-report provider served at /debug/health.
+// The health monitor (internal/health) registers itself here so telemetry
+// never imports it; fn is called at request time, must be safe for
+// concurrent use, and its result is JSON-marshaled. Detach with nil.
+func (r *Registry) SetHealth(fn func() any) {
+	if r == nil {
+		return
+	}
+	r.debugMu.Lock()
+	r.health = fn
+	r.debugMu.Unlock()
+}
+
+// HealthDoc returns the attached health provider's current report, or nil
+// when no monitor is attached.
+func (r *Registry) HealthDoc() any {
+	if r == nil {
+		return nil
+	}
+	r.debugMu.Lock()
+	fn := r.health
+	r.debugMu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
 }
 
 func (r *Registry) debugSnapshot() map[string]any {

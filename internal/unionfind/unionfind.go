@@ -39,6 +39,17 @@ func (u *UnionFind) Grow(n int) {
 	}
 }
 
+// Parent returns the raw parent link of x without path compression. Unlike
+// Find it never mutates the forest, so the health auditors can walk
+// sampled parent chains on a quiesced structure without perturbing it.
+func (u *UnionFind) Parent(x int) int { return int(u.parent[x]) }
+
+// SetParent overwrites the raw parent link of x, bypassing union-by-rank
+// and the set count. It exists for corruption drills: tests plant a cycle
+// or an out-of-range link and assert the invariant auditors catch it. Any
+// other use leaves the structure inconsistent.
+func (u *UnionFind) SetParent(x, p int) { u.parent[x] = int32(p) }
+
 // Find returns the canonical representative of x's set.
 func (u *UnionFind) Find(x int) int {
 	root := x

@@ -65,6 +65,57 @@ func TestClone(t *testing.T) {
 	}
 }
 
+// TestParentSetParent covers the raw-link accessors the health auditors
+// walk: Parent never compresses paths, and SetParent plants arbitrary
+// links (the corruption-drill hook) without touching the set count.
+func TestParentSetParent(t *testing.T) {
+	u := unionfind.New(6)
+	for i := 0; i < 6; i++ {
+		if u.Parent(i) != i {
+			t.Fatalf("fresh Parent(%d) = %d, want self", i, u.Parent(i))
+		}
+	}
+
+	// Build a two-level chain 0 -> 1 -> 2 via rank: after Union(0,1) one
+	// of the two roots the other; union that root with 2's set.
+	u.Union(0, 1)
+	root01 := u.Parent(0)
+	if u.Parent(1) != root01 && u.Parent(root01) != root01 {
+		t.Fatalf("Union(0,1) left no common root: parents %d, %d", u.Parent(0), u.Parent(1))
+	}
+	child := 0
+	if root01 == 0 {
+		child = 1
+	}
+	u.Union(root01, 2)
+	deepRoot := u.Parent(root01)
+	// Parent on the chain's leaf must not compress: the leaf still points
+	// at the intermediate node, and repeated calls see the same link.
+	if deepRoot != root01 {
+		if u.Parent(child) != root01 {
+			t.Fatalf("Parent compressed the chain: Parent(%d) = %d, want %d", child, u.Parent(child), root01)
+		}
+		if u.Find(child) != deepRoot {
+			t.Fatalf("Find(%d) = %d, want root %d", child, u.Find(child), deepRoot)
+		}
+	}
+
+	// SetParent bypasses union bookkeeping entirely.
+	sets := u.Sets()
+	u.SetParent(4, 5)
+	if u.Parent(4) != 5 {
+		t.Fatalf("SetParent(4,5) then Parent(4) = %d", u.Parent(4))
+	}
+	if u.Sets() != sets {
+		t.Errorf("SetParent changed Sets: %d -> %d", sets, u.Sets())
+	}
+	// An out-of-range plant is stored verbatim for the auditors to find.
+	u.SetParent(3, 17)
+	if u.Parent(3) != 17 {
+		t.Errorf("out-of-range SetParent(3,17) then Parent(3) = %d", u.Parent(3))
+	}
+}
+
 // TestEquivalenceProperties checks that a random sequence of unions yields
 // an equivalence relation identical to a naive set-merging reference.
 func TestEquivalenceProperties(t *testing.T) {

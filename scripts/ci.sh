@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: formatting and static analysis, build, the short test
 # suite, the race-enabled run of the concurrent packages, a one-shot
-# bench smoke, the telemetry/causal-trace smoke, and the benchdiff
-# regression gate over the BENCH trajectory. The concurrent first pass of Deduce and the batched
+# bench smoke, the telemetry/causal-trace/health smoke, a cmd/doctor
+# probe of a held live process, and the benchdiff regression gate over
+# the BENCH trajectory. The concurrent first pass of Deduce and the batched
 # parallel drain (internal/chase), the parallel BSP supersteps
 # (internal/dmatch), and the justification log written from concurrent
 # drains (internal/provenance) make the race detector mandatory for
@@ -29,8 +30,8 @@ go build ./...
 echo "== go test -short ./..."
 go test -short ./...
 
-echo "== go test -race -short ./internal/chase ./internal/dmatch ./internal/hypart ./internal/telemetry ./internal/provenance"
-go test -race -short ./internal/chase ./internal/dmatch ./internal/hypart ./internal/telemetry ./internal/provenance
+echo "== go test -race -short ./internal/chase ./internal/dmatch ./internal/hypart ./internal/telemetry ./internal/provenance ./internal/health"
+go test -race -short ./internal/chase ./internal/dmatch ./internal/hypart ./internal/telemetry ./internal/provenance ./internal/health
 
 echo "== provenance equivalence (proof replay vs the reference verifier, all drain modes + DMatch w>=2)"
 go test -short -run 'TestProofReplaysAgainstVerifier|TestDMatchProofEveryPair' ./internal/provenance
@@ -60,20 +61,45 @@ go run ./cmd/bench -fig6=false -repeat 1 -arms '^Ingest' -memscale 20 -prev '' -
 echo "== plan bench smoke (Deduce plan=off|on A/B at scale 0.5 with per-rule attribution, single iteration)"
 go run ./cmd/bench -fig6=false -repeat 1 -scale 0.5 -arms '^Deduce/plan=' -memscale 0 -prev '' -out /tmp/dcer_ci_plan.json
 
-echo "== telemetry smoke (ephemeral /metrics + provenance + /debug/trace scrape over a live DMatch run)"
+echo "== telemetry smoke (ephemeral /metrics + provenance + /debug/trace + /debug/health scrape over a live DMatch run)"
 go run ./scripts/telemetrysmoke
+
+echo "== doctor probe (cmd/doctor diagnosing a held telemetrysmoke process over /debug/health)"
+go build -o /tmp/dcer_ci_smoke ./scripts/telemetrysmoke
+smoke_addrfile=/tmp/dcer_ci_smoke_addr
+rm -f "$smoke_addrfile"
+/tmp/dcer_ci_smoke -hold -addrfile "$smoke_addrfile" &
+smoke_pid=$!
+# The smoke publishes its address only after its own assertions pass.
+for _ in $(seq 1 300); do
+    [[ -s "$smoke_addrfile" ]] && break
+    if ! kill -0 "$smoke_pid" 2>/dev/null; then
+        echo "held telemetrysmoke exited before publishing its address" >&2
+        wait "$smoke_pid" || true
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ ! -s "$smoke_addrfile" ]]; then
+    echo "held telemetrysmoke never published its address" >&2
+    kill "$smoke_pid" 2>/dev/null || true
+    exit 1
+fi
+go run ./cmd/doctor -addr "$(cat "$smoke_addrfile")"
+kill "$smoke_pid"
+wait "$smoke_pid" || true
 
 echo "== causal-trace race guard (trace model, wide events, DMatch lane attribution under the race detector)"
 go test -race -short -count=1 \
     -run 'TestParallelTraceCausality|TestSpanLabelCopy|TestTraceContextCausality|TestWriteChromeTrace|TestServeDebugTrace|TestLoggerWide' \
     ./internal/telemetry ./internal/dmatch
 
-echo "== bench-regression gate (fresh Deduce/IncDeduce arms vs BENCH_7 via benchdiff, threshold 10%)"
+echo "== bench-regression gate (fresh Deduce/IncDeduce arms vs BENCH_8 via benchdiff, threshold 10%)"
 # The gate keeps the BENCH trajectory honest: measure the gated tier
 # fresh (min over 3 repeats suppresses scheduler noise on the shared
 # host) and fail when any arm slowed past the threshold vs the last
 # committed snapshot.
 go run ./cmd/bench -fig6=false -repeat 3 -arms '^(Deduce|IncDeduce)/' -memscale 0 -prev '' -out /tmp/dcer_ci_gate.json
-go run ./cmd/benchdiff -gate '^(Deduce|IncDeduce)/' -threshold 10 BENCH_7.json /tmp/dcer_ci_gate.json
+go run ./cmd/benchdiff -gate '^(Deduce|IncDeduce)/' -threshold 10 BENCH_8.json /tmp/dcer_ci_gate.json
 
 echo "CI OK"

@@ -1,28 +1,37 @@
 // Command telemetrysmoke is the CI probe for the telemetry layer: it
 // starts the exposition endpoint on an ephemeral port, runs a small
-// instrumented DMatch job with justification capture on, then scrapes
-// /metrics and /debug/dcer over real HTTP and asserts the key series —
-// including the live per-superstep worker-skew gauge and the provenance
-// family — are present, and that the stitched log yields a proof for a
-// deduced match. It also scrapes /debug/trace and asserts the run left a
-// non-empty causal trace spread over at least two distinct lanes with
-// resolving parent links. Scrapes retry with backoff under a deadline so
-// a slow loopback listener cannot flake the build. Exit status 0 means
-// the whole opt-in path (registry → engines → HTTP → proof → trace)
-// works end to end.
+// instrumented DMatch job with justification capture and the health
+// observatory on, then scrapes /metrics and /debug/dcer over real HTTP
+// and asserts the key series — including the live per-superstep
+// worker-skew gauge and the provenance family — are present, and that
+// the stitched log yields a proof for a deduced match. It also scrapes
+// /debug/trace and asserts the run left a non-empty causal trace spread
+// over at least two distinct lanes with resolving parent links, and
+// /debug/health asserting every invariant auditor ran and passed with no
+// stalls. Scrapes retry with backoff under a deadline so a slow loopback
+// listener cannot flake the build. Exit status 0 means the whole opt-in
+// path (registry → engines → HTTP → proof → trace → health) works end to
+// end. With -hold the process keeps serving after the assertions pass
+// until SIGINT/SIGTERM, so an external probe (cmd/doctor in ci.sh) can
+// scrape the same live endpoint; -addrfile publishes the ephemeral
+// listener address for such probes.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dcer/internal/datagen"
 	"dcer/internal/dmatch"
+	"dcer/internal/health"
 	"dcer/internal/mlpred"
 	"dcer/internal/provenance"
 	"dcer/internal/telemetry"
@@ -32,12 +41,24 @@ import (
 const scrapeDeadline = 10 * time.Second
 
 func main() {
+	hold := flag.Bool("hold", false, "keep serving after the assertions pass until SIGINT/SIGTERM (for external probes)")
+	addrfile := flag.String("addrfile", "", "write the listener address to this file once serving")
+	flag.Parse()
+
 	reg := telemetry.NewRegistry()
 	srv, err := telemetry.Serve("127.0.0.1:0", reg)
 	if err != nil {
 		fatal(err)
 	}
 	defer srv.Close()
+
+	mon := health.NewMonitor(health.Options{
+		Registry:     reg,
+		DiagnosisDir: os.TempDir(),
+		Seed:         1,
+	})
+	mon.Start()
+	defer mon.Stop()
 
 	d, _ := datagen.PaperExample()
 	rules, err := datagen.PaperRules(d.DB)
@@ -48,6 +69,7 @@ func main() {
 		Workers:    2,
 		Metrics:    reg,
 		Provenance: true,
+		Health:     mon,
 	})
 	if err != nil {
 		fatal(err)
@@ -85,15 +107,25 @@ func main() {
 	}
 
 	var doc struct {
-		Metrics []json.RawMessage          `json:"metrics"`
-		Spans   []telemetry.SpanRecord     `json:"spans"`
-		Debug   map[string]json.RawMessage `json:"debug"`
+		Endpoints []string                   `json:"endpoints"`
+		Metrics   []json.RawMessage          `json:"metrics"`
+		Spans     []telemetry.SpanRecord     `json:"spans"`
+		Debug     map[string]json.RawMessage `json:"debug"`
 	}
 	if err := json.Unmarshal([]byte(get(srv.Addr, "/debug/dcer")), &doc); err != nil {
 		fatal(fmt.Errorf("/debug/dcer is not valid JSON: %w", err))
 	}
 	if len(doc.Metrics) == 0 {
 		fatal(fmt.Errorf("/debug/dcer has no metric snapshot"))
+	}
+	healthIndexed := false
+	for _, ep := range doc.Endpoints {
+		if ep == "/debug/health" {
+			healthIndexed = true
+		}
+	}
+	if !healthIndexed {
+		fatal(fmt.Errorf("/debug/dcer endpoint index lacks /debug/health: %v", doc.Endpoints))
 	}
 	raw, ok := doc.Debug["dmatch_timeline"]
 	if !ok {
@@ -173,8 +205,61 @@ func main() {
 		fatal(fmt.Errorf("/debug/trace has %d span(s) whose parent is not in the trace", unresolved))
 	}
 
-	fmt.Printf("telemetry smoke OK: %d supersteps, %d matches, %d-step proof, %d trace spans on %d lanes, endpoint %s\n",
-		res.Supersteps, len(res.Matches), len(proof), complete, len(lanes), srv.Addr)
+	// The health observatory: every invariant auditor must have run at
+	// least once during the job (the drain loop audits at its fixpoint,
+	// the master audits per superstep) and passed with no recorded
+	// violations, and the stall watchdog must have stayed quiet.
+	var hrep health.Report
+	if err := json.Unmarshal([]byte(get(srv.Addr, "/debug/health")), &hrep); err != nil {
+		fatal(fmt.Errorf("/debug/health is not valid JSON: %w", err))
+	}
+	if !hrep.Attached {
+		fatal(fmt.Errorf("/debug/health reports no attached monitor"))
+	}
+	checks := map[string]health.CheckReport{}
+	for _, c := range hrep.Checks {
+		checks[c.Name] = c
+	}
+	for _, name := range []string{
+		"unionfind_roots", "gamma_provenance", "depstore_bytes",
+		"plan_order", "global_unionfind", "stall_watchdog",
+	} {
+		c, ok := checks[name]
+		if !ok {
+			fatal(fmt.Errorf("/debug/health lacks check %q", name))
+		}
+		if c.Status != health.StatusPass.String() || c.Violations > 0 {
+			fatal(fmt.Errorf("health check %q: status %s, %d violation(s): %s", name, c.Status, c.Violations, c.Detail))
+		}
+		if name != "stall_watchdog" && c.Runs == 0 {
+			fatal(fmt.Errorf("health check %q never ran during the instrumented job", name))
+		}
+	}
+	if hrep.Stalls != 0 {
+		fatal(fmt.Errorf("stall watchdog recorded %d stall(s) during a healthy run", hrep.Stalls))
+	}
+	if diag := health.Diagnose(hrep); !diag.Healthy() {
+		fatal(fmt.Errorf("health diagnosis reports failures:\n%s", diag.String()))
+	}
+
+	fmt.Printf("telemetry smoke OK: %d supersteps, %d matches, %d-step proof, %d trace spans on %d lanes, %d health checks pass, endpoint %s\n",
+		res.Supersteps, len(res.Matches), len(proof), complete, len(lanes), len(hrep.Checks), srv.Addr)
+
+	// The address is published only after the assertions pass, so an
+	// external probe polling the file never scrapes a half-initialized
+	// process.
+	if *addrfile != "" {
+		if err := os.WriteFile(*addrfile, []byte(srv.Addr), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *hold {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		fmt.Printf("holding for external probes on %s (SIGINT/SIGTERM to exit)\n", srv.Addr)
+		<-sig
+	}
 }
 
 // get scrapes one endpoint, retrying with exponential backoff until the
