@@ -2,14 +2,17 @@
 // chase hot path (first-pass Deduce, sequential vs concurrent), the
 // incremental IncDeduce drain, the ML caches, the HyPart partitioner
 // (seed-era reference vs the packed-key rewrite, sequential and sharded),
-// the full parallel DMatch run, and the Fig. 6 experiment drivers on the
-// synthetic generators, then writes the results to a JSON file
+// the full parallel DMatch run (in-process, and the DMatchDist arms as
+// true separate worker processes over TCP with the binary wire codec),
+// the wire codec's symbol dictionary in isolation, and the Fig. 6
+// experiment drivers on the synthetic generators, then writes the
+// results to a JSON file
 // (BENCH_<n>.json by convention, one per perf PR) so the performance
 // trajectory of the engine is tracked in-repo. The report also embeds the
 // instrumented DMatch run's routing profile (messages routed/deduped,
 // route time per superstep, adaptive rebalances) as routing_stats.
 //
-//	go run ./cmd/bench                   # full run, writes BENCH_9.json
+//	go run ./cmd/bench                   # full run, writes BENCH_10.json
 //	go run ./cmd/bench -fig6=false       # hot-path benchmarks only
 //	go run ./cmd/bench -scale 1.0 -out /tmp/bench.json
 //	go run ./cmd/bench -cpuprofile cpu.out -memprofile mem.out
@@ -65,7 +68,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"reflect"
 	"regexp"
 	"runtime"
@@ -90,6 +95,7 @@ import (
 	"dcer/internal/provenance"
 	"dcer/internal/relation"
 	"dcer/internal/telemetry"
+	"dcer/internal/wire"
 )
 
 // logg is the progress logger, configured in main (DCER_LOG / -log).
@@ -216,6 +222,16 @@ type report struct {
 	// profile (messages routed/deduped, route time per superstep,
 	// adaptive rebalances), from the same pass as StageHistograms.
 	RoutingStats *routingStats `json:"routing_stats,omitempty"`
+	// WireStats snapshots the wire-level counters of each distributed
+	// DMatchDist arm (bytes and frames actually on the wire, encode and
+	// decode time, dictionary effectiveness), keyed by arm name, from the
+	// same pass whose timing the arm kept.
+	WireStats map[string]wire.Snapshot `json:"wire_stats,omitempty"`
+	// WireDictRatio is the codec arm's measured symbol compression:
+	// what re-sending every ML fact's model string inline would cost,
+	// over the dictionary bytes plus one varint id per fact actually
+	// shipped. Acceptance: ≥ 3.
+	WireDictRatio float64 `json:"wire_dict_ratio,omitempty"`
 	// StageHistograms are the per-stage latency histograms of the
 	// telemetry-enabled pass (chase rule enumeration/merge, drain
 	// batches, DMatch routing and worker busy time, HyPart shape).
@@ -352,6 +368,8 @@ type pass struct {
 	incDeduceStats *chase.Stats
 	stageHists     []stageHist
 	routing        *routingStats
+	wireStats      map[string]wire.Snapshot
+	dictRatio      float64
 	// pairSamples holds this pass's interleaved overhead quads —
 	// ns per chase for (base, telemetry, provenance, health), the four
 	// runs of each quad back to back so they saw the same external load.
@@ -388,6 +406,135 @@ func stageSnapshot(reg *telemetry.Registry) []stageHist {
 
 // armRE, when non-nil, restricts which benchmark arms run (-arms).
 var armRE *regexp.Regexp
+
+// benchScale is the -scale the timing dataset was generated at, recorded
+// so the DMatchDist worker processes can regenerate the identical
+// dataset from the same seed (the distributed handshake fingerprint
+// rejects them otherwise).
+var benchScale float64
+
+// benchWorkerEnv is the env var that turns a re-exec of this binary into
+// a distributed DMatch worker process for the DMatchDist arms.
+const benchWorkerEnv = "DCER_BENCH_WORKER"
+
+// benchWorkerMain is the worker half of the DMatchDist arms: regenerate
+// the master's dataset from the shared seed, serve supersteps, exit.
+func benchWorkerMain() {
+	addr := os.Getenv("DCER_BENCH_ADDR")
+	id, err := strconv.Atoi(os.Getenv("DCER_BENCH_WORKER_ID"))
+	if err != nil {
+		fatal(fmt.Errorf("bad DCER_BENCH_WORKER_ID: %w", err))
+	}
+	scale, err := strconv.ParseFloat(os.Getenv("DCER_BENCH_SCALE"), 64)
+	if err != nil {
+		fatal(fmt.Errorf("bad DCER_BENCH_SCALE: %w", err))
+	}
+	g := datagen.TPCH(datagen.TPCHOptions{Scale: scale, Dup: 0.3, Seed: 1})
+	rules, err := g.Rules()
+	if err != nil {
+		fatal(err)
+	}
+	if err := dmatch.RunWorker(addr, g.D, rules, mlpred.DefaultRegistry(), dmatch.WorkerOptions{Worker: id}); err != nil {
+		fatal(err)
+	}
+	os.Exit(0)
+}
+
+// runDistributedArms times the true multi-process DMatch at 2 and 4
+// worker processes: each worker is a re-exec of this binary (own address
+// space, TCP to the master), so the arm pays real serialization, real
+// sockets, and real process scheduling. The arms run once per pass (the
+// repeat-and-keep-minimum merge suppresses noise, same as every arm) and
+// keep the run's wire-level counters next to the timing.
+func runDistributedArms(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *mlpred.Registry) {
+	exe, exeErr := os.Executable()
+	for _, n := range []int{2, 4} {
+		name := fmt.Sprintf("DMatchDist/workers=%d", n)
+		if !armOn(name) {
+			continue
+		}
+		if exeErr != nil {
+			logg.Warnf("skipping %s: cannot locate own binary: %v", name, exeErr)
+			return
+		}
+		logg.Infof("benchmarking %s (separate worker processes over TCP)...", name)
+		var procs []*exec.Cmd
+		spawn := func(w int, addr string) error {
+			cmd := exec.Command(exe)
+			cmd.Env = append(os.Environ(),
+				benchWorkerEnv+"=1",
+				"DCER_BENCH_ADDR="+addr,
+				"DCER_BENCH_WORKER_ID="+strconv.Itoa(w),
+				"DCER_BENCH_SCALE="+strconv.FormatFloat(benchScale, 'g', -1, 64))
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return err
+			}
+			procs = append(procs, cmd)
+			return nil
+		}
+		t0 := time.Now()
+		res, err := dmatch.RunDistributed(g.D, rules, reg, dmatch.Options{Workers: n}, dmatch.DistOptions{Spawn: spawn})
+		el := time.Since(t0)
+		for _, pr := range procs {
+			pr.Wait()
+		}
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		p.entries = append(p.entries, entry{
+			Name: name, Ops: 1, NsPerOp: el.Nanoseconds(),
+			SimulatedTimeNs: int64(res.SimulatedTime),
+		})
+		if p.wireStats == nil {
+			p.wireStats = map[string]wire.Snapshot{}
+		}
+		p.wireStats[name] = res.Wire
+	}
+}
+
+// runWireCodecArm measures the wire codec in isolation: encoding
+// superstep batches of ML facts (the realistic shape — few classifier
+// names, many facts) and the symbol-dictionary ratio against naive
+// inline strings.
+func runWireCodecArm(p *pass) {
+	const name = "WireCodec/dict"
+	if !armOn(name) {
+		return
+	}
+	logg.Infof("benchmarking %s...", name)
+	models := []string{"lev075", "jaro085", "bert-mini", "ditto"}
+	facts := make([]chase.Fact, 2000)
+	for i := range facts {
+		facts[i] = chase.Fact{
+			Kind:  chase.FactML,
+			Model: models[i%len(models)],
+			A:     relation.TID(i),
+			B:     relation.TID(i*7 + 1),
+		}
+	}
+	var stats wire.Stats
+	var totalFacts int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			enc := wire.NewEncoder(io.Discard, &stats)
+			for step := 0; step < 20; step++ {
+				if err := enc.Step(wire.Step{Step: step, Facts: facts}); err != nil {
+					b.Fatal(err)
+				}
+				totalFacts += int64(len(facts))
+			}
+		}
+	})
+	p.entries = append(p.entries, toEntry(name, r))
+	s := stats.Snapshot()
+	// Actual symbol cost on the wire: the dictionary deltas plus roughly
+	// one varint id byte per ML fact (ids stay tiny with few models).
+	if actual := s.DictBytes + totalFacts; actual > 0 {
+		p.dictRatio = float64(s.NaiveSymBytes) / float64(actual)
+	}
+}
 
 // armOn reports whether the named arm is selected by -arms.
 func armOn(name string) bool { return armRE == nil || armRE.MatchString(name) }
@@ -809,6 +956,9 @@ func runIncDeduceArms(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *ml
 		}
 	}
 
+	runDistributedArms(p, g, rules, reg)
+	runWireCodecArm(p)
+
 	for _, n := range []int{1, workers} {
 		name := fmt.Sprintf("DMatch/workers=%d", n)
 		if !armOn(name) {
@@ -980,13 +1130,18 @@ func runIncDeduce(p *pass, g *datagen.Generated, rules []*dcer.Rule, reg *mlpred
 }
 
 func main() {
+	if os.Getenv(benchWorkerEnv) == "1" {
+		// Re-exec'd as a DMatchDist worker process: no flags, no report.
+		benchWorkerMain()
+		return
+	}
 	scale := flag.Float64("scale", 2.0, "TPCH scale for the Deduce/DMatch benchmarks (2.0 ≈ 57k tuples)")
 	expScale := flag.Float64("expscale", 0.1, "experiments.Config scale for the Fig. 6 drivers")
 	workers := flag.Int("workers", 8, "DMatch worker count")
 	fig6 := flag.Bool("fig6", true, "also run the Fig. 6 experiment drivers")
 	repeat := flag.Int("repeat", 3, "measure every benchmark this many times and keep the per-benchmark minimum")
-	out := flag.String("out", "BENCH_9.json", "output JSON path")
-	prev := flag.String("prev", "BENCH_8.json", "previous report to print the delta table against (empty or missing = skip)")
+	out := flag.String("out", "BENCH_10.json", "output JSON path")
+	prev := flag.String("prev", "BENCH_9.json", "previous report to print the delta table against (empty or missing = skip)")
 	plandump := flag.Bool("plandump", false, "print the compiled predicate programs with their observed selectivities (the plan=on attribution run's PlanReport)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
@@ -1050,9 +1205,13 @@ func main() {
 			"latency distributions of the telemetry-enabled pass. The plan=off|on arms A/B the " +
 			"compiled predicate plans against the rule interpreter (Options.InterpretRules); " +
 			"plan_attribution pairs the two modes' per-rule enumeration time from back-to-back " +
-			"telemetry-attached chases.",
+			"telemetry-attached chases. The DMatchDist arms run the same DMatch with the workers " +
+			"as separate OS processes over TCP (each re-exec'd from this binary, regenerating the " +
+			"dataset from the shared seed); wire_stats keeps their wire-level counters and " +
+			"wire_dict_ratio the codec arm's symbol-dictionary compression vs naive inline strings.",
 	}
 
+	benchScale = *scale
 	logg.Infof("generating TPCH scale %.2f...", *scale)
 	g := datagen.TPCH(datagen.TPCHOptions{Scale: *scale, Dup: 0.3, Seed: 1})
 	rules, err := g.Rules()
@@ -1092,7 +1251,16 @@ func main() {
 					rep.StageHistograms = p.stageHists
 					rep.RoutingStats = p.routing
 				}
+				if snap, ok := p.wireStats[e.Name]; ok {
+					if rep.WireStats == nil {
+						rep.WireStats = map[string]wire.Snapshot{}
+					}
+					rep.WireStats[e.Name] = snap
+				}
 			}
+		}
+		if p.dictRatio > 0 {
+			rep.WireDictRatio = p.dictRatio
 		}
 		pairSamples = append(pairSamples, p.pairSamples...)
 		incHealthSamples = append(incHealthSamples, p.incHealthSamples...)
@@ -1146,6 +1314,24 @@ func main() {
 		fmt.Printf("routing (w=%d): %d supersteps, %d routed, %d deduped, %s route time per superstep, %d rebalances\n",
 			rs.Workers, rs.Supersteps, rs.MessagesRouted, rs.MessagesDeduped,
 			time.Duration(rs.RouteNsPerStep).Round(time.Microsecond), rs.Rebalances)
+	}
+	if len(rep.WireStats) > 0 {
+		var names []string
+		for n := range rep.WireStats {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			w := rep.WireStats[n]
+			fmt.Printf("wire (%s): out=%s in=%s frames=%d/%d encode=%s decode=%s dict=%d strings %s\n",
+				n, fmtBytes(w.BytesOut), fmtBytes(w.BytesIn), w.FramesOut, w.FramesIn,
+				time.Duration(w.EncodeNs).Round(time.Microsecond),
+				time.Duration(w.DecodeNs).Round(time.Microsecond),
+				w.DictStrings, fmtBytes(w.DictBytes))
+		}
+	}
+	if rep.WireDictRatio > 0 {
+		fmt.Printf("wire dictionary ratio: %.1fx vs naive inline model strings (acceptance ≥ 3x)\n", rep.WireDictRatio)
 	}
 	fmt.Printf("telemetry overhead: %+.2f%% (Deduce/telemetry vs its interleaved uninstrumented arm, median triple)\n",
 		rep.TelemetryOverheadPct)

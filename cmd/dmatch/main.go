@@ -38,13 +38,52 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"dcer"
 	"dcer/internal/cliutil"
 )
+
+// runDistributedMaster re-executes this binary as the worker processes
+// (each loads the same -data/-rules itself) and drives the distributed
+// BSP fixpoint over TCP. With crashWorker >= 0, that worker is spawned
+// with -crash-after 1 to exercise the recovery path.
+func runDistributedMaster(d *dcer.Dataset, rules []*dcer.Rule, reg *dcer.ClassifierRegistry,
+	popts dcer.ParallelOptions, dataDir, rulesFile, listen string, crashWorker int) (*dcer.ParallelResult, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating own binary for worker spawn: %w", err)
+	}
+	var procs []*exec.Cmd
+	spawn := func(worker int, addr string) error {
+		args := []string{
+			"-worker", "-connect", addr, "-worker-id", strconv.Itoa(worker),
+			"-data", dataDir, "-rules", rulesFile,
+		}
+		if worker == crashWorker {
+			args = append(args, "-crash-after", "1")
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		procs = append(procs, cmd)
+		return nil
+	}
+	res, err := dcer.MatchDistributed(d, rules, reg, popts, dcer.DistributedOptions{
+		Listen: listen,
+		Spawn:  spawn,
+	})
+	for _, p := range procs {
+		p.Wait() // reap; a crash-injected worker exits 3 by design
+	}
+	return res, err
+}
 
 func main() {
 	log.SetFlags(0)
@@ -56,14 +95,27 @@ func main() {
 	explain := flag.String("explain", "", `explain one match: "Rel:idvalue,Rel:idvalue"`)
 	outFile := flag.String("out", "", "also write the matches as CSV (relation,id,entity columns)")
 	timeline := flag.Bool("timeline", false, "print the BSP superstep Gantt chart after a parallel run")
+	distributed := flag.Bool("distributed", false, "run the BSP workers as separate OS processes over TCP (master mode; needs -workers >= 2)")
+	listen := flag.String("listen", "", "master listen address with -distributed (default 127.0.0.1:0, an ephemeral local port)")
+	workerMode := flag.Bool("worker", false, "run as a distributed worker process (spawned by a -distributed master)")
+	connect := flag.String("connect", "", "master address a -worker dials")
+	workerID := flag.Int("worker-id", -1, "this worker's slot (with -worker)")
+	crashAfter := flag.Int("crash-after", 0, "fault injection: abort this -worker after sending N deltas (exit code 3)")
+	crashWorker := flag.Int("crash-worker", -1, "fault injection: spawn worker N with -crash-after 1 (with -distributed; exercises recovery)")
 	obs := cliutil.Register()
 	flag.Parse()
 	if *dataDir == "" || *rulesFile == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *workers < 0 {
-		log.Fatalf("invalid -workers %d: the worker count must not be negative (use 1 for the sequential Match)", *workers)
+	if err := validateModes(modeConfig{
+		DataDir: *dataDir, RulesFile: *rulesFile, Workers: *workers,
+		Distributed: *distributed, Worker: *workerMode,
+		Listen: *listen, Connect: *connect, WorkerID: *workerID,
+		CrashAfter: *crashAfter, CrashWorker: *crashWorker,
+		Explain: *explain, Out: *outFile,
+	}); err != nil {
+		log.Fatal(err)
 	}
 	logg, stopTel, err := obs.Init("dmatch")
 	if err != nil {
@@ -84,6 +136,23 @@ func main() {
 		log.Fatal(err)
 	}
 	reg := dcer.DefaultClassifiers()
+
+	if *workerMode {
+		// Worker half of a distributed run: this process loaded the same
+		// -data/-rules the master did (the handshake fingerprint proves
+		// it); serve supersteps until the master says done.
+		err := dcer.MatchWorker(*connect, d, rules, reg, dcer.DistributedWorkerOptions{
+			Worker:     *workerID,
+			CrashAfter: *crashAfter,
+		})
+		if errors.Is(err, dcer.ErrWorkerCrash) {
+			os.Exit(3)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *explain != "" {
 		a, b, err := parseExplainTarget(d, *explain)
@@ -127,20 +196,34 @@ func main() {
 				st.Valuations, st.MatchesFound, st.MLValidated, st.DepsRecorded, st.Rounds)
 		}
 	} else {
-		res, err := dcer.MatchParallel(d, rules, reg, dcer.ParallelOptions{
+		popts := dcer.ParallelOptions{
 			Workers: *workers,
 			Metrics: obs.Registry(),
 			Log:     logg,
 			Health:  obs.Health(),
-		})
+		}
+		var res *dcer.ParallelResult
+		var err error
+		if *distributed {
+			res, err = runDistributedMaster(d, rules, reg, popts, *dataDir, *rulesFile, *listen, *crashWorker)
+		} else {
+			res, err = dcer.MatchParallel(d, rules, reg, popts)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		classes = res.Classes()
 		if *verbose {
-			logg.Infof("workers=%d supersteps=%d messages=%d deduped=%d rebalances=%d partition=%v er=%v sim=%v",
+			logg.Infof("workers=%d supersteps=%d messages=%d deduped=%d rebalances=%d recoveries=%d partition=%v er=%v sim=%v",
 				*workers, res.Supersteps, res.MessagesRouted, res.MessagesDeduped,
-				len(res.Rebalances), res.PartitionTime, res.ERTime, res.SimulatedTime)
+				len(res.Rebalances), len(res.Recoveries), res.PartitionTime, res.ERTime, res.SimulatedTime)
+			if *distributed {
+				w := res.Wire
+				logg.Infof("wire: out=%dB in=%dB frames=%d/%d encode=%v decode=%v dict=%d strings %dB (naive %dB)",
+					w.BytesOut, w.BytesIn, w.FramesOut, w.FramesIn,
+					time.Duration(w.EncodeNs), time.Duration(w.DecodeNs),
+					w.DictStrings, w.DictBytes, w.NaiveSymBytes)
+			}
 		}
 		if *timeline {
 			fmt.Fprint(os.Stderr, res.Timeline().Gantt())

@@ -175,6 +175,39 @@ func MatchParallel(d *Dataset, rules []*Rule, reg *ClassifierRegistry, opts Para
 	return dmatch.Run(d, rules, reg, opts)
 }
 
+// Distributed execution: the same DMatch fixpoint with the master and
+// workers as separate OS processes over TCP, speaking the compact binary
+// protocol of internal/wire. Γ is identical to MatchParallel with the
+// same options; see DESIGN.md §16.
+type (
+	// DistributedOptions configures the process side of MatchDistributed:
+	// the listen address, the worker spawn hook, and failure-detection
+	// timeouts.
+	DistributedOptions = dmatch.DistOptions
+	// DistributedWorkerOptions configures one MatchWorker process.
+	DistributedWorkerOptions = dmatch.WorkerOptions
+)
+
+// ErrWorkerCrash is returned by MatchWorker when the fault-injection
+// hook (DistributedWorkerOptions.CrashAfter) fires.
+var ErrWorkerCrash = dmatch.ErrInjectedCrash
+
+// MatchDistributed runs DMatch with n worker processes over TCP: the
+// master partitions, spawns workers via dopts.Spawn, routes facts through
+// the wire protocol, and recovers from worker failures by reassigning the
+// dead worker's blocks to the survivors.
+func MatchDistributed(d *Dataset, rules []*Rule, reg *ClassifierRegistry, opts ParallelOptions, dopts DistributedOptions) (*ParallelResult, error) {
+	return dmatch.RunDistributed(d, rules, reg, opts, dopts)
+}
+
+// MatchWorker runs the worker half of a distributed DMatch: dial the
+// master, prove the locally loaded inputs match via the handshake
+// fingerprint, then serve Deduce/IncDeduce supersteps until the master
+// says done.
+func MatchWorker(addr string, d *Dataset, rules []*Rule, reg *ClassifierRegistry, wopts DistributedWorkerOptions) error {
+	return dmatch.RunWorker(addr, d, rules, reg, wopts)
+}
+
 // Observability (the telemetry layer): a dependency-free metrics
 // registry (counters, gauges, log-scale histograms), a bounded span
 // tracer, and an opt-in HTTP exposition endpoint. Attach a registry via

@@ -7,12 +7,30 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"strconv"
 	"time"
 
 	"dcer/internal/health"
 	"dcer/internal/telemetry"
 )
+
+// ValidateTCPAddr checks that addr is usable as a TCP host:port for
+// -listen/-connect style flags: the host part may be empty (all
+// interfaces) but the port must be present and numeric in [0, 65535].
+// It validates shape only — no DNS lookup, no bind.
+func ValidateTCPAddr(addr string) error {
+	_, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("bad TCP address %q: %v", addr, err)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil || p < 0 || p > 65535 {
+		return fmt.Errorf("bad TCP address %q: port %q must be a number in [0, 65535]", addr, port)
+	}
+	return nil
+}
 
 // Flags holds the shared observability flags; call Register before
 // flag.Parse and Init after.

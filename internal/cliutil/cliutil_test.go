@@ -1,0 +1,33 @@
+package cliutil
+
+import "testing"
+
+func TestValidateTCPAddr(t *testing.T) {
+	valid := []string{
+		"127.0.0.1:0",
+		"127.0.0.1:4000",
+		":9090",
+		"localhost:65535",
+		"[::1]:8080",
+	}
+	for _, addr := range valid {
+		if err := ValidateTCPAddr(addr); err != nil {
+			t.Errorf("ValidateTCPAddr(%q) = %v, want nil", addr, err)
+		}
+	}
+	invalid := []string{
+		"",
+		"no-port",
+		"127.0.0.1",
+		"127.0.0.1:",
+		"127.0.0.1:http",
+		"127.0.0.1:65536",
+		"127.0.0.1:-1",
+		"host:port:extra",
+	}
+	for _, addr := range invalid {
+		if err := ValidateTCPAddr(addr); err == nil {
+			t.Errorf("ValidateTCPAddr(%q) = nil, want error", addr)
+		}
+	}
+}

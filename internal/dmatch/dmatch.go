@@ -24,7 +24,6 @@
 package dmatch
 
 import (
-	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
@@ -40,6 +39,7 @@ import (
 	"dcer/internal/rule"
 	"dcer/internal/telemetry"
 	"dcer/internal/unionfind"
+	"dcer/internal/wire"
 )
 
 // Options configures a DMatch run.
@@ -163,12 +163,22 @@ type Result struct {
 	// machine with fewer cores than workers this — not wall-clock ERTime
 	// — is the faithful stand-in for the runtime on a real n-machine
 	// cluster (use Options.Sequential for undistorted per-worker
-	// timings). The parallel-scalability experiments report it.
+	// timings). The parallel-scalability experiments report it. It is a
+	// simulation-only model even under RunDistributed: real measured
+	// time lives in the timeline's per-superstep WallNs (and BytesOnWire
+	// for the wire), not here.
 	SimulatedTime time.Duration
 	WorkerStats   []chase.Stats
 	// Rebalances lists the skew-adaptive block migrations the scheduler
 	// performed (empty when none triggered).
 	Rebalances []RebalanceEvent
+	// Recoveries lists the worker-failure recoveries of a distributed run
+	// (always empty in-process).
+	Recoveries []RecoveryEvent
+	// Wire is the wire-protocol measurement of a distributed run — bytes,
+	// frames, codec time, and dictionary economics over every worker
+	// connection. Zero in-process, where no bytes move.
+	Wire wire.Snapshot
 
 	timeline Timeline
 	prov     *provenance.Log
@@ -292,20 +302,12 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 	}
 	res := &Result{PartitionStats: part.Stats, d: d}
 	res.PartitionTime = time.Since(t0)
+	ms := newMasterState(d, n)
 
-	idSpace := 0
-	for _, t := range d.Tuples() {
-		if int(t.GID)+1 > idSpace {
-			idSpace = int(t.GID) + 1
-		}
-	}
-
-	// buildWorker constructs one chase engine over a fragment, with each
-	// rule scoped to the union of the worker's blocks generated for that
-	// rule (hypercube semantics: a rule is checked within its own blocks).
-	// Identical rule scopes are deduplicated so MQO index sharing applies.
-	// The adaptive rebalancer re-invokes it when a migration changes a
-	// worker's block set.
+	// buildWorker constructs one chase engine over a fragment via the
+	// shared builder (see master.go), layering this run's observability
+	// hooks on top. The adaptive rebalancer re-invokes it when a
+	// migration changes a worker's block set.
 	var provLogs []*provenance.Log
 	if opts.Provenance {
 		provLogs = make([]*provenance.Log, n)
@@ -314,71 +316,21 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			provLogs[i].SetWorker(i)
 		}
 	}
-	type scopeEntry struct {
-		ids []relation.TID
-		sc  *relation.Dataset
-	}
 	buildWorker := func(i int, frag []relation.TID, ruleFrags [][]relation.TID) (*chase.Engine, error) {
-		fd := d.Fragment(frag)
-		scopes := make([]*relation.Dataset, len(rules))
-		byContent := map[uint64][]scopeEntry{}
-		for ri, ids := range ruleFrags {
-			if len(ids) == len(frag) {
-				scopes[ri] = fd
-				continue
-			}
-			key := scopeKey(ids)
-			found := false
-			for _, ent := range byContent[key] {
-				if sameIDs(ent.ids, ids) {
-					scopes[ri] = ent.sc
-					found = true
-					break
-				}
-			}
-			if found {
-				continue
-			}
-			sc := d.Fragment(ids)
-			byContent[key] = append(byContent[key], scopeEntry{ids, sc})
-			scopes[ri] = sc
-		}
-		copts := chase.Options{
-			MaxDeps:            opts.MaxDeps,
-			ShareIndexes:       !opts.NoMQO,
-			IDSpace:            idSpace,
-			SequentialDeduce:   opts.Sequential || opts.SequentialDeduce,
-			SequentialDrain:    opts.Sequential || opts.SequentialDrain,
-			DrainParallelMin:   opts.DrainParallelMin,
-			InterpretRules:     opts.InterpretRules,
-			PlanResortMinEvals: opts.PlanResortMinEvals,
-			Metrics:            opts.Metrics,
-			MetricsLabels:      []telemetry.Label{telemetry.L("worker", strconv.Itoa(i))},
-			Trace:              rtc.Lane(telemetry.PIDDMatch, int32(i+1)),
-			Log:                opts.Log,
-			Health:             opts.Health,
-		}
+		copts := workerChaseOptions(opts, ms.idSpace)
+		copts.Metrics = opts.Metrics
+		copts.MetricsLabels = []telemetry.Label{telemetry.L("worker", strconv.Itoa(i))}
+		copts.Trace = rtc.Lane(telemetry.PIDDMatch, int32(i+1))
+		copts.Log = opts.Log
+		copts.Health = opts.Health
 		if provLogs != nil {
 			copts.Provenance = provLogs[i]
 		}
-		eng, err := chase.NewScoped(fd, rules, scopes, reg, copts)
-		if err != nil {
-			return nil, fmt.Errorf("dmatch: worker %d: %w", i, err)
-		}
-		return eng, nil
+		return buildWorkerEngine(d, rules, reg, i, frag, ruleFrags, copts)
 	}
 
 	workers := make([]*chase.Engine, n)
-	hosts := make([][]int, idSpace)
-	setHosts := func(frags [][]relation.TID) {
-		hosts = make([][]int, idSpace)
-		for i, frag := range frags {
-			for _, gid := range frag {
-				hosts[gid] = append(hosts[gid], i)
-			}
-		}
-	}
-	setHosts(part.Fragments)
+	ms.setHosts(part.Fragments)
 	for i, frag := range part.Fragments {
 		eng, err := buildWorker(i, frag, part.RuleFragments[i])
 		if err != nil {
@@ -388,41 +340,10 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 	}
 
 	t1 := time.Now()
-	// The master tracks the global E_id with, per class root, the bitset
-	// of workers hosting *any* member of the class: a match merging
-	// classes Ca and Cb must reach every worker hosting any member of
-	// either class — a worker hosting x and y needs the bridging fact
-	// (a,b) even when it hosts neither a nor b, otherwise transitive
-	// chains through remote tuples would be lost. Keeping host bitsets at
-	// the roots makes a recipient set two bitword ORs instead of a
-	// member-list walk, and class union a bitset merge.
-	guf := chase.BuildEquivalence(d, nil)
-	words := (n + 63) / 64
-	var hostBits map[int][]uint64
-	rebuildHostBits := func() {
-		hostBits = make(map[int][]uint64, d.Size())
-		for _, t := range d.Tuples() {
-			root := guf.Find(int(t.GID))
-			bs := hostBits[root]
-			if bs == nil {
-				bs = make([]uint64, words)
-				hostBits[root] = bs
-			}
-			for _, h := range hosts[t.GID] {
-				bs[h>>6] |= 1 << (uint(h) & 63)
-			}
-		}
-	}
-	rebuildHostBits()
-	seenML := make(map[chase.Fact]bool)
-	// seen[w] is worker w's delivery record: every fact routed to w plus
-	// every fact w produced itself. The per-destination builders consult
-	// it so a fact is never re-sent (Result.MessagesDeduped counts the
-	// suppressions); the rebalancer resets it when it rebuilds a worker.
-	seen := make([]map[chase.Fact]struct{}, n)
-	for i := range seen {
-		seen[i] = make(map[chase.Fact]struct{})
-	}
+	// The global E_id with per-class-root host bitsets, the delivery
+	// seen-sets, and the route scratch all live in ms (master.go) — the
+	// same state machine RunDistributed drives over the wire.
+	ms.rebuildHostBits()
 	inboxes := make([][]chase.Fact, n)
 	deltas := make([][]chase.Fact, n)
 	freshW := make([]bool, n) // rebuilt by a migration; must re-Deduce
@@ -526,11 +447,6 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		curAssign[i] = part.Blocks[i].Worker
 	}
 
-	// Route scratch, reused across supersteps: the fact list and the
-	// recipient-bitset arena the per-destination builders read.
-	var routes []factRoute
-	var arena []uint64
-
 	msgsIn := make([]int, n)
 	factsOut := make([]int, n)
 	// Health wiring: the superstep heartbeat brackets the whole BSP loop,
@@ -548,6 +464,7 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 	accSeen := 0
 	for step := 0; step < maxSteps; step++ {
 		dhb.Beat()
+		stepWall := time.Now()
 		var ssp telemetry.Span
 		stc := rtc
 		if rtc.Enabled() {
@@ -584,74 +501,27 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		// Master, phase 1 (sequential): fold the union of the workers'
 		// new facts into the global Γ and compute each fact's recipient
 		// bitset — the workers hosting any member of the classes the fact
-		// touches (the ΔΓ_i of the fixpoint equations).
-		routes = routes[:0]
-		arena = arena[:0]
+		// touches (the ΔΓ_i of the fixpoint equations). Fold order is
+		// worker-index order; the deterministic Γ depends on it.
+		ms.beginFold()
 		var stepFacts int64
 		for w, delta := range deltas {
 			stepFacts += int64(len(delta))
 			res.FactsProduced += int64(len(delta))
-			for _, f := range delta {
-				if f.Kind == chase.FactMatch {
-					ra, rb := guf.Find(int(f.A)), guf.Find(int(f.B))
-					if ra == rb {
-						continue // globally redundant
-					}
-					ba, bb := hostBits[ra], hostBits[rb]
-					off := len(arena)
-					for i := 0; i < words; i++ {
-						var x uint64
-						if ba != nil {
-							x = ba[i]
-						}
-						if bb != nil {
-							x |= bb[i]
-						}
-						arena = append(arena, x)
-					}
-					guf.Union(ra, rb)
-					root := guf.Find(ra)
-					delete(hostBits, ra)
-					delete(hostBits, rb)
-					if ba == nil {
-						ba = make([]uint64, words)
-					}
-					copy(ba, arena[off:off+words])
-					hostBits[root] = ba
-					res.Matches = append(res.Matches, f)
-					routes = append(routes, factRoute{f: f, from: w, off: off})
-				} else {
-					if seenML[f] {
-						continue
-					}
-					seenML[f] = true
-					res.Validated = append(res.Validated, f)
-					off := len(arena)
-					for i := 0; i < words; i++ {
-						arena = append(arena, 0)
-					}
-					for _, h := range hosts[f.A] {
-						arena[off+h>>6] |= 1 << (uint(h) & 63)
-					}
-					for _, h := range hosts[f.B] {
-						arena[off+h>>6] |= 1 << (uint(h) & 63)
-					}
-					routes = append(routes, factRoute{f: f, from: w, off: off})
-				}
-			}
+			ms.foldDelta(w, delta, res)
 		}
 		if opts.Health != nil {
 			// Still in the sequential master phase: guf is quiescent, so
 			// the sampled chain audit needs no locks; Find's path
 			// compression is the master's own mutation, as in the fold.
-			sample := health.SampleIDs(guf.Len(), opts.Health.SampleSize(), opts.Health.Seed()+int64(step))
-			if err := health.AuditUnionFind(guf, sample); err != nil {
+			sample := health.SampleIDs(ms.guf.Len(), opts.Health.SampleSize(), opts.Health.Seed()+int64(step))
+			if err := health.AuditUnionFind(ms.guf, sample); err != nil {
 				gufCheck.Fail(len(sample), "superstep %d: %v", step, err)
 			} else {
 				gufCheck.Pass(len(sample))
 			}
 			if acc := opts.Health.Accuracy(); acc != nil {
-				accSeen = observeMasterAccuracy(acc, res.Matches, accSeen, provLogs, guf)
+				accSeen = observeMasterAccuracy(acc, res.Matches, accSeen, provLogs, ms.guf)
 			}
 		}
 		// Master, phase 2 (parallel): per-destination inbox builders.
@@ -667,26 +537,9 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 				isp = routeTC.Lane(telemetry.PIDDMatch, int32(h+1)).Start("dmatch.inbox")
 				defer isp.End()
 			}
-			sh := seen[h]
-			for _, f := range deltas[h] {
-				sh[f] = struct{}{}
-			}
-			var out []chase.Fact
-			for _, r := range routes {
-				if r.from == h || arena[r.off+(h>>6)]&(1<<(uint(h)&63)) == 0 {
-					continue
-				}
-				if _, dup := sh[r.f]; dup {
-					stepDeduped[h]++
-					continue
-				}
-				sh[r.f] = struct{}{}
-				out = append(out, r.f)
-				stepRouted[h]++
-			}
-			next[h] = out
+			next[h], stepRouted[h], stepDeduped[h] = ms.buildDest(h, deltas[h])
 		}
-		if opts.Sequential || opts.SequentialRoute || len(routes) == 0 {
+		if opts.Sequential || opts.SequentialRoute || len(ms.routes) == 0 {
 			for h := 0; h < n; h++ {
 				buildDest(h)
 			}
@@ -719,7 +572,7 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 			factsOut[i] = len(dl)
 		}
 		tlMu.Lock()
-		tl.record(step, elapsed, factsOut, msgsIn, routeNs, routedStep, dedupedStep)
+		tl.record(step, elapsed, factsOut, msgsIn, routeNs, int64(time.Since(stepWall)), 0, routedStep, dedupedStep)
 		ss := &tl.Steps[len(tl.Steps)-1]
 		skew := ss.SkewRatio
 		if len(res.Rebalances) > 0 {
@@ -797,28 +650,17 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 					rebuilt++
 					wsp.End()
 				}
-				setHosts(frags)
-				rebuildHostBits()
+				ms.setHosts(frags)
+				ms.rebuildHostBits()
 				curAssign = newAssign
 				// A rebuilt worker re-runs Deduce over its new fragment
-				// and replays the global fact history: every match fact
-				// (bridging facts may concern tuples it doesn't host) and
-				// the validated predictions over tuples it now hosts.
+				// and replays the global fact history (see replayFor).
 				for w := range workers {
 					if !changed[w] {
 						continue
 					}
-					replay := append([]chase.Fact(nil), res.Matches...)
-					for _, f := range res.Validated {
-						if hasHost(hosts[f.A], w) || hasHost(hosts[f.B], w) {
-							replay = append(replay, f)
-						}
-					}
-					sh := make(map[chase.Fact]struct{}, len(replay))
-					for _, f := range replay {
-						sh[f] = struct{}{}
-					}
-					seen[w] = sh
+					replay := ms.replayFor(w, res)
+					ms.resetWorker(w, replay)
 					inboxes[w] = replay
 				}
 				ev := RebalanceEvent{
@@ -838,7 +680,7 @@ func Run(d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, opts Opt
 		}
 	}
 	res.ERTime = time.Since(t1)
-	res.Eq = guf
+	res.Eq = ms.guf
 	for _, w := range workers {
 		res.WorkerStats = append(res.WorkerStats, w.Stats())
 	}

@@ -19,10 +19,18 @@ type WorkerStep struct {
 // Superstep is the timeline entry for one BSP round: the per-worker
 // compute profile, the master's routing time, and the step's skew.
 type Superstep struct {
-	Step           int     `json:"step"`
-	MakespanNs     int64   `json:"makespan_ns"` // max busy over workers
-	RouteNs        int64   `json:"route_ns"`    // master routing after the barrier
-	SkewRatio      float64 `json:"skew_ratio"`  // makespan / mean busy of active workers
+	Step       int   `json:"step"`
+	MakespanNs int64 `json:"makespan_ns"` // max busy over workers
+	RouteNs    int64 `json:"route_ns"`    // master routing after the barrier
+	// WallNs is the real elapsed time of the whole superstep as the master
+	// observed it: dispatch, worker compute, barrier, and routing. Unlike
+	// SimulatedTime (a what-if model of an n-machine cluster), this is a
+	// measurement.
+	WallNs int64 `json:"wall_ns"`
+	// BytesOnWire is the wire traffic of this superstep (both directions,
+	// master side); 0 in in-process mode, where no bytes move.
+	BytesOnWire    int64   `json:"bytes_on_wire"`
+	SkewRatio      float64 `json:"skew_ratio"` // makespan / mean busy of active workers
 	MessagesRouted int64   `json:"messages_routed"`
 	// MessagesDeduped counts deliveries the per-destination seen-sets
 	// suppressed this step (already delivered or locally produced).
@@ -39,10 +47,12 @@ type Timeline struct {
 }
 
 // record appends one superstep from the master's raw measurements.
-func (tl *Timeline) record(step int, elapsed []time.Duration, factsOut, msgsIn []int, routeNs int64, routed, deduped int64) {
+func (tl *Timeline) record(step int, elapsed []time.Duration, factsOut, msgsIn []int, routeNs, wallNs, wireBytes int64, routed, deduped int64) {
 	ss := Superstep{
 		Step:            step,
 		RouteNs:         routeNs,
+		WallNs:          wallNs,
+		BytesOnWire:     wireBytes,
 		MessagesRouted:  routed,
 		MessagesDeduped: deduped,
 		Workers:         make([]WorkerStep, len(elapsed)),
@@ -109,9 +119,13 @@ func (tl *Timeline) Gantt() string {
 	}
 	var b strings.Builder
 	for _, ss := range tl.Steps {
-		fmt.Fprintf(&b, "superstep %d  makespan %v  route %v  skew %.2f  msgs %d  deduped %d\n",
+		wire := ""
+		if ss.BytesOnWire > 0 {
+			wire = fmt.Sprintf("  wire %dB", ss.BytesOnWire)
+		}
+		fmt.Fprintf(&b, "superstep %d  makespan %v  route %v  skew %.2f  msgs %d  deduped %d%s\n",
 			ss.Step, time.Duration(ss.MakespanNs), time.Duration(ss.RouteNs),
-			ss.SkewRatio, ss.MessagesRouted, ss.MessagesDeduped)
+			ss.SkewRatio, ss.MessagesRouted, ss.MessagesDeduped, wire)
 		for _, w := range ss.Workers {
 			busy := int(w.BusyNs * ganttWidth / maxNs)
 			idle := int((w.BusyNs + w.IdleNs) * ganttWidth / maxNs)

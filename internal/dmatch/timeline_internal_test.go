@@ -16,7 +16,7 @@ func TestRecordZeroBusyGuard(t *testing.T) {
 	elapsed := make([]time.Duration, 3)
 	facts := make([]int, 3)
 	msgs := make([]int, 3)
-	tl.record(0, elapsed, facts, msgs, 0, 0, 0)
+	tl.record(0, elapsed, facts, msgs, 0, 0, 0, 0, 0)
 	ss := tl.Steps[0]
 	if ss.SkewRatio != 0 {
 		t.Fatalf("zero-busy superstep has skew %v, want 0", ss.SkewRatio)
@@ -31,7 +31,7 @@ func TestRecordZeroBusyGuard(t *testing.T) {
 	// One empty fragment among busy workers: skew stays finite and only
 	// active workers enter the mean.
 	elapsed = []time.Duration{2 * time.Millisecond, 0, 2 * time.Millisecond}
-	tl.record(1, elapsed, facts, msgs, 0, 0, 0)
+	tl.record(1, elapsed, facts, msgs, 0, 0, 0, 0, 0)
 	ss = tl.Steps[1]
 	if math.IsNaN(ss.SkewRatio) || math.IsInf(ss.SkewRatio, 0) {
 		t.Fatalf("skew ratio %v not finite with one idle worker", ss.SkewRatio)

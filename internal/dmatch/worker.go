@@ -1,0 +1,165 @@
+package dmatch
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dcer/internal/chase"
+	"dcer/internal/mlpred"
+	"dcer/internal/relation"
+	"dcer/internal/rule"
+	"dcer/internal/wire"
+)
+
+// WorkerOptions configures one worker process (RunWorker).
+type WorkerOptions struct {
+	// Worker is this process's slot in [0, Workers).
+	Worker int
+	// Stats, when non-nil, receives this worker's wire tallies.
+	Stats *wire.Stats
+	// HeartbeatInterval is the Pong cadence; 0 means 1s. It must be well
+	// under the master's HeartbeatTimeout.
+	HeartbeatInterval time.Duration
+	// CrashAfter, when > 0, makes the worker abruptly close its connection
+	// and return ErrInjectedCrash after sending that many deltas — the
+	// fault-injection hook for recovery tests and the CI smoke.
+	CrashAfter int
+}
+
+// RunWorker dials the master and executes the worker half of the
+// distributed BSP protocol until MsgDone: build the engine on MsgAssign
+// (replaying any routed history), run Deduce/IncDeduce per MsgStep and
+// answer with the delta, and Pong on an interval from a side goroutine so
+// a long Deduce never looks like a dead process. The dataset and rules
+// are this process's own load of the same inputs the master has; the
+// Hello fingerprint proves it.
+func RunWorker(addr string, d *relation.Dataset, rules []*rule.Rule, reg *mlpred.Registry, wopts WorkerOptions) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dmatch: worker %d: dial %s: %w", wopts.Worker, addr, err)
+	}
+	defer conn.Close()
+	enc := wire.NewEncoder(conn, wopts.Stats)
+	dec := wire.NewDecoder(conn, wopts.Stats)
+	// The encoder is shared between the main loop (Delta/Stats) and the
+	// heartbeat goroutine (Pong); writes serialize on encMu.
+	var encMu sync.Mutex
+
+	idSpace := datasetIDSpace(d)
+	encMu.Lock()
+	err = enc.Hello(wire.Hello{
+		Version: wire.Version, Worker: wopts.Worker,
+		DatasetSize: d.Size(), IDSpace: idSpace, Rules: len(rules),
+	})
+	encMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("dmatch: worker %d: hello: %w", wopts.Worker, err)
+	}
+
+	hb := wopts.HeartbeatInterval
+	if hb <= 0 {
+		hb = time.Second
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(hb)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				encMu.Lock()
+				err := enc.Pong()
+				encMu.Unlock()
+				if err != nil {
+					return // connection gone; the main loop will see it too
+				}
+			}
+		}
+	}()
+
+	var eng *chase.Engine
+	var pending []chase.Fact // replay history awaiting the next Step
+	fresh := false
+	sent := 0
+	for {
+		msg, err := dec.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				// Master gone without Done: abort quietly — the master (or
+				// its successor) owns the run's outcome.
+				return fmt.Errorf("dmatch: worker %d: master connection closed", wopts.Worker)
+			}
+			return fmt.Errorf("dmatch: worker %d: read: %w", wopts.Worker, err)
+		}
+		switch msg.Type {
+		case wire.MsgAssign:
+			a := msg.Assign
+			copts := chaseOptsFromWire(a.Opts, idSpace)
+			eng, err = buildWorkerEngine(d, rules, reg, a.Worker, a.Frag, a.RuleFrags, copts)
+			if err != nil {
+				return err
+			}
+			pending = a.Replay
+			fresh = true
+		case wire.MsgStep:
+			if eng == nil {
+				return fmt.Errorf("dmatch: worker %d: step before assign", wopts.Worker)
+			}
+			s := msg.Step
+			start := time.Now()
+			var delta []chase.Fact
+			if fresh {
+				// Fresh engine (initial assignment, or a rebuild after a
+				// recovery elsewhere): full partial evaluation over the
+				// fragment, then the replayed history plus this step's
+				// inbox through A_Δ — the same order Run uses.
+				delta = eng.Deduce()
+				inbox := append(pending, s.Facts...)
+				if len(inbox) > 0 {
+					delta = append(delta, eng.IncDeduce(inbox)...)
+				}
+				pending = nil
+				fresh = false
+			} else if len(s.Facts) > 0 {
+				delta = eng.IncDeduce(s.Facts)
+			}
+			busy := time.Since(start)
+			encMu.Lock()
+			err = enc.Delta(wire.Delta{Step: s.Step, BusyNs: int64(busy), Facts: delta})
+			encMu.Unlock()
+			if err != nil {
+				return fmt.Errorf("dmatch: worker %d: delta: %w", wopts.Worker, err)
+			}
+			sent++
+			if wopts.CrashAfter > 0 && sent >= wopts.CrashAfter {
+				conn.Close()
+				return ErrInjectedCrash
+			}
+		case wire.MsgDone:
+			var st chase.Stats
+			if eng != nil {
+				st = eng.Stats()
+			}
+			js, jerr := json.Marshal(st)
+			if jerr != nil {
+				js = []byte("{}")
+			}
+			encMu.Lock()
+			err = enc.StatsJSON(js)
+			encMu.Unlock()
+			return err
+		case wire.MsgPong:
+			// ignore (masters don't ping, but tolerate it)
+		default:
+			return fmt.Errorf("dmatch: worker %d: unexpected %d frame", wopts.Worker, msg.Type)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package hypart
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dcer/internal/relation"
+)
+
+// Fragment serialization: the binary form a worker fragment takes on the
+// distributed DMatch wire. Fragments and per-rule scopes are sorted TID
+// lists (BuildFragments unions sorted block GID lists), so the packing is
+// delta-varint: a leading flag byte (1 = sorted, deltas follow; 0 = raw
+// varints, the defensive fallback), then uvarint(count) and the packed
+// words. At TPCH scale the deltas are small (dense id ranges per block),
+// so most ids cost one byte instead of up to five.
+
+// AppendTIDs appends one TID list to buf in the packed form above and
+// returns the extended buffer.
+func AppendTIDs(buf []byte, ids []relation.TID) []byte {
+	sorted := true
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	prev := uint64(0)
+	for _, id := range ids {
+		w := uint64(uint32(id))
+		if sorted {
+			buf = binary.AppendUvarint(buf, w-prev)
+			prev = w
+		} else {
+			buf = binary.AppendUvarint(buf, w)
+		}
+	}
+	return buf
+}
+
+// ReadTIDs decodes one packed TID list from b, returning the list and the
+// unconsumed remainder. Malformed input returns an error, never panics:
+// counts are bounded by the remaining bytes and every word is range-
+// checked against the TID domain.
+func ReadTIDs(b []byte) ([]relation.TID, []byte, error) {
+	if len(b) == 0 {
+		return nil, nil, fmt.Errorf("hypart: truncated TID list: missing flag")
+	}
+	flag := b[0]
+	if flag > 1 {
+		return nil, nil, fmt.Errorf("hypart: bad TID-list flag %d", flag)
+	}
+	b = b[1:]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("hypart: truncated TID list: bad count")
+	}
+	b = b[sz:]
+	// Every id costs at least one byte; reject counts the remaining bytes
+	// cannot possibly hold so corrupt counts fail before allocating.
+	if n > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("hypart: TID count %d exceeds %d remaining bytes", n, len(b))
+	}
+	ids := make([]relation.TID, 0, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		w, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, nil, fmt.Errorf("hypart: truncated TID list at id %d/%d", i, n)
+		}
+		b = b[sz:]
+		if flag == 1 {
+			w += prev
+			prev = w
+		}
+		if w > math.MaxUint32 {
+			return nil, nil, fmt.Errorf("hypart: TID %d out of range", w)
+		}
+		ids = append(ids, relation.TID(uint32(w)))
+	}
+	return ids, b, nil
+}
+
+// AppendFragment appends a worker's full assignment — its fragment plus
+// the per-rule scope lists — to buf.
+func AppendFragment(buf []byte, frag []relation.TID, ruleFrags [][]relation.TID) []byte {
+	buf = AppendTIDs(buf, frag)
+	buf = binary.AppendUvarint(buf, uint64(len(ruleFrags)))
+	for _, ids := range ruleFrags {
+		buf = AppendTIDs(buf, ids)
+	}
+	return buf
+}
+
+// ReadFragment is the inverse of AppendFragment.
+func ReadFragment(b []byte) (frag []relation.TID, ruleFrags [][]relation.TID, rest []byte, err error) {
+	frag, b, err = ReadTIDs(b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nr, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, nil, fmt.Errorf("hypart: truncated fragment: bad rule count")
+	}
+	b = b[sz:]
+	// Each rule list costs at least two bytes (flag + count).
+	if nr > uint64(len(b)/2) {
+		return nil, nil, nil, fmt.Errorf("hypart: rule count %d exceeds %d remaining bytes", nr, len(b))
+	}
+	ruleFrags = make([][]relation.TID, 0, nr)
+	for i := uint64(0); i < nr; i++ {
+		var ids []relation.TID
+		ids, b, err = ReadTIDs(b)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ruleFrags = append(ruleFrags, ids)
+	}
+	return frag, ruleFrags, b, nil
+}

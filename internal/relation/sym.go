@@ -102,6 +102,23 @@ func (st *SymTab) Len() int {
 	return len(*st.strs.Load())
 }
 
+// Since returns the strings interned at ids from..Len()-1, in id order:
+// the dictionary delta a peer that has already seen the first `from`
+// symbols is missing. The returned slice aliases the table (interned
+// strings are immutable) and is empty when from >= Len(). Safe for
+// concurrent use with Intern; the watermark discipline of wire encoders
+// relies on ids being dense and append-only.
+func (st *SymTab) Since(from int) []string {
+	strs := *st.strs.Load()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(strs) {
+		return nil
+	}
+	return strs[from:]
+}
+
 // Bytes estimates the table's memory footprint: arena bytes plus the
 // id map and header slice overhead (one string header and one map entry
 // per symbol).

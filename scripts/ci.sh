@@ -5,9 +5,10 @@
 # probe of a held live process, and the benchdiff regression gate over
 # the BENCH trajectory. The concurrent first pass of Deduce and the batched
 # parallel drain (internal/chase), the parallel BSP supersteps
-# (internal/dmatch), and the justification log written from concurrent
-# drains (internal/provenance) make the race detector mandatory for
-# those packages.
+# (internal/dmatch), the justification log written from concurrent
+# drains (internal/provenance), and the distributed master's sender and
+# reader goroutines over the shared wire stats (internal/wire) make the
+# race detector mandatory for those packages.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -30,15 +31,36 @@ go build ./...
 echo "== go test -short ./..."
 go test -short ./...
 
-echo "== go test -race -short ./internal/chase ./internal/dmatch ./internal/hypart ./internal/telemetry ./internal/provenance ./internal/health"
-go test -race -short ./internal/chase ./internal/dmatch ./internal/hypart ./internal/telemetry ./internal/provenance ./internal/health
+echo "== go test -race -short ./internal/chase ./internal/dmatch ./internal/hypart ./internal/telemetry ./internal/provenance ./internal/health ./internal/wire"
+go test -race -short ./internal/chase ./internal/dmatch ./internal/hypart ./internal/telemetry ./internal/provenance ./internal/health ./internal/wire
 
 echo "== provenance equivalence (proof replay vs the reference verifier, all drain modes + DMatch w>=2)"
 go test -short -run 'TestProofReplaysAgainstVerifier|TestDMatchProofEveryPair' ./internal/provenance
 
-echo "== distribution equivalence guards (parallel Partition byte-identity + dedup-routing Gamma equality)"
+echo "== distribution equivalence guards (parallel Partition byte-identity + dedup-routing Gamma equality + distributed TCP Gamma equality and recovery)"
 go test -short -count=1 -run 'TestPartitionParallelEquivalence' ./internal/hypart
-go test -short -count=1 -run 'TestRoutingDedupGammaEquality|TestAdaptiveRebalance' ./internal/dmatch
+go test -short -count=1 -run 'TestRoutingDedupGammaEquality|TestAdaptiveRebalance|TestDistributedEqualsInProcess|TestDistributedRecovery' ./internal/dmatch
+
+echo "== distributed process smoke (2 real worker processes over TCP: -out CSV byte-identity vs in-process, then kill-one-worker recovery)"
+dist_data=/tmp/dcer_ci_dist_data
+rm -rf "$dist_data"
+go run ./cmd/datagen -kind tpch -scale 0.05 -dup 0.4 -seed 7 -out "$dist_data"
+go build -o /tmp/dcer_ci_dmatch ./cmd/dmatch
+/tmp/dcer_ci_dmatch -data "$dist_data" -rules "$dist_data/rules.mrl" -workers 2 -out /tmp/dcer_ci_inproc.csv > /dev/null
+/tmp/dcer_ci_dmatch -data "$dist_data" -rules "$dist_data/rules.mrl" -workers 2 -distributed -out /tmp/dcer_ci_dist.csv > /dev/null
+diff /tmp/dcer_ci_inproc.csv /tmp/dcer_ci_dist.csv
+# Kill worker 1 after its first delta: the master must reassign its
+# blocks, rebuild the survivors over the wire, and still match the
+# in-process Gamma byte for byte.
+/tmp/dcer_ci_dmatch -data "$dist_data" -rules "$dist_data/rules.mrl" -workers 3 -out /tmp/dcer_ci_inproc3.csv > /dev/null
+/tmp/dcer_ci_dmatch -data "$dist_data" -rules "$dist_data/rules.mrl" -workers 3 -distributed -crash-worker 1 -v \
+    -out /tmp/dcer_ci_crash.csv > /dev/null 2> /tmp/dcer_ci_crash.log
+diff /tmp/dcer_ci_inproc3.csv /tmp/dcer_ci_crash.csv
+if ! grep -q "recoveries=1" /tmp/dcer_ci_crash.log; then
+    echo "kill-one-worker run did not record a recovery:" >&2
+    cat /tmp/dcer_ci_crash.log >&2
+    exit 1
+fi
 
 echo "== plan equivalence guards (compiled plans vs interpreter: Gamma byte-identity across drain modes, DMatch, adaptive reorders; then racing the compiled path)"
 go test -short -count=1 -run 'TestPlanGammaEquivalence|TestPlanDMatchEquivalence|TestPlanAdaptiveReorderEquivalence' ./internal/chase
@@ -94,12 +116,12 @@ go test -race -short -count=1 \
     -run 'TestParallelTraceCausality|TestSpanLabelCopy|TestTraceContextCausality|TestWriteChromeTrace|TestServeDebugTrace|TestLoggerWide' \
     ./internal/telemetry ./internal/dmatch
 
-echo "== bench-regression gate (fresh Deduce/IncDeduce arms vs BENCH_8 via benchdiff, threshold 10%)"
+echo "== bench-regression gate (fresh Deduce/IncDeduce arms vs BENCH_9 via benchdiff, threshold 10%)"
 # The gate keeps the BENCH trajectory honest: measure the gated tier
 # fresh (min over 3 repeats suppresses scheduler noise on the shared
 # host) and fail when any arm slowed past the threshold vs the last
 # committed snapshot.
 go run ./cmd/bench -fig6=false -repeat 3 -arms '^(Deduce|IncDeduce)/' -memscale 0 -prev '' -out /tmp/dcer_ci_gate.json
-go run ./cmd/benchdiff -gate '^(Deduce|IncDeduce)/' -threshold 10 BENCH_8.json /tmp/dcer_ci_gate.json
+go run ./cmd/benchdiff -gate '^(Deduce|IncDeduce)/' -threshold 10 BENCH_9.json /tmp/dcer_ci_gate.json
 
 echo "CI OK"
